@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the Pref structures (E6/E7 companions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_bench::experiments::setup::{ball_workload, pref_queries};
+use dds_core::baseline::LinearScanPref;
+use dds_core::framework::Repository;
+use dds_core::pref::{PrefBuildParams, PrefIndex, PrefMultiIndex};
+
+fn bench_pref_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pref_query");
+    group.sample_size(30);
+    let k = 10;
+    for n in [1000usize, 8000] {
+        let wl = ball_workload(n, 300, 2, 0xD0);
+        let idx = PrefIndex::build(
+            &wl.synopses,
+            k,
+            PrefBuildParams::exact_centralized().with_eps(0.05),
+        );
+        let queries = pref_queries(&wl, k, 8, 0.01, 0xD0 + 1);
+        group.bench_with_input(BenchmarkId::new("index", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (v, a) = &queries[i % queries.len()];
+                i += 1;
+                idx.query(v, *a)
+            })
+        });
+        let repo = Repository::from_point_sets(wl.sets.clone());
+        let scan = LinearScanPref::build(&repo);
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (v, a) = &queries[i % queries.len()];
+                i += 1;
+                scan.query(v, k, *a)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pref_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pref_build");
+    group.sample_size(10);
+    let wl = ball_workload(2000, 200, 2, 0xD1);
+    group.bench_function("n2000_eps0.05", |b| {
+        b.iter(|| {
+            PrefIndex::build(
+                &wl.synopses,
+                5,
+                PrefBuildParams::exact_centralized().with_eps(0.05),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_pref_multi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pref_multi_m2");
+    group.sample_size(20);
+    let k = 5;
+    let wl = ball_workload(2000, 200, 2, 0xD2);
+    let idx = PrefMultiIndex::build(
+        &wl.synopses,
+        k,
+        2,
+        PrefBuildParams::exact_centralized().with_eps(0.1),
+    );
+    let queries = pref_queries(&wl, k, 8, 0.02, 0xD2 + 1);
+    // Pre-materialize so the bench measures the cached path.
+    for pair in queries.chunks(2) {
+        if pair.len() == 2 {
+            let _ = idx.query(&[
+                (pair[0].0.clone(), pair[0].1),
+                (pair[1].0.clone(), pair[1].1),
+            ]);
+        }
+    }
+    group.bench_function("conjunction_cached", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q1 = &queries[i % queries.len()];
+            let q2 = &queries[(i + 1) % queries.len()];
+            i += 1;
+            idx.query(&[(q1.0.clone(), q1.1), (q2.0.clone(), q2.1)])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pref_query, bench_pref_build, bench_pref_multi);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the substrates: orthogonal search
+//! backends (A2 companion), dynamic updates (E9) and the exact 1-d
+//! structure (E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_bench::experiments::setup::{clustered_workload, mixed_workload};
+use dds_core::framework::{Interval, Repository};
+use dds_core::ptile::{DynamicPtileIndex, ExactCPtile1D, PtileBuildParams};
+use dds_rangetree::{BruteForce, BuildableIndex, KdTree, OrthoIndex, RangeTree, Region};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_lifted(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let lo = rng.gen_range(0.0..100.0);
+            let hi = lo + rng.gen_range(0.0..20.0);
+            vec![lo, hi, rng.gen_range(0.0..1.0)]
+        })
+        .collect()
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ortho_backend_report");
+    group.sample_size(30);
+    let n = 100_000;
+    let pts = random_lifted(n, 0xA2);
+    let kd = KdTree::build(3, pts.clone());
+    let rt = RangeTree::build(3, pts.clone());
+    let brute = BruteForce::build(3, pts);
+    let region = Region::all(3)
+        .with_lo(0, 30.0, false)
+        .with_hi(1, 45.0, false)
+        .with_lo(2, 0.8, false);
+    group.bench_function(BenchmarkId::new("kdtree", n), |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            kd.report(&region, &mut out);
+            out
+        })
+    });
+    group.bench_function(BenchmarkId::new("rangetree", n), |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            rt.report(&region, &mut out);
+            out
+        })
+    });
+    group.bench_function(BenchmarkId::new("bruteforce", n), |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            brute.report(&region, &mut out);
+            out
+        })
+    });
+    group.finish();
+}
+
+fn bench_dynamic_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_ptile");
+    group.sample_size(10);
+    let wl = clustered_workload(1000, 300, 1, 0xE9);
+    let extra = clustered_workload(64, 300, 1, 0xE9 + 1);
+    group.bench_function("insert_synopsis", |b| {
+        let mut idx = DynamicPtileIndex::new(1, PtileBuildParams::default().with_rect_budget(496));
+        for s in &wl.synopses {
+            idx.insert_synopsis(s);
+        }
+        let mut i = 0;
+        b.iter(|| {
+            let h = idx.insert_synopsis(&extra.synopses[i % extra.synopses.len()]);
+            i += 1;
+            idx.remove_synopsis(h)
+        })
+    });
+    group.finish();
+}
+
+fn bench_exact1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_cptile_1d");
+    group.sample_size(20);
+    let wl = mixed_workload(4000, 200, 1, 0xE4);
+    let repo = Repository::from_point_sets(wl.sets.clone());
+    let idx = ExactCPtile1D::build(&repo, Interval::new(0.3, 0.7));
+    group.bench_function("query_n4000", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let lo = (i % 80) as f64;
+            i += 1;
+            idx.query(lo, lo + 10.0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_dynamic_insert, bench_exact1d);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E4 — the exact 1-d CPtile structure (Theorem C.5).
+
+use super::setup::mixed_workload;
+use super::Scale;
+use crate::table::{fmt_duration, Table};
+use crate::timing::{median_duration, time};
+use dds_core::framework::{Interval, Repository};
+use dds_core::ptile::ExactCPtile1D;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// E4 — exactness plus query scaling against brute force.
+pub fn e4_exact_1d(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E4 — exact CPtile in R¹, θ fixed (Thm C.5): exact answers, output-sensitive queries",
+        &["N", "total pts", "build", "index/q", "brute/q", "mismatches", "avg OUT"],
+    );
+    let theta = Interval::new(0.3, 0.7);
+    for n in scale.n_sweep() {
+        let wl = mixed_workload(n, 200, 1, 0xE4);
+        let repo = Repository::from_point_sets(wl.sets.clone());
+        let (idx, build) = time(|| ExactCPtile1D::build(&repo, theta));
+        let mut rng = StdRng::seed_from_u64(0xE4 + 1);
+        let mut t_idx = Vec::new();
+        let mut t_brute = Vec::new();
+        let mut mismatches = 0usize;
+        let mut out_total = 0usize;
+        for _ in 0..scale.queries() {
+            let lo: f64 = rng.gen_range(0.0..80.0);
+            let hi: f64 = lo + rng.gen_range(5.0..20.0);
+            let (mut got, d) = time(|| idx.query(lo, hi));
+            t_idx.push(d);
+            let (want, d) = time(|| {
+                wl.sets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pts)| {
+                        let cnt = pts.iter().filter(|p| lo <= p[0] && p[0] <= hi).count();
+                        theta.contains(cnt as f64 / pts.len() as f64)
+                    })
+                    .map(|(i, _)| i)
+                    .collect::<Vec<_>>()
+            });
+            t_brute.push(d);
+            got.sort_unstable();
+            if got != want {
+                mismatches += 1;
+            }
+            out_total += got.len();
+        }
+        table.row(vec![
+            n.to_string(),
+            repo.total_points().to_string(),
+            fmt_duration(build),
+            fmt_duration(median_duration(t_idx)),
+            fmt_duration(median_duration(t_brute)),
+            mismatches.to_string(),
+            format!("{:.1}", out_total as f64 / scale.queries() as f64),
+        ]);
+    }
+    table
+}

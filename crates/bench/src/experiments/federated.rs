@@ -1,0 +1,74 @@
+//! E11 — the federated error-transfer experiment: the end-to-end ε + 2δ
+//! band tracks the measured synopsis error as histogram resolution varies.
+
+use super::setup::{mixed_workload, ptile_queries};
+use super::Scale;
+use crate::table::Table;
+use dds_core::framework::Interval;
+use dds_core::guarantee::check_ptile;
+use dds_core::ptile::{PtileBuildParams, PtileThresholdIndex};
+use dds_synopsis::{error, EquiDepthHistogram};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E11 — δ sweep via histogram resolution (Lemma 2.1 / Theorem 4.4 in the
+/// federated setting).
+pub fn e11_federated_delta_sweep(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E11 — federated FPtile: measured δ vs end-to-end guarantee (equi-depth histograms)",
+        &[
+            "bins/dim",
+            "measured δ",
+            "band ±",
+            "missed",
+            "band viol.",
+            "exact out",
+            "reported",
+            "precision",
+        ],
+    );
+    let n = if scale.quick { 200 } else { 800 };
+    let wl = mixed_workload(n, 800, 1, 0xE11);
+    let mut rng = StdRng::seed_from_u64(0xE11 + 1);
+    for bins in [4usize, 8, 16, 32, 64, 128] {
+        let synopses: Vec<EquiDepthHistogram> = wl
+            .sets
+            .iter()
+            .map(|pts| EquiDepthHistogram::from_points(pts, bins))
+            .collect();
+        // Per-owner measured δ_i, padded (probe is a lower bound).
+        let deltas: Vec<f64> = synopses
+            .iter()
+            .zip(&wl.sets)
+            .map(|(s, pts)| {
+                (1.5 * error::estimate_percentile_error(s, pts, 60, &mut rng) + 0.005)
+                    .clamp(0.002, 0.6)
+            })
+            .collect();
+        let measured = deltas.iter().fold(0.0f64, |a, &b| a.max(b));
+        let params = PtileBuildParams::default().with_rect_budget(496);
+        let mut idx = PtileThresholdIndex::build_with_deltas(&synopses, Some(&deltas), params);
+        let slack = idx.slack();
+        let queries = ptile_queries(&wl, scale.queries(), 12, idx.margin(), 0xE11 + 2);
+        let (mut missed, mut viol, mut exact, mut reported) = (0usize, 0usize, 0usize, 0usize);
+        for q in &queries {
+            let hits = idx.query(&q.rect, q.a);
+            let check = check_ptile(&wl.sets, &q.rect, Interval::new(q.a, 1.0), &hits, slack);
+            missed += check.missed.len();
+            viol += check.out_of_band.len();
+            exact += check.exact_out;
+            reported += check.reported;
+        }
+        table.row(vec![
+            bins.to_string(),
+            format!("{measured:.4}"),
+            format!("{:.3}", slack),
+            missed.to_string(),
+            viol.to_string(),
+            exact.to_string(),
+            reported.to_string(),
+            format!("{:.3}", exact as f64 / reported.max(1) as f64),
+        ]);
+    }
+    table
+}

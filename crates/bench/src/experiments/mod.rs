@@ -1,0 +1,37 @@
+//! The experiment implementations (DESIGN.md §5).
+
+pub mod ablations;
+pub mod exact;
+pub mod federated;
+pub mod lowerbound;
+pub mod pref;
+pub mod ptile;
+pub mod scaling;
+pub mod setup;
+
+/// Sweep sizes: `quick` shrinks every experiment for smoke runs.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Reduced sweeps for fast runs.
+    pub quick: bool,
+}
+
+impl Scale {
+    /// The repository-size sweep for scaling experiments.
+    pub fn n_sweep(&self) -> Vec<usize> {
+        if self.quick {
+            vec![500, 1000, 2000]
+        } else {
+            vec![1000, 2000, 4000, 8000, 16000, 32000]
+        }
+    }
+
+    /// Number of measured queries per configuration.
+    pub fn queries(&self) -> usize {
+        if self.quick {
+            10
+        } else {
+            30
+        }
+    }
+}

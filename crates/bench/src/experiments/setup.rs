@@ -1,0 +1,144 @@
+//! Shared workload setup for the experiments.
+
+use dds_core::framework::Interval;
+use dds_geom::{Point, Rect};
+use dds_synopsis::ExactSynopsis;
+use dds_workload::{queries, RepoSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A materialized experiment repository with exact synopses.
+pub struct Workload {
+    /// Raw point sets.
+    pub sets: Vec<Vec<Point>>,
+    /// Exact synopses (centralized setting).
+    pub synopses: Vec<ExactSynopsis>,
+    /// Data bounding box.
+    pub bbox: Rect,
+}
+
+/// Builds the standard mixed 1-d repository used by E1–E3, E8–E10.
+pub fn mixed_workload(n: usize, points: usize, dim: usize, seed: u64) -> Workload {
+    let spec = RepoSpec::mixed(n, points, dim, seed);
+    let bbox = spec.bbox();
+    let sets = spec.build();
+    let synopses = sets
+        .iter()
+        .map(|pts| ExactSynopsis::new(pts.clone()))
+        .collect();
+    Workload {
+        sets,
+        synopses,
+        bbox,
+    }
+}
+
+/// Builds a clustered repository: every dataset is a few random Gaussian
+/// blobs, so per-rectangle masses spread smoothly instead of piling on a
+/// single value (keeps the output-controlled query workloads meaningful).
+pub fn clustered_workload(n: usize, points: usize, dim: usize, seed: u64) -> Workload {
+    let spec = RepoSpec {
+        n_datasets: n,
+        min_points: points / 2,
+        max_points: points.max(2),
+        dim,
+        flavors: vec![dds_workload::RepoFlavor::Clustered],
+        seed,
+    };
+    let bbox = spec.bbox();
+    let sets = spec.build();
+    let synopses = sets
+        .iter()
+        .map(|pts| ExactSynopsis::new(pts.clone()))
+        .collect();
+    Workload {
+        sets,
+        synopses,
+        bbox,
+    }
+}
+
+/// Builds the unit-ball repository used by the Pref experiments.
+pub fn ball_workload(n: usize, points: usize, dim: usize, seed: u64) -> Workload {
+    let spec = RepoSpec::unit_ball(n, points, dim, seed);
+    let bbox = spec.bbox();
+    let sets = spec.build();
+    let synopses = sets
+        .iter()
+        .map(|pts| ExactSynopsis::new(pts.clone()))
+        .collect();
+    Workload {
+        sets,
+        synopses,
+        bbox,
+    }
+}
+
+/// A Ptile query workload: rectangles anchored on datasets plus a threshold
+/// chosen as a quantile of the per-dataset masses, so the true output size
+/// is controlled (~`target_out` datasets).
+pub struct PtileQuery {
+    /// Query rectangle.
+    pub rect: Rect,
+    /// Threshold `a_θ`.
+    pub a: f64,
+    /// Two-sided interval (for range experiments): `[a, b]`.
+    pub theta: Interval,
+}
+
+/// Generates `count` Ptile queries with roughly `target_out` datasets
+/// *reported* each. `margin` should be the queried index's `margin()`
+/// (`ε + δ`): the threshold is placed `margin` above the `target_out`-th
+/// mass quantile so that the widened bar `a − margin` admits about
+/// `target_out` datasets — keeping the measured output size comparable
+/// across N (the experiments measure output-sensitive query time).
+pub fn ptile_queries(
+    wl: &Workload,
+    count: usize,
+    target_out: usize,
+    margin: f64,
+    seed: u64,
+) -> Vec<PtileQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = wl.sets.len();
+    (0..count)
+        .map(|_| {
+            // Anchor on a random dataset so the rectangle has real mass.
+            let anchor = rng.gen_range(0..n);
+            let rect = queries::rect_with_selectivity(&mut rng, &wl.sets[anchor], 0.6);
+            // Threshold = quantile of masses, lifted by the index margin.
+            let mut masses: Vec<f64> = wl.sets.iter().map(|pts| rect.mass(pts)).collect();
+            masses.sort_unstable_by(|a, b| b.total_cmp(a));
+            let k = target_out.min(n - 1);
+            // Lift by the full 2·margin guarantee band so the widened bar
+            // a − margin stays above the (k+jitter)-th mass.
+            let a = (masses[k] + 2.0 * margin + 1e-6).clamp(margin + 0.02, 0.95);
+            let b = (a + 0.15).min(1.0);
+            PtileQuery {
+                rect,
+                a,
+                theta: Interval::new(a, b),
+            }
+        })
+        .collect()
+}
+
+/// Pref query workload: unit vector plus a threshold with ~`target` fraction
+/// of datasets qualifying.
+pub fn pref_queries(
+    wl: &Workload,
+    k: usize,
+    count: usize,
+    target: f64,
+    seed: u64,
+) -> Vec<(Vec<f64>, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = wl.sets[0][0].dim();
+    (0..count)
+        .map(|_| {
+            let v = queries::random_unit_vector(&mut rng, dim);
+            let a = queries::threshold_with_selectivity(&wl.sets, &v, k, target);
+            (v, a)
+        })
+        .collect()
+}

@@ -1,0 +1,21 @@
+//! Experiment harness for the paper reproduction.
+//!
+//! The paper is a theory paper — its "evaluation" is the set of theorems in
+//! Sections 3–5 and Appendices C–D. Every experiment here regenerates one
+//! theorem's claim (or one figure's construction) as a measurable table;
+//! DESIGN.md §5 is the index mapping experiment ids to paper claims, and
+//! EXPERIMENTS.md records paper-vs-measured for a full run.
+//!
+//! Run with `cargo run --release -p dds-bench --bin experiments -- --all`
+//! (or `--eN` / `--aN` selections, `--quick` for smaller sweeps). Criterion
+//! micro-benchmarks covering the same query paths live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+pub mod timing;
+
+pub use table::Table;
+pub use timing::{median_duration, time};

@@ -1,0 +1,38 @@
+//! Timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once, returning its result and wall time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Median of the durations (empty → zero).
+pub fn median_duration(mut ds: Vec<Duration>) -> Duration {
+    if ds.is_empty() {
+        return Duration::ZERO;
+    }
+    ds.sort_unstable();
+    ds[ds.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let d = |ms| Duration::from_millis(ms);
+        assert_eq!(median_duration(vec![d(3), d(1), d(2)]), d(2));
+        assert_eq!(median_duration(vec![]), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_returns_result() {
+        let (x, d) = time(|| 41 + 1);
+        assert_eq!(x, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,110 @@
+//! Enumeration-delay instrumentation (Section 2 "Delay guarantees",
+//! Remark 3).
+//!
+//! A reporting structure has `f(n)` delay if the time to the first result,
+//! between consecutive results, and from the last result to termination are
+//! all `O(f(n))`. [`DelayRecorder`] timestamps a callback-driven
+//! enumeration; experiment E10 feeds it the `query_cb` variants of the
+//! Ptile/Pref indexes and reports the maximum observed gap.
+
+use std::time::{Duration, Instant};
+
+/// Records inter-report gaps of an enumeration.
+#[derive(Clone, Debug)]
+pub struct DelayRecorder {
+    start: Instant,
+    last: Instant,
+    gaps: Vec<Duration>,
+    finished: bool,
+}
+
+impl Default for DelayRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DelayRecorder {
+    /// Starts the clock.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        DelayRecorder {
+            start: now,
+            last: now,
+            gaps: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Marks one reported result; records the gap since the previous mark
+    /// (or since the start for the first result).
+    pub fn tick(&mut self) {
+        let now = Instant::now();
+        self.gaps.push(now - self.last);
+        self.last = now;
+    }
+
+    /// Marks the end of the enumeration (the last-to-termination gap).
+    pub fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            let now = Instant::now();
+            self.gaps.push(now - self.last);
+            self.last = now;
+        }
+    }
+
+    /// Number of results observed (excludes the termination gap).
+    pub fn results(&self) -> usize {
+        self.gaps.len().saturating_sub(usize::from(self.finished))
+    }
+
+    /// The largest observed gap — the empirical delay bound.
+    pub fn max_gap(&self) -> Duration {
+        self.gaps.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Mean gap.
+    pub fn mean_gap(&self) -> Duration {
+        if self.gaps.is_empty() {
+            return Duration::ZERO;
+        }
+        self.gaps.iter().sum::<Duration>() / self.gaps.len() as u32
+    }
+
+    /// Total enumeration time.
+    pub fn total(&self) -> Duration {
+        self.last - self.start
+    }
+
+    /// All recorded gaps.
+    pub fn gaps(&self) -> &[Duration] {
+        &self.gaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_gaps_and_termination() {
+        let mut rec = DelayRecorder::new();
+        for _ in 0..5 {
+            rec.tick();
+        }
+        rec.finish();
+        rec.finish(); // idempotent
+        assert_eq!(rec.results(), 5);
+        assert_eq!(rec.gaps().len(), 6);
+        assert!(rec.max_gap() >= rec.mean_gap());
+    }
+
+    #[test]
+    fn empty_enumeration() {
+        let mut rec = DelayRecorder::new();
+        rec.finish();
+        assert_eq!(rec.results(), 0);
+        assert_eq!(rec.gaps().len(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Mixed-expression query engine.
+//!
+//! Appendix C.4 handles logical expressions of percentile predicates and
+//! Appendix D.1 logical expressions of preference predicates. A practical
+//! discovery system needs both in one expression — Example 1.1's economist
+//! wants regional coverage (Ptile) *and* quality-of-life neighborhoods
+//! (Pref) at once. [`MixedQueryEngine`] answers arbitrary
+//! [`LogicalExpr`]s over both predicate kinds by DNF expansion: within a
+//! conjunctive clause it intersects per-predicate index answers, across
+//! clauses it unions (both operations preserve the superset-plus-band
+//! guarantee shape, as the appendices note for the homogeneous cases).
+
+use crate::framework::{Interval, LogicalExpr, MeasureFunction, Repository};
+use crate::pref::{PrefBuildParams, PrefIndex};
+use crate::ptile::{PtileBuildParams, PtileRangeIndex};
+use std::collections::HashMap;
+
+/// Errors answering a mixed expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A preference predicate uses a rank `k` the engine has no index for.
+    MissingRank(usize),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::MissingRank(k) => {
+                write!(f, "no Pref index built for k = {k}; add it to the engine params")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A combined index answering logical expressions that mix percentile and
+/// top-k preference predicates over one repository.
+#[derive(Debug)]
+pub struct MixedQueryEngine {
+    n_datasets: usize,
+    ptile: PtileRangeIndex,
+    /// One Pref index per supported rank `k`.
+    pref: HashMap<usize, PrefIndex>,
+}
+
+impl MixedQueryEngine {
+    /// Builds the engine over a centralized repository, with Pref support
+    /// for each rank in `ks`.
+    ///
+    /// # Panics
+    /// Panics if the repository is empty or `ks` is empty.
+    pub fn build(
+        repo: &Repository,
+        ks: &[usize],
+        ptile_params: PtileBuildParams,
+        pref_params: PrefBuildParams,
+    ) -> Self {
+        assert!(!ks.is_empty(), "need at least one preference rank");
+        let synopses = repo.exact_synopses();
+        let ptile = PtileRangeIndex::build(&synopses, ptile_params);
+        let pref = ks
+            .iter()
+            .map(|&k| (k, PrefIndex::build(&synopses, k, pref_params.clone())))
+            .collect();
+        MixedQueryEngine {
+            n_datasets: repo.len(),
+            ptile,
+            pref,
+        }
+    }
+
+    /// The Ptile guarantee band.
+    pub fn ptile_slack(&self) -> f64 {
+        self.ptile.slack()
+    }
+
+    /// The Pref guarantee band for rank `k` (if indexed).
+    pub fn pref_slack(&self, k: usize) -> Option<f64> {
+        self.pref.get(&k).map(PrefIndex::slack)
+    }
+
+    /// Answers a logical expression over percentile and preference
+    /// predicates: a superset of `q_Π(P)`, every reported dataset within
+    /// each touched predicate's band.
+    pub fn query(&mut self, expr: &LogicalExpr) -> Result<Vec<usize>, EngineError> {
+        let dnf = expr.to_dnf();
+        let mut seen = vec![false; self.n_datasets];
+        let mut out = Vec::new();
+        for clause in dnf {
+            let mut acc: Option<Vec<bool>> = None;
+            for pred in &clause {
+                let hits = match &pred.measure {
+                    MeasureFunction::Percentile(r) => {
+                        let theta = Interval::new(
+                            pred.theta.lo.max(0.0),
+                            pred.theta.hi.min(1.0).max(pred.theta.lo.max(0.0)),
+                        );
+                        self.ptile.query(r, theta)
+                    }
+                    MeasureFunction::TopK { v, k } => {
+                        let idx = self.pref.get(k).ok_or(EngineError::MissingRank(*k))?;
+                        idx.query(v, pred.theta.lo)
+                    }
+                };
+                let mut mask = vec![false; self.n_datasets];
+                for j in hits {
+                    mask[j] = true;
+                }
+                acc = Some(match acc {
+                    None => mask,
+                    Some(prev) => prev.iter().zip(&mask).map(|(a, b)| *a && *b).collect(),
+                });
+            }
+            if let Some(mask) = acc {
+                for (j, ok) in mask.iter().enumerate() {
+                    if *ok && !seen[j] {
+                        seen[j] = true;
+                        out.push(j);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{ground_truth, Dataset, Predicate};
+    use dds_geom::Rect;
+
+    /// 2-d repository: coordinate 0 is a quality score (unit range),
+    /// coordinate 1 a position. Percentile predicates range over positions,
+    /// preference predicates over the score axis `v = (1, 0)`:
+    ///  ds0: all mass at positions A = [0, 10], top score 0.9
+    ///  ds1: all mass in A, top score 0.2
+    ///  ds2: all mass in B = [20, 30], top score 0.9
+    fn repo() -> Repository {
+        Repository::new(vec![
+            Dataset::from_rows("d0", vec![vec![0.9, 5.0], vec![0.8, 6.0]]),
+            Dataset::from_rows("d1", vec![vec![0.2, 5.0], vec![0.1, 6.0]]),
+            Dataset::from_rows("d2", vec![vec![0.9, 25.0], vec![0.8, 26.0]]),
+        ])
+    }
+
+    fn region_a() -> Rect {
+        Rect::from_bounds(&[-1.0, 0.0], &[1.0, 10.0])
+    }
+
+    fn region_b() -> Rect {
+        Rect::from_bounds(&[-1.0, 20.0], &[1.0, 30.0])
+    }
+
+    fn engine() -> MixedQueryEngine {
+        MixedQueryEngine::build(
+            &repo(),
+            &[1],
+            PtileBuildParams::exact_centralized(),
+            PrefBuildParams::exact_centralized().with_eps(0.02),
+        )
+    }
+
+    #[test]
+    fn mixed_conjunction() {
+        // Mass ≥ 0.5 in A AND top-1 score ≥ 0.5 → only ds0 and ds1 have the
+        // mass; only ds0 clears the score.
+        let mut e = engine();
+        let expr = LogicalExpr::And(vec![
+            LogicalExpr::Pred(Predicate::percentile_at_least(region_a(), 0.5)),
+            LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0, 0.0], 1, 0.5)),
+        ]);
+        let hits = e.query(&expr).unwrap();
+        let truth = ground_truth(&repo(), &expr);
+        assert_eq!(truth, vec![0]);
+        // Superset of ground truth; the exact answer is contained.
+        assert!(hits.contains(&0));
+        // Every hit is within both bands.
+        for &j in &hits {
+            let mass = region_a().mass(repo().get(j).points());
+            assert!(mass >= 0.5 - e.ptile_slack() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixed_disjunction() {
+        // Mass ≥ 0.9 in B OR top-1 score ≥ 0.8: ds2 (both), ds0 (score).
+        let mut e = engine();
+        let expr = LogicalExpr::Or(vec![
+            LogicalExpr::Pred(Predicate::percentile_at_least(region_b(), 0.9)),
+            LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0, 0.0], 1, 0.8)),
+        ]);
+        let mut hits = e.query(&expr).unwrap();
+        hits.sort_unstable();
+        for i in ground_truth(&repo(), &expr) {
+            assert!(hits.contains(&i));
+        }
+        assert!(!hits.contains(&1), "ds1 satisfies neither disjunct");
+    }
+
+    #[test]
+    fn missing_rank_is_reported() {
+        let mut e = engine();
+        let expr = LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0, 0.0], 7, 0.1));
+        assert_eq!(e.query(&expr), Err(EngineError::MissingRank(7)));
+    }
+
+    #[test]
+    fn no_duplicates_across_clauses() {
+        let mut e = engine();
+        let p = Predicate::percentile_at_least(region_a(), 0.5);
+        let expr = LogicalExpr::Or(vec![
+            LogicalExpr::Pred(p.clone()),
+            LogicalExpr::Pred(p),
+        ]);
+        let hits = e.query(&expr).unwrap();
+        let mut dedup = hits.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(hits.len(), dedup.len());
+    }
+}

@@ -1,0 +1,177 @@
+//! Diversity dataset search (Section 6, second future-work query class):
+//! given a query rectangle `R` and threshold `τ`, report all datasets with
+//! `div(P_j ∩ R) ≥ τ`, where `div` is the remote-pair diversity
+//! `diam(P_j ∩ R) = max_{p,p' ∈ P_j ∩ R} dist(p, p')` ([33] in the paper).
+//!
+//! The same k-center coresets as the NN extension work here: for the
+//! coreset `C_j` with covering radius `r_j`,
+//! `diam(C_j ∩ R⁺) − 2 r_j ≤ diam(P_j ∩ R) ≤ diam(C_j ∩ R⁻ ...)` — we use
+//! the conservative direction needed for recall: every point of
+//! `P_j ∩ R` has a coreset representative within `r_j` (possibly just
+//! outside `R`), so evaluating the diameter of the coreset points inside
+//! the `r_j`-padded rectangle and adding the `2 r_j` slack to the report
+//! band preserves the no-false-negative guarantee with a per-dataset
+//! additive band of `2 r_j` — the Remark-2 shape again.
+
+use dds_geom::{Point, Rect};
+use dds_rangetree::{BuildableIndex, KdTree, OrthoIndex, Region};
+
+/// Diversity (remote-pair / diameter) dataset index.
+#[derive(Clone, Debug)]
+pub struct DiversityDatasetIndex {
+    dim: usize,
+    n_datasets: usize,
+    radius: Vec<f64>,
+    tree: KdTree,
+    owner: Vec<u32>,
+    coreset_points: Vec<Point>,
+}
+
+impl DiversityDatasetIndex {
+    /// Builds the index with `coreset_size` k-center points per dataset.
+    ///
+    /// # Panics
+    /// Panics if `datasets` is empty or dimensions differ.
+    pub fn build(datasets: &[Vec<Point>], coreset_size: usize) -> Self {
+        assert!(!datasets.is_empty(), "repository must be non-empty");
+        assert!(coreset_size >= 2, "diameter needs at least two centers");
+        let dim = datasets[0][0].dim();
+        let mut all: Vec<Vec<f64>> = Vec::new();
+        let mut owner: Vec<u32> = Vec::new();
+        let mut coreset_points: Vec<Point> = Vec::new();
+        let mut radius = Vec::with_capacity(datasets.len());
+        for (i, pts) in datasets.iter().enumerate() {
+            assert!(!pts.is_empty(), "datasets must be non-empty");
+            let (centers, r) = super::nn::gonzalez(pts, coreset_size);
+            radius.push(r);
+            for c in centers {
+                all.push(c.as_slice().to_vec());
+                owner.push(i as u32);
+                coreset_points.push(c);
+            }
+        }
+        DiversityDatasetIndex {
+            dim,
+            n_datasets: datasets.len(),
+            radius,
+            tree: KdTree::build(dim, all),
+            owner,
+            coreset_points,
+        }
+    }
+
+    /// The per-dataset additive band `2 r_j`.
+    pub fn band_for(&self, j: usize) -> f64 {
+        2.0 * self.radius[j]
+    }
+
+    /// Reports every dataset with `diam(P_j ∩ R) ≥ τ` (guaranteed), plus
+    /// possibly datasets within the per-dataset band
+    /// (`diam ≥ τ − 2·band_for(j)`).
+    pub fn query(&self, r: &Rect, tau: f64) -> Vec<usize> {
+        assert_eq!(r.dim(), self.dim, "query rectangle dimension mismatch");
+        assert!(tau >= 0.0, "diversity threshold must be non-negative");
+        // Gather candidate coreset points per dataset from the padded box
+        // (padding by the dataset's own radius is over-approximated by the
+        // max radius; the exact per-dataset band check happens below).
+        let r_max = self.radius.iter().fold(0.0f64, |a, &b| a.max(b));
+        let lo: Vec<f64> = r.lo().iter().map(|x| x - r_max).collect();
+        let hi: Vec<f64> = r.hi().iter().map(|x| x + r_max).collect();
+        let region = Region::closed(lo, hi);
+        let mut per_dataset: Vec<Vec<usize>> = vec![Vec::new(); self.n_datasets];
+        self.tree.report_while(&region, &mut |id| {
+            per_dataset[self.owner[id] as usize].push(id);
+            true
+        });
+        let mut out = Vec::new();
+        for (j, ids) in per_dataset.iter().enumerate() {
+            if ids.len() < 2 {
+                continue;
+            }
+            // Keep only representatives within this dataset's own padding.
+            let padded = r.padded(self.radius[j]);
+            let pts: Vec<&Point> = ids
+                .iter()
+                .map(|&id| &self.coreset_points[id])
+                .filter(|p| padded.contains_point(p))
+                .collect();
+            if pts.len() < 2 {
+                continue;
+            }
+            let mut diam: f64 = 0.0;
+            for a in 0..pts.len() {
+                for b in (a + 1)..pts.len() {
+                    diam = diam.max(pts[a].dist(pts[b]));
+                }
+            }
+            // Representatives can sit up to r_j outside R and up to r_j away
+            // from the true points: diam(C ∩ R_padded) ≤ diam(P∩R) + 4 r_j is
+            // conservative both ways; report with the recall-safe bar.
+            if diam + 2.0 * self.radius[j] >= tau {
+                out.push(j);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn two_blob_dataset(gap: f64, rng: &mut StdRng) -> Vec<Point> {
+        (0..200)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0.0 } else { gap };
+                Point::two(base + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn diverse_datasets_are_found() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Dataset 0: spread 50 apart. Dataset 1: a single tight blob.
+        let datasets = vec![two_blob_dataset(50.0, &mut rng), two_blob_dataset(0.0, &mut rng)];
+        let idx = DiversityDatasetIndex::build(&datasets, 16);
+        let r = Rect::from_bounds(&[-5.0, -5.0], &[60.0, 5.0]);
+        let hits = idx.query(&r, 30.0);
+        assert!(hits.contains(&0), "wide dataset must be reported");
+        assert!(!hits.contains(&1), "tight blob is far below the bar");
+    }
+
+    #[test]
+    fn recall_and_band_on_random_thresholds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let datasets: Vec<Vec<Point>> = (0..12)
+            .map(|i| two_blob_dataset(i as f64 * 5.0, &mut rng))
+            .collect();
+        let idx = DiversityDatasetIndex::build(&datasets, 24);
+        let r = Rect::from_bounds(&[-10.0, -10.0], &[100.0, 10.0]);
+        for _ in 0..10 {
+            let tau = rng.gen_range(1.0..60.0);
+            let hits = idx.query(&r, tau);
+            for (j, pts) in datasets.iter().enumerate() {
+                let inside: Vec<&Point> =
+                    pts.iter().filter(|p| r.contains_point(p)).collect();
+                let mut diam: f64 = 0.0;
+                for a in 0..inside.len() {
+                    for b in (a + 1)..inside.len() {
+                        diam = diam.max(inside[a].dist(inside[b]));
+                    }
+                }
+                if diam >= tau {
+                    assert!(hits.contains(&j), "missed dataset {j}: diam {diam} tau {tau}");
+                }
+                if hits.contains(&j) {
+                    assert!(
+                        diam >= tau - 2.0 * idx.band_for(j) - 2.0 * idx.band_for(j) - 1e-9,
+                        "dataset {j} far out of band: diam {diam} tau {tau}"
+                    );
+                }
+            }
+        }
+    }
+}

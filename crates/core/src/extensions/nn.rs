@@ -1,0 +1,250 @@
+//! Nearest-neighbor dataset search (Section 6, first future-work query
+//! class): given a query point `q` and threshold `τ`, report all datasets
+//! with `dist(q, P_j) ≤ τ`.
+//!
+//! Per dataset we build a k-center coreset `C_j ⊆ P_j` with the classic
+//! Gonzalez farthest-point heuristic and record its *covering radius*
+//! `r_j = max_{p ∈ P_j} dist(p, C_j)` exactly. For every query point,
+//! `dist(q, C_j) − r_j ≤ dist(q, P_j) ≤ dist(q, C_j)`, so reporting all
+//! datasets with `dist(q, C_j) ≤ τ + r_j` yields the familiar guarantee
+//! shape: no false negatives, and every reported dataset satisfies the
+//! predicate up to the additive band `r_j` (per-dataset, like Remark 2).
+//!
+//! All coreset points live in one kd-tree; a query runs a single filtered
+//! traversal over the ball `[q − τ − r_max, q + τ + r_max]` (boxed), with
+//! exact distance and per-dataset band checks per candidate.
+
+use dds_geom::Point;
+use dds_rangetree::{BuildableIndex, KdTree, OrthoIndex, Region};
+
+/// Nearest-neighbor dataset index (future work, Section 6).
+///
+/// ```
+/// use dds_core::extensions::NnDatasetIndex;
+/// use dds_geom::Point;
+///
+/// let datasets = vec![
+///     vec![Point::two(0.0, 0.0), Point::two(1.0, 0.0)],
+///     vec![Point::two(50.0, 50.0)],
+/// ];
+/// let index = NnDatasetIndex::build(&datasets, 4);
+/// // Tiny datasets are their own coresets: answers are exact (band 0).
+/// assert_eq!(index.query(&[0.5, 0.0], 1.0), vec![0]);
+/// assert_eq!(index.band(), 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NnDatasetIndex {
+    dim: usize,
+    n_datasets: usize,
+    /// Covering radius per dataset.
+    radius: Vec<f64>,
+    r_max: f64,
+    /// All coreset points, one kd-tree.
+    tree: KdTree,
+    owner: Vec<u32>,
+    coreset_points: Vec<Point>,
+}
+
+impl NnDatasetIndex {
+    /// Builds the index with `coreset_size` centers per dataset.
+    ///
+    /// # Panics
+    /// Panics if `datasets` is empty, dimensions differ, or
+    /// `coreset_size == 0`.
+    pub fn build(datasets: &[Vec<Point>], coreset_size: usize) -> Self {
+        assert!(!datasets.is_empty(), "repository must be non-empty");
+        assert!(coreset_size >= 1, "coreset size must be positive");
+        let dim = datasets[0][0].dim();
+        let mut all: Vec<Vec<f64>> = Vec::new();
+        let mut owner: Vec<u32> = Vec::new();
+        let mut coreset_points: Vec<Point> = Vec::new();
+        let mut radius = Vec::with_capacity(datasets.len());
+        let mut r_max: f64 = 0.0;
+        for (i, pts) in datasets.iter().enumerate() {
+            assert!(!pts.is_empty(), "datasets must be non-empty");
+            assert!(pts.iter().all(|p| p.dim() == dim), "schema mismatch");
+            let (centers, r) = gonzalez(pts, coreset_size);
+            radius.push(r);
+            r_max = r_max.max(r);
+            for c in centers {
+                all.push(c.as_slice().to_vec());
+                owner.push(i as u32);
+                coreset_points.push(c);
+            }
+        }
+        NnDatasetIndex {
+            dim,
+            n_datasets: datasets.len(),
+            radius,
+            r_max,
+            tree: KdTree::build(dim, all),
+            owner,
+            coreset_points,
+        }
+    }
+
+    /// Number of indexed datasets.
+    pub fn n_datasets(&self) -> usize {
+        self.n_datasets
+    }
+
+    /// The covering radius (additive band) of dataset `j`.
+    pub fn band_for(&self, j: usize) -> f64 {
+        self.radius[j]
+    }
+
+    /// The worst additive band `max_j r_j`.
+    pub fn band(&self) -> f64 {
+        self.r_max
+    }
+
+    /// Reports every dataset with `dist(q, P_j) ≤ τ` (guaranteed) plus
+    /// possibly datasets with `dist(q, P_j) ≤ τ + r_j` (the band).
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch or negative τ.
+    pub fn query(&self, q: &[f64], tau: f64) -> Vec<usize> {
+        assert_eq!(q.len(), self.dim, "query point dimension mismatch");
+        assert!(tau >= 0.0, "distance threshold must be non-negative");
+        // Candidate box: the largest relevant ball, boxed.
+        let reach = tau + self.r_max;
+        let lo: Vec<f64> = q.iter().map(|x| x - reach).collect();
+        let hi: Vec<f64> = q.iter().map(|x| x + reach).collect();
+        let region = Region::closed(lo, hi);
+        let mut reported = vec![false; self.n_datasets];
+        let mut out = Vec::new();
+        self.tree.report_while(&region, &mut |id| {
+            let j = self.owner[id] as usize;
+            if !reported[j] {
+                let d = self.coreset_points[id].dist(&Point::new(q.to_vec()));
+                if d <= tau + self.radius[j] {
+                    reported[j] = true;
+                    out.push(j);
+                }
+            }
+            true
+        });
+        out
+    }
+}
+
+/// Gonzalez farthest-point k-center: returns the centers and the exact
+/// covering radius of the input under them.
+pub(crate) fn gonzalez(pts: &[Point], k: usize) -> (Vec<Point>, f64) {
+    let mut centers: Vec<Point> = vec![pts[0].clone()];
+    // dist_to_nearest_center per point.
+    let mut dist: Vec<f64> = pts.iter().map(|p| p.dist(&centers[0])).collect();
+    while centers.len() < k.min(pts.len()) {
+        let (far_idx, far_d) = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, d)| (i, *d))
+            .expect("non-empty");
+        if far_d == 0.0 {
+            break; // every point is already a center
+        }
+        let c = pts[far_idx].clone();
+        for (p, d) in pts.iter().zip(dist.iter_mut()) {
+            *d = d.min(p.dist(&c));
+        }
+        centers.push(c);
+    }
+    let radius = dist.iter().fold(0.0f64, |a, &b| a.max(b));
+    (centers, radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cluster(center: (f64, f64), n: usize, spread: f64, rng: &mut StdRng) -> Vec<Point> {
+        (0..n)
+            .map(|_| {
+                Point::two(
+                    center.0 + rng.gen_range(-spread..spread),
+                    center.1 + rng.gen_range(-spread..spread),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gonzalez_radius_shrinks_with_k() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = cluster((0.0, 0.0), 300, 10.0, &mut rng);
+        let (_, r2) = gonzalez(&pts, 2);
+        let (_, r16) = gonzalez(&pts, 16);
+        let (_, r64) = gonzalez(&pts, 64);
+        assert!(r16 < r2 && r64 < r16, "radii {r2} {r16} {r64}");
+        // The covering radius really covers.
+        let (centers, r) = gonzalez(&pts, 8);
+        for p in &pts {
+            let d = centers.iter().map(|c| p.dist(c)).fold(f64::INFINITY, f64::min);
+            assert!(d <= r + 1e-9);
+        }
+    }
+
+    #[test]
+    fn nn_recall_and_band() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let datasets: Vec<Vec<Point>> = (0..40)
+            .map(|i| {
+                let cx = (i % 8) as f64 * 25.0;
+                let cy = (i / 8) as f64 * 25.0;
+                cluster((cx, cy), 200, 4.0, &mut rng)
+            })
+            .collect();
+        let idx = NnDatasetIndex::build(&datasets, 16);
+        for _ in 0..30 {
+            let q = vec![rng.gen_range(0.0..200.0), rng.gen_range(0.0..125.0)];
+            let tau = rng.gen_range(1.0..30.0);
+            let hits = idx.query(&q, tau);
+            let qp = Point::new(q.clone());
+            for (j, pts) in datasets.iter().enumerate() {
+                let d = pts.iter().map(|p| p.dist(&qp)).fold(f64::INFINITY, f64::min);
+                if d <= tau {
+                    assert!(hits.contains(&j), "missed dataset {j} at dist {d} tau {tau}");
+                }
+            }
+            for &j in &hits {
+                let d = datasets[j]
+                    .iter()
+                    .map(|p| p.dist(&qp))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    d <= tau + idx.band_for(j) + 1e-9,
+                    "dataset {j} out of band: dist {d} tau {tau} band {}",
+                    idx.band_for(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_coresets_tighten_the_band() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let datasets: Vec<Vec<Point>> =
+            (0..10).map(|_| cluster((0.0, 0.0), 400, 20.0, &mut rng)).collect();
+        let coarse = NnDatasetIndex::build(&datasets, 4);
+        let fine = NnDatasetIndex::build(&datasets, 64);
+        assert!(fine.band() < coarse.band());
+    }
+
+    #[test]
+    fn no_duplicates_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let datasets: Vec<Vec<Point>> =
+            (0..10).map(|_| cluster((0.0, 0.0), 100, 5.0, &mut rng)).collect();
+        let idx = NnDatasetIndex::build(&datasets, 8);
+        let a = idx.query(&[0.0, 0.0], 3.0);
+        let b = idx.query(&[0.0, 0.0], 3.0);
+        assert_eq!(a, b);
+        let mut d = a.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(a.len(), d.len());
+    }
+}

@@ -1,0 +1,171 @@
+//! Datasets and repositories (Section 1.1).
+
+use dds_geom::Point;
+use dds_synopsis::ExactSynopsis;
+
+/// A dataset `P ⊂ R^d`: a named finite set of d-tuples over a numerical
+/// schema.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    name: String,
+    points: Vec<Point>,
+}
+
+impl Dataset {
+    /// Creates a dataset from points.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty (measure functions must be well-defined)
+    /// or of mixed dimension.
+    pub fn new(name: impl Into<String>, points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "datasets must be non-empty");
+        let d = points[0].dim();
+        assert!(
+            points.iter().all(|p| p.dim() == d),
+            "all tuples must share the schema arity"
+        );
+        Dataset {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Creates a dataset from raw coordinate rows.
+    pub fn from_rows(name: impl Into<String>, rows: Vec<Vec<f64>>) -> Self {
+        Dataset::new(name, rows.into_iter().map(Point::new).collect())
+    }
+
+    /// The dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tuples.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// `n_i = |P_i|`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Never true (construction rejects empty datasets).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Schema arity `d`.
+    pub fn dim(&self) -> usize {
+        self.points[0].dim()
+    }
+}
+
+/// A repository `P = {P_1, …, P_N}` of datasets sharing a schema.
+#[derive(Clone, Debug)]
+pub struct Repository {
+    datasets: Vec<Dataset>,
+    dim: usize,
+}
+
+impl Repository {
+    /// Builds a repository.
+    ///
+    /// # Panics
+    /// Panics if `datasets` is empty or schemas (dimensions) differ.
+    pub fn new(datasets: Vec<Dataset>) -> Self {
+        assert!(!datasets.is_empty(), "repositories must be non-empty");
+        let dim = datasets[0].dim();
+        assert!(
+            datasets.iter().all(|d| d.dim() == dim),
+            "all datasets must share the schema"
+        );
+        Repository { datasets, dim }
+    }
+
+    /// Builds a repository from anonymous point sets (`dataset-0`, …).
+    pub fn from_point_sets(sets: Vec<Vec<Point>>) -> Self {
+        Repository::new(
+            sets.into_iter()
+                .enumerate()
+                .map(|(i, pts)| Dataset::new(format!("dataset-{i}"), pts))
+                .collect(),
+        )
+    }
+
+    /// Number of datasets `N`.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Never true.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Total number of tuples `𝒩 = Σ n_i`.
+    pub fn total_points(&self) -> usize {
+        self.datasets.iter().map(Dataset::len).sum()
+    }
+
+    /// Schema arity `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th dataset.
+    pub fn get(&self, i: usize) -> &Dataset {
+        &self.datasets[i]
+    }
+
+    /// All datasets.
+    pub fn datasets(&self) -> &[Dataset] {
+        &self.datasets
+    }
+
+    /// Iterates over the raw point sets (used by ground-truth evaluation).
+    pub fn point_sets(&self) -> impl Iterator<Item = &[Point]> {
+        self.datasets.iter().map(|d| d.points())
+    }
+
+    /// Exact synopses `S_{P_i} = P_i` — the centralized setting (δ = 0).
+    pub fn exact_synopses(&self) -> Vec<ExactSynopsis> {
+        self.datasets
+            .iter()
+            .map(|d| ExactSynopsis::new(d.points().to_vec()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repository_accounting() {
+        let repo = Repository::new(vec![
+            Dataset::from_rows("a", vec![vec![1.0], vec![2.0]]),
+            Dataset::from_rows("b", vec![vec![3.0]]),
+        ]);
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.total_points(), 3);
+        assert_eq!(repo.dim(), 1);
+        assert_eq!(repo.get(0).name(), "a");
+        assert_eq!(repo.exact_synopses().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_schema_rejected() {
+        let _ = Repository::new(vec![
+            Dataset::from_rows("a", vec![vec![1.0]]),
+            Dataset::from_rows("b", vec![vec![1.0, 2.0]]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_rejected() {
+        let _ = Dataset::from_rows("a", vec![]);
+    }
+}

@@ -1,0 +1,8 @@
+//! The paper's Section 1.1 framework: datasets, repositories, measure
+//! functions, predicates and logical expressions.
+
+mod dataset;
+mod predicate;
+
+pub use dataset::{Dataset, Repository};
+pub use predicate::{ground_truth, Interval, LogicalExpr, MeasureFunction, Predicate};

@@ -1,0 +1,241 @@
+//! Guarantee checkers: recall and error-band verification against ground
+//! truth. These encode the exact statements of Theorems 4.4, 4.11, C.8 and
+//! 5.4 and are shared by the integration tests and the experiment harness
+//! (E2, E3, E5, E6, E11).
+
+use crate::framework::Interval;
+use dds_geom::{Point, Rect};
+
+/// Outcome of checking one query's answer against the guarantee.
+#[derive(Clone, Debug, Default)]
+pub struct GuaranteeCheck {
+    /// Qualifying datasets missing from the answer (must be empty w.h.p.).
+    pub missed: Vec<usize>,
+    /// Reported datasets whose true measure falls outside the widened band,
+    /// with their measures.
+    pub out_of_band: Vec<(usize, f64)>,
+    /// `|q_Π(P)|` — the exact output size.
+    pub exact_out: usize,
+    /// `|J|` — the reported output size.
+    pub reported: usize,
+}
+
+impl GuaranteeCheck {
+    /// True iff recall is perfect and every report is within the band.
+    pub fn holds(&self) -> bool {
+        self.missed.is_empty() && self.out_of_band.is_empty()
+    }
+
+    /// Precision `|q_Π| / |J|` (1.0 when nothing was reported).
+    pub fn precision(&self) -> f64 {
+        if self.reported == 0 {
+            1.0
+        } else {
+            // Reported minus false positives (band-violating or not).
+            (self.reported - self.false_positives()) as f64 / self.reported as f64
+        }
+    }
+
+    fn false_positives(&self) -> usize {
+        self.reported.saturating_sub(self.exact_out.min(self.reported))
+    }
+}
+
+/// Checks a Ptile answer: `reported ⊇ {i : M_R(P_i) ∈ θ}` and every
+/// reported `j` has `M_R(P_j) ∈ [a − slack, b + slack]`.
+pub fn check_ptile(
+    repo: &[Vec<Point>],
+    r: &Rect,
+    theta: Interval,
+    reported: &[usize],
+    slack: f64,
+) -> GuaranteeCheck {
+    let mut is_reported = vec![false; repo.len()];
+    for &j in reported {
+        is_reported[j] = true;
+    }
+    let widened = theta.widened(slack + 1e-9);
+    let mut check = GuaranteeCheck {
+        reported: reported.len(),
+        ..Default::default()
+    };
+    for (i, pts) in repo.iter().enumerate() {
+        let mass = r.mass(pts);
+        if theta.contains(mass) {
+            check.exact_out += 1;
+            if !is_reported[i] {
+                check.missed.push(i);
+            }
+        }
+        if is_reported[i] && !widened.contains(mass) {
+            check.out_of_band.push((i, mass));
+        }
+    }
+    check
+}
+
+/// Checks a Ptile answer for a conjunction of predicates (per-predicate
+/// bands, Theorem C.8).
+pub fn check_ptile_conjunction(
+    repo: &[Vec<Point>],
+    preds: &[(Rect, Interval)],
+    reported: &[usize],
+    slack: f64,
+) -> GuaranteeCheck {
+    let mut is_reported = vec![false; repo.len()];
+    for &j in reported {
+        is_reported[j] = true;
+    }
+    let mut check = GuaranteeCheck {
+        reported: reported.len(),
+        ..Default::default()
+    };
+    for (i, pts) in repo.iter().enumerate() {
+        let masses: Vec<f64> = preds.iter().map(|(r, _)| r.mass(pts)).collect();
+        let qualifies = preds
+            .iter()
+            .zip(&masses)
+            .all(|((_, t), &m)| t.contains(m));
+        if qualifies {
+            check.exact_out += 1;
+            if !is_reported[i] {
+                check.missed.push(i);
+            }
+        }
+        if is_reported[i] {
+            let in_band = preds
+                .iter()
+                .zip(&masses)
+                .all(|((_, t), &m)| t.widened(slack + 1e-9).contains(m));
+            if !in_band {
+                check.out_of_band.push((i, masses[0]));
+            }
+        }
+    }
+    check
+}
+
+/// Checks a Pref answer: `reported ⊇ {i : ω_k(P_i, v) ≥ a}` and every
+/// reported `j` has `ω_k(P_j, v) ≥ a − slack`.
+pub fn check_pref(
+    repo: &[Vec<Point>],
+    v: &[f64],
+    k: usize,
+    a: f64,
+    reported: &[usize],
+    slack: f64,
+) -> GuaranteeCheck {
+    let mut is_reported = vec![false; repo.len()];
+    for &j in reported {
+        is_reported[j] = true;
+    }
+    let mut check = GuaranteeCheck {
+        reported: reported.len(),
+        ..Default::default()
+    };
+    for (i, pts) in repo.iter().enumerate() {
+        let score = kth_score(pts, v, k);
+        if score >= a {
+            check.exact_out += 1;
+            if !is_reported[i] {
+                check.missed.push(i);
+            }
+        }
+        if is_reported[i] && score < a - slack - 1e-9 {
+            check.out_of_band.push((i, score));
+        }
+    }
+    check
+}
+
+fn kth_score(pts: &[Point], v: &[f64], k: usize) -> f64 {
+    if k == 0 || k > pts.len() {
+        return f64::NEG_INFINITY;
+    }
+    let mut scores: Vec<f64> = pts.iter().map(|p| p.dot(v)).collect();
+    let (_, kth, _) = scores.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+    *kth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo() -> Vec<Vec<Point>> {
+        vec![
+            vec![Point::one(1.0), Point::one(7.0), Point::one(9.0)],
+            vec![
+                Point::one(2.0),
+                Point::one(4.0),
+                Point::one(6.0),
+                Point::one(10.0),
+            ],
+        ]
+    }
+
+    #[test]
+    fn perfect_answer_passes() {
+        let r = Rect::interval(3.0, 8.0);
+        let theta = Interval::new(0.2, 1.0);
+        let check = check_ptile(&repo(), &r, theta, &[0, 1], 0.0);
+        assert!(check.holds());
+        assert_eq!(check.exact_out, 2);
+        assert_eq!(check.precision(), 1.0);
+    }
+
+    #[test]
+    fn missing_dataset_is_flagged() {
+        let r = Rect::interval(3.0, 8.0);
+        let theta = Interval::new(0.2, 1.0);
+        let check = check_ptile(&repo(), &r, theta, &[1], 0.0);
+        assert!(!check.holds());
+        assert_eq!(check.missed, vec![0]);
+    }
+
+    #[test]
+    fn out_of_band_report_is_flagged() {
+        let r = Rect::interval(3.0, 8.0);
+        // Dataset 1 has mass 0.5; θ = [0.2, 0.4] with zero slack → 0.5 is
+        // out of band.
+        let theta = Interval::new(0.2, 0.4);
+        let check = check_ptile(&repo(), &r, theta, &[0, 1], 0.0);
+        assert_eq!(check.out_of_band.len(), 1);
+        assert_eq!(check.out_of_band[0].0, 1);
+        // With slack 0.1 the same report is acceptable.
+        let check = check_ptile(&repo(), &r, theta, &[0, 1], 0.1);
+        assert!(check.holds());
+    }
+
+    #[test]
+    fn pref_checker() {
+        let repo = vec![
+            vec![Point::one(0.9)],
+            vec![Point::one(0.4)],
+        ];
+        let check = check_pref(&repo, &[1.0], 1, 0.5, &[0], 0.0);
+        assert!(check.holds());
+        let check = check_pref(&repo, &[1.0], 1, 0.5, &[0, 1], 0.0);
+        assert_eq!(check.out_of_band.len(), 1);
+        let check = check_pref(&repo, &[1.0], 1, 0.5, &[0, 1], 0.2);
+        assert!(check.holds());
+        let check = check_pref(&repo, &[1.0], 1, 0.3, &[0], 0.0);
+        assert_eq!(check.missed, vec![1]);
+    }
+
+    #[test]
+    fn conjunction_checker() {
+        let preds = vec![
+            (Rect::interval(0.0, 5.0), Interval::new(0.3, 1.0)),
+            (Rect::interval(6.5, 11.0), Interval::new(0.3, 1.0)),
+        ];
+        // repo[0]: 1/3 in [0,5] and 2/3 in [6.5,11] → qualifies both.
+        // repo[1]: 1/2 in [0,5] but only 1/4 in [6.5,11] → fails the second.
+        let check = check_ptile_conjunction(&repo(), &preds, &[0], 0.0);
+        assert!(check.holds(), "{check:?}");
+        let check = check_ptile_conjunction(&repo(), &preds, &[0, 1], 0.0);
+        assert_eq!(check.out_of_band.len(), 1, "{check:?}");
+        // With enough slack the extra report becomes acceptable.
+        let check = check_ptile_conjunction(&repo(), &preds, &[0, 1], 0.1);
+        assert!(check.holds(), "{check:?}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Executable lower-bound reductions (Section 3, Appendix B).
+//!
+//! The paper's lower bounds are proofs, but both rest on *constructive*
+//! reductions; running them end-to-end validates the constructions:
+//!
+//! * [`setint`] — uniform set intersection → CPtile in `R²` (Figure 4,
+//!   Appendix B.1): answering CPtile queries fast would answer set
+//!   intersection fast, contradicting the strong set-intersection
+//!   conjecture (Theorem 3.4).
+//! * [`halfspace`] — halfspace reporting → CPref (Appendix B.2): the
+//!   unconditional Theorem 3.5 via the simplex-reporting lower bound.
+
+pub mod halfspace;
+pub mod setint;
+
+pub use halfspace::HalfspaceReporter;
+pub use setint::SetIntersectionCPtile;

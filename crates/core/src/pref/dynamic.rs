@@ -1,0 +1,163 @@
+//! Dynamic Pref index — Remark 1 after Theorem 5.4: synopsis insertion in
+//! `O(Λ_S · ε^{-d+1} + log N)` and deletion in `O(ε^{-d+1} log N)`, via an
+//! ordered score set per net vector.
+
+use super::PrefBuildParams;
+use dds_geom::EpsNet;
+use dds_rangetree::DynScores;
+use dds_synopsis::PrefSynopsis;
+use std::collections::HashMap;
+
+/// Stable handle of an inserted synopsis.
+pub type SynopsisHandle = u64;
+
+/// Dynamic top-k preference index over an evolving set of synopses.
+#[derive(Clone, Debug)]
+pub struct DynamicPrefIndex {
+    net: EpsNet,
+    k: usize,
+    eps: f64,
+    delta: f64,
+    /// One ordered score set per net vector.
+    trees: Vec<DynScores>,
+    /// Handle → per-net-vector scores (needed to delete exact entries).
+    scores_of: HashMap<SynopsisHandle, Vec<f64>>,
+    next_handle: SynopsisHandle,
+}
+
+impl DynamicPrefIndex {
+    /// Creates an empty dynamic index for `dim`-dimensional datasets with
+    /// rank `k`.
+    pub fn new(dim: usize, k: usize, params: PrefBuildParams) -> Self {
+        assert!(dim >= 1 && k >= 1);
+        let net = EpsNet::new(dim, params.eps);
+        let trees = vec![DynScores::new(); net.len()];
+        DynamicPrefIndex {
+            net,
+            k,
+            eps: params.eps,
+            delta: params.delta,
+            trees,
+            scores_of: HashMap::new(),
+            next_handle: 0,
+        }
+    }
+
+    /// Number of live synopses.
+    pub fn len(&self) -> usize {
+        self.scores_of.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores_of.is_empty()
+    }
+
+    /// Query margin `ε + δ`.
+    pub fn margin(&self) -> f64 {
+        self.eps + self.delta
+    }
+
+    /// Guarantee band `2(ε + δ)`.
+    pub fn slack(&self) -> f64 {
+        2.0 * self.margin()
+    }
+
+    /// Inserts a synopsis: evaluates `Score(v, k)` on every net vector.
+    pub fn insert_synopsis<S: PrefSynopsis>(&mut self, synopsis: &S) -> SynopsisHandle {
+        assert_eq!(synopsis.dim(), self.net.dim(), "synopsis dimension mismatch");
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        let scores: Vec<f64> = self
+            .net
+            .vectors()
+            .iter()
+            .map(|v| synopsis.score(v, self.k))
+            .collect();
+        for (tree, &s) in self.trees.iter_mut().zip(&scores) {
+            tree.insert(handle as usize, s);
+        }
+        self.scores_of.insert(handle, scores);
+        handle
+    }
+
+    /// Removes a synopsis. Returns `false` for unknown handles.
+    pub fn remove_synopsis(&mut self, handle: SynopsisHandle) -> bool {
+        let Some(scores) = self.scores_of.remove(&handle) else {
+            return false;
+        };
+        for (tree, &s) in self.trees.iter_mut().zip(&scores) {
+            let removed = tree.remove(handle as usize, s);
+            debug_assert!(removed, "score table out of sync");
+        }
+        true
+    }
+
+    /// Answers `Π = Pred_{M_{u,k}, [a_θ, ∞)}` over live synopses.
+    pub fn query(&self, u: &[f64], a_theta: f64) -> Vec<SynopsisHandle> {
+        assert_eq!(u.len(), self.net.dim(), "query vector dimension mismatch");
+        let (vi, _) = self.net.nearest(u);
+        let mut hits = Vec::new();
+        self.trees[vi].report_at_least(a_theta - self.margin(), &mut hits);
+        hits.into_iter().map(|h| h as SynopsisHandle).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_geom::Point;
+    use dds_synopsis::ExactSynopsis;
+
+    fn syn(pts: &[(f64, f64)]) -> ExactSynopsis {
+        ExactSynopsis::new(pts.iter().map(|&(x, y)| Point::two(x, y)).collect())
+    }
+
+    #[test]
+    fn insert_query_remove() {
+        let mut idx = DynamicPrefIndex::new(2, 1, PrefBuildParams::exact_centralized());
+        let h0 = idx.insert_synopsis(&syn(&[(0.9, 0.0)]));
+        let h1 = idx.insert_synopsis(&syn(&[(0.2, 0.1)]));
+        let hits = idx.query(&[1.0, 0.0], 0.5);
+        assert_eq!(hits, vec![h0]);
+        assert!(idx.remove_synopsis(h0));
+        assert!(!idx.remove_synopsis(h0));
+        assert!(idx.query(&[1.0, 0.0], 0.5).is_empty());
+        let hits = idx.query(&[1.0, 0.0], 0.0);
+        assert_eq!(hits, vec![h1]);
+    }
+
+    #[test]
+    fn churn_consistency() {
+        let mut idx = DynamicPrefIndex::new(2, 1, PrefBuildParams::exact_centralized());
+        let mut live: Vec<(SynopsisHandle, f64)> = Vec::new();
+        for i in 0..30 {
+            let x = (i as f64 + 1.0) / 31.0;
+            let h = idx.insert_synopsis(&syn(&[(x, 0.0)]));
+            live.push((h, x));
+            if i % 3 == 2 {
+                let (h, _) = live.remove(0);
+                assert!(idx.remove_synopsis(h));
+            }
+        }
+        let a = 0.5;
+        let mut got = idx.query(&[1.0, 0.0], a);
+        got.sort_unstable();
+        let mut want: Vec<SynopsisHandle> = live
+            .iter()
+            .filter(|(_, x)| *x >= a - idx.slack())
+            .map(|(h, _)| *h)
+            .collect();
+        // Recall: everything with x >= a must be present.
+        for (h, x) in &live {
+            if *x >= a {
+                assert!(got.contains(h), "missed handle {h} with score {x}");
+            }
+        }
+        want.sort_unstable();
+        // All reported are within the band.
+        for h in &got {
+            assert!(want.contains(h), "out-of-band report {h}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Preference-aware indexing (the Pref problem, Section 5 and Appendix D).
+//!
+//! | Type | Paper result | Predicate shape |
+//! |------|--------------|-----------------|
+//! | [`PrefIndex`] | Theorem 5.4 (Algorithms 5–6) | one `ω_k(P, v) ≥ a_θ` |
+//! | [`PrefMultiIndex`] | Theorem D.4 | conjunctions of `m` threshold predicates |
+//! | [`DynamicPrefIndex`] | Remark 1 after Theorem 5.4 | with synopsis insertion/deletion |
+//!
+//! Guarantee shape: every dataset with `ω_k(P_i, v) ≥ a_θ` is reported, and
+//! every reported `j` has `ω_k(P_j, v) ≥ a_θ − 2(ε + δ)` (Lemma 5.2),
+//! assuming all points lie in the unit ball.
+
+mod dynamic;
+mod index;
+mod multi;
+
+pub use dynamic::DynamicPrefIndex;
+pub use index::{PrefBuildParams, PrefIndex};
+pub use multi::PrefMultiIndex;

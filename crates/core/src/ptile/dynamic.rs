@@ -1,0 +1,299 @@
+//! Dynamic Ptile index: synopsis insertion and deletion — Remark 1 after
+//! Theorem 4.11.
+//!
+//! The range structure of Algorithm 3 is decomposable, so the classic
+//! logarithmic method applies: lifted points live in Bentley–Saxe buckets
+//! (`dds_rangetree::LogStructured`), synopsis insertion adds one batch of
+//! lifted points, deletion tombstones them (physically dropped at the next
+//! merge). Queries are Algorithm 4 over the bucket set, including the
+//! zero-mass auxiliary structures. Datasets are identified by stable
+//! `u64` handles issued at insertion.
+
+use super::coreset::{build_coreset, rect_weights};
+use super::PtileBuildParams;
+use crate::framework::Interval;
+use dds_geom::Rect;
+use dds_rangetree::{GlobalId, KdTree, LogStructured, Region};
+use dds_synopsis::PercentileSynopsis;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Stable handle of an inserted synopsis.
+pub type SynopsisHandle = u64;
+
+/// Dynamic percentile-range index over an evolving set of synopses.
+///
+/// ```
+/// use dds_core::framework::Interval;
+/// use dds_core::ptile::{DynamicPtileIndex, PtileBuildParams};
+/// use dds_geom::{Point, Rect};
+/// use dds_synopsis::ExactSynopsis;
+///
+/// let mut index = DynamicPtileIndex::new(1, PtileBuildParams::exact_centralized());
+/// let a = index.insert_synopsis(&ExactSynopsis::new(vec![
+///     Point::one(1.0), Point::one(7.0), Point::one(9.0),
+/// ]));
+/// let _b = index.insert_synopsis(&ExactSynopsis::new(vec![
+///     Point::one(2.0), Point::one(4.0), Point::one(6.0), Point::one(10.0),
+/// ]));
+/// let hits = index.query(&Rect::interval(3.0, 8.0), Interval::new(0.2, 0.4));
+/// assert_eq!(hits, vec![a]);
+/// index.remove_synopsis(a);
+/// assert!(index.query(&Rect::interval(3.0, 8.0), Interval::new(0.2, 0.4)).is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DynamicPtileIndex {
+    dim: usize,
+    params: PtileBuildParams,
+    /// Lifted pair points in `R^{4d+2}` (`w±` budgets pre-folded).
+    main: LogStructured<KdTree>,
+    /// Per dimension: empty-slab triples `(c_j, c_{j+1}, ε_i + δ_i)`.
+    aux: Vec<LogStructured<KdTree>>,
+    owner_main: HashMap<GlobalId, SynopsisHandle>,
+    groups_main: HashMap<SynopsisHandle, Vec<GlobalId>>,
+    owner_aux: Vec<HashMap<GlobalId, SynopsisHandle>>,
+    groups_aux: Vec<HashMap<SynopsisHandle, Vec<GlobalId>>>,
+    /// Worst sampling error among synopses ever inserted (monotone, so
+    /// guarantees quoted to callers never weaken retroactively).
+    eps_max: f64,
+    next_handle: SynopsisHandle,
+    n_alive: usize,
+    rng: StdRng,
+}
+
+impl DynamicPtileIndex {
+    /// Creates an empty dynamic index for `dim`-dimensional datasets.
+    pub fn new(dim: usize, params: PtileBuildParams) -> Self {
+        assert!(dim >= 1);
+        let rng = StdRng::seed_from_u64(params.seed);
+        DynamicPtileIndex {
+            dim,
+            main: LogStructured::new(4 * dim + 2),
+            aux: (0..dim).map(|_| LogStructured::new(3)).collect(),
+            owner_main: HashMap::new(),
+            groups_main: HashMap::new(),
+            owner_aux: vec![HashMap::new(); dim],
+            groups_aux: vec![HashMap::new(); dim],
+            eps_max: 0.0,
+            next_handle: 0,
+            n_alive: 0,
+            params,
+            rng,
+        }
+    }
+
+    /// Number of currently indexed synopses.
+    pub fn len(&self) -> usize {
+        self.n_alive
+    }
+
+    /// True if no synopsis is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n_alive == 0
+    }
+
+    /// Achieved sampling error ε (monotone maximum over insertions).
+    pub fn eps(&self) -> f64 {
+        self.eps_max
+    }
+
+    /// Query margin `ε + δ`.
+    pub fn margin(&self) -> f64 {
+        self.eps_max + self.params.delta
+    }
+
+    /// Guarantee band `2(ε + δ)` (as in the static range index).
+    pub fn slack(&self) -> f64 {
+        2.0 * self.margin()
+    }
+
+    /// Inserts a synopsis; `Õ(1)` amortized per lifted point. The sampling
+    /// budget is split as if the repository held `max(N, 16)` datasets.
+    pub fn insert_synopsis<S: PercentileSynopsis>(&mut self, synopsis: &S) -> SynopsisHandle {
+        assert_eq!(synopsis.dim(), self.dim, "synopsis dimension mismatch");
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        let budget_n = (self.n_alive + 1).max(16);
+        let cs = build_coreset(synopsis, &self.params, budget_n, &mut self.rng);
+        let eps_i = super::params::effective_eps(cs.eps_i, self.params.eps_override);
+        let c_i = eps_i + self.params.delta;
+        self.eps_max = self.eps_max.max(eps_i);
+        let rects = cs.grid.enumerate_rects();
+        let weights = rect_weights(&cs.sample, &rects);
+        let mut batch: Vec<Vec<f64>> = Vec::with_capacity(rects.len());
+        for (rect, w) in rects.iter().zip(weights) {
+            let hat = cs.grid.one_step_expansion(rect);
+            let mut coords = Vec::with_capacity(4 * self.dim + 2);
+            coords.extend_from_slice(rect.lo());
+            coords.extend_from_slice(hat.lo());
+            coords.extend_from_slice(rect.hi());
+            coords.extend_from_slice(hat.hi());
+            coords.push(w + c_i);
+            coords.push(w - c_i);
+            batch.push(coords);
+        }
+        let gids = self.main.insert_batch(batch);
+        for &g in &gids {
+            self.owner_main.insert(g, handle);
+        }
+        self.groups_main.insert(handle, gids);
+        for h in 0..self.dim {
+            let slabs: Vec<Vec<f64>> = cs
+                .grid
+                .empty_slabs(h)
+                .into_iter()
+                .map(|(lo, hi)| vec![lo, hi, c_i])
+                .collect();
+            let gids = self.aux[h].insert_batch(slabs);
+            for &g in &gids {
+                self.owner_aux[h].insert(g, handle);
+            }
+            self.groups_aux[h].insert(handle, gids);
+        }
+        self.n_alive += 1;
+        handle
+    }
+
+    /// Removes a synopsis. Returns `false` for unknown handles.
+    pub fn remove_synopsis(&mut self, handle: SynopsisHandle) -> bool {
+        let Some(gids) = self.groups_main.remove(&handle) else {
+            return false;
+        };
+        for g in gids {
+            self.main.delete(g);
+            self.owner_main.remove(&g);
+        }
+        for h in 0..self.dim {
+            if let Some(gids) = self.groups_aux[h].remove(&handle) {
+                for g in gids {
+                    self.aux[h].delete(g);
+                    self.owner_aux[h].remove(&g);
+                }
+            }
+        }
+        self.n_alive -= 1;
+        true
+    }
+
+    /// Answers `Π = Pred_{M_R, θ}` over the live synopses; same guarantees
+    /// as the static range index.
+    pub fn query(&mut self, r: &Rect, theta: Interval) -> Vec<SynopsisHandle> {
+        assert_eq!(r.dim(), self.dim, "query rectangle dimension mismatch");
+        let d = self.dim;
+        let mut region = Region::all(4 * d + 2);
+        for h in 0..d {
+            region = region.with_lo(h, r.lo_at(h), false);
+            region = region.with_hi(d + h, r.lo_at(h), true);
+            region = region.with_hi(2 * d + h, r.hi_at(h), false);
+            region = region.with_lo(3 * d + h, r.hi_at(h), true);
+        }
+        region = region
+            .with_lo(4 * d, theta.lo, false)
+            .with_hi(4 * d + 1, theta.hi, false);
+
+        let mut out = Vec::new();
+        let mut reported: std::collections::HashSet<SynopsisHandle> =
+            std::collections::HashSet::new();
+        let owner_main = &self.owner_main;
+        self.main.report_while(&region, &mut |g| {
+            let handle = owner_main[&g];
+            if reported.insert(handle) {
+                out.push(handle);
+            }
+            true
+        });
+        if theta.lo <= self.margin() {
+            let mut seen = reported;
+            for h in 0..d {
+                let slab_region = Region::all(3)
+                    .with_hi(0, r.lo_at(h), true)
+                    .with_lo(1, r.hi_at(h), true)
+                    .with_lo(2, theta.lo, false);
+                let mut hits = Vec::new();
+                self.aux[h].report(&slab_region, &mut hits);
+                for g in hits {
+                    let handle = self.owner_aux[h][&g];
+                    if seen.insert(handle) {
+                        out.push(handle);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_geom::Point;
+    use dds_synopsis::ExactSynopsis;
+
+    fn syn(xs: &[f64]) -> ExactSynopsis {
+        ExactSynopsis::new(xs.iter().map(|&x| Point::one(x)).collect())
+    }
+
+    #[test]
+    fn insert_query_remove_cycle() {
+        let mut idx = DynamicPtileIndex::new(1, PtileBuildParams::exact_centralized());
+        let h1 = idx.insert_synopsis(&syn(&[1.0, 7.0, 9.0]));
+        let h2 = idx.insert_synopsis(&syn(&[2.0, 4.0, 6.0, 10.0]));
+        assert_eq!(idx.eps(), 0.0);
+        // Running example: θ = [0.2, 0.4] over R = [3, 8] → only h1.
+        let hits = idx.query(&Rect::interval(3.0, 8.0), Interval::new(0.2, 0.4));
+        assert_eq!(hits, vec![h1]);
+        // Remove h1: nothing left in the band.
+        assert!(idx.remove_synopsis(h1));
+        assert!(!idx.remove_synopsis(h1));
+        let hits = idx.query(&Rect::interval(3.0, 8.0), Interval::new(0.2, 0.4));
+        assert!(hits.is_empty());
+        // h2 still answers a wider band.
+        let hits = idx.query(&Rect::interval(3.0, 8.0), Interval::new(0.4, 0.6));
+        assert_eq!(hits, vec![h2]);
+    }
+
+    #[test]
+    fn many_inserts_trigger_merges_and_stay_correct() {
+        let mut idx = DynamicPtileIndex::new(1, PtileBuildParams::exact_centralized());
+        let mut handles = Vec::new();
+        // Dataset i concentrates at [i, i+0.5] (mass 1 inside its slot).
+        for i in 0..40 {
+            let base = 10.0 * i as f64;
+            handles.push(idx.insert_synopsis(&syn(&[base, base + 0.2, base + 0.4])));
+        }
+        for i in (0..40).step_by(7) {
+            let base = 10.0 * i as f64;
+            let hits = idx.query(
+                &Rect::interval(base - 1.0, base + 1.0),
+                Interval::new(0.9, 1.0),
+            );
+            assert_eq!(hits, vec![handles[i]], "query around dataset {i}");
+        }
+        // Remove half, re-check.
+        for i in (0..40).step_by(2) {
+            assert!(idx.remove_synopsis(handles[i]));
+        }
+        assert_eq!(idx.len(), 20);
+        let hits = idx.query(&Rect::interval(-1.0, 1.0), Interval::new(0.9, 1.0));
+        assert!(hits.is_empty(), "removed dataset must not report");
+        let hits = idx.query(&Rect::interval(9.0, 11.0), Interval::new(0.9, 1.0));
+        assert_eq!(hits, vec![handles[1]]);
+    }
+
+    #[test]
+    fn zero_band_aux_path_is_dynamic_too() {
+        let mut idx = DynamicPtileIndex::new(1, PtileBuildParams::exact_centralized());
+        let h1 = idx.insert_synopsis(&syn(&[1.0, 9.0]));
+        let h2 = idx.insert_synopsis(&syn(&[4.0, 5.0]));
+        // R = [3, 6] has no mass from h1, full mass from h2.
+        let mut hits = idx.query(&Rect::interval(3.0, 6.0), Interval::new(0.0, 0.2));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![h1]);
+        assert!(idx.remove_synopsis(h1));
+        assert!(idx
+            .query(&Rect::interval(3.0, 6.0), Interval::new(0.0, 0.2))
+            .is_empty());
+        let _ = h2;
+    }
+}

@@ -1,0 +1,103 @@
+//! Build parameters shared by the approximate Ptile structures.
+
+/// Parameters of Algorithms 1 and 3.
+///
+/// The paper draws `Θ(ε⁻² log(N/φ))` samples per dataset, yielding
+/// `O(ε^{-4d} log^{2d}(N/φ))` canonical rectangles. On real hardware the
+/// rectangle budget is the binding constraint, so the builder additionally
+/// caps the per-dataset rectangle count ([`Self::max_rects_per_dataset`]),
+/// derives the largest admissible sample size from it, and *reports the
+/// achieved ε* (`eps_max` on the built index) computed from the actual
+/// sample sizes — guarantees are always stated against achieved values, not
+/// requested ones.
+#[derive(Clone, Debug)]
+pub struct PtileBuildParams {
+    /// Requested sampling error ε (achieved ε may be larger if the
+    /// rectangle budget binds; smaller if a dataset's support is used
+    /// exactly).
+    pub eps: f64,
+    /// Overall failure probability φ (split evenly across datasets).
+    pub phi: f64,
+    /// Synopsis error bound δ (`Err_{S_{P_i}}(F_□^d) ≤ δ`); 0 in the
+    /// centralized setting.
+    pub delta: f64,
+    /// Budget for `|R_i|`, the canonical rectangles per dataset.
+    pub max_rects_per_dataset: usize,
+    /// RNG seed for the sampling stage.
+    pub seed: u64,
+    /// Empirical-margin mode: use this ε at query time instead of the
+    /// provable Hoeffding bound (which is often very conservative). May only
+    /// *shrink* the margin; exact-support builds stay exact. Guarantees then
+    /// hold empirically rather than provably — benchmark/marketplace code
+    /// validates them against ground truth.
+    pub eps_override: Option<f64>,
+}
+
+impl Default for PtileBuildParams {
+    fn default() -> Self {
+        PtileBuildParams {
+            eps: 0.1,
+            phi: 0.01,
+            delta: 0.0,
+            max_rects_per_dataset: 4096,
+            seed: 0x5EED,
+            eps_override: None,
+        }
+    }
+}
+
+impl PtileBuildParams {
+    /// Centralized setting with exact synopses: δ = 0 and a small ε target.
+    pub fn exact_centralized() -> Self {
+        PtileBuildParams {
+            eps: 0.05,
+            delta: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// Federated setting over synopses with error bound `delta`.
+    pub fn federated(delta: f64) -> Self {
+        assert!((0.0..1.0).contains(&delta), "delta must be in [0, 1)");
+        PtileBuildParams {
+            delta,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the per-dataset rectangle budget.
+    pub fn with_rect_budget(mut self, budget: usize) -> Self {
+        assert!(budget >= 1);
+        self.max_rects_per_dataset = budget;
+        self
+    }
+
+    /// Overrides the requested sampling error.
+    pub fn with_eps(mut self, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        self.eps = eps;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables empirical-margin mode (see [`Self::eps_override`]).
+    pub fn with_empirical_eps(mut self, eps: f64) -> Self {
+        assert!((0.0..1.0).contains(&eps));
+        self.eps_override = Some(eps);
+        self
+    }
+}
+
+/// Applies the empirical-margin override: it can only shrink the margin,
+/// and exact builds (ε = 0) stay exact.
+pub(crate) fn effective_eps(eps_max: f64, eps_override: Option<f64>) -> f64 {
+    match eps_override {
+        Some(e) if eps_max > 0.0 => e.min(eps_max),
+        _ => eps_max,
+    }
+}

@@ -1,0 +1,252 @@
+//! Centrally symmetric ε-nets on the unit sphere `S^{d-1}`.
+//!
+//! Section 2 of the paper: a centrally symmetric set `C ⊆ S^{d-1}` of
+//! `O(ε^{-d+1})` unit vectors such that every unit vector has a net vector at
+//! distance `O(ε)`. The Pref structures (Section 5) evaluate synopses on the
+//! net vectors at build time and snap query vectors to their nearest net
+//! vector, paying an additive `ε` in score by Lemma 5.1.
+//!
+//! Construction (standard, cf. [3] in the paper): place a symmetric grid on
+//! every facet of the cube `[-1, 1]^d` and centrally project onto the
+//! sphere. For a unit `v`, the facet point `w = v / ‖v‖_∞` is within grid
+//! step `Δ/2` per coordinate of some grid point `g`, and
+//! `‖g/‖g‖ − v‖ ≤ 2‖g − w‖ ≤ Δ·sqrt(d−1)`, so `Δ = ε/sqrt(d)` suffices.
+
+use crate::Point;
+use std::collections::BTreeSet;
+
+/// A centrally symmetric ε-net of unit vectors.
+#[derive(Clone, Debug)]
+pub struct EpsNet {
+    dim: usize,
+    eps: f64,
+    vectors: Vec<Point>,
+}
+
+impl EpsNet {
+    /// Builds an ε-net on `S^{dim-1}`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `eps` is not in `(0, 1)`.
+    pub fn new(dim: usize, eps: f64) -> Self {
+        assert!(dim >= 1, "eps-net requires dim >= 1");
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+        let vectors = match dim {
+            1 => vec![Point::one(1.0), Point::one(-1.0)],
+            _ => Self::cube_facet_net(dim, eps),
+        };
+        EpsNet { dim, eps, vectors }
+    }
+
+    fn cube_facet_net(dim: usize, eps: f64) -> Vec<Point> {
+        // Symmetric grid of (2k+1) values on [-1, 1] with step <= eps/sqrt(d).
+        let step = eps / (dim as f64).sqrt();
+        let k = (1.0 / step).ceil() as usize;
+        let levels: Vec<f64> = (0..=2 * k)
+            .map(|i| (i as f64 - k as f64) / k as f64)
+            .collect();
+        let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+        let mut out = Vec::new();
+        // For every facet (axis, sign), grid the remaining d-1 coordinates.
+        for axis in 0..dim {
+            for sign in [-1.0, 1.0] {
+                let free = dim - 1;
+                let mut idx = vec![0usize; free];
+                loop {
+                    let mut coords = Vec::with_capacity(dim);
+                    let mut it = idx.iter();
+                    for h in 0..dim {
+                        if h == axis {
+                            coords.push(sign);
+                        } else {
+                            coords.push(levels[*it.next().expect("index arity")]);
+                        }
+                    }
+                    let p = Point::new(coords).normalized();
+                    let key: Vec<u64> = p.iter().map(|c| c.to_bits()).collect();
+                    if seen.insert(key) {
+                        out.push(p);
+                    }
+                    // Odometer over the free coordinates.
+                    let mut h = 0;
+                    loop {
+                        if h == free {
+                            break;
+                        }
+                        idx[h] += 1;
+                        if idx[h] < levels.len() {
+                            break;
+                        }
+                        idx[h] = 0;
+                        h += 1;
+                    }
+                    if h == free {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The ambient dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The covering parameter ε.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of net vectors (`O(ε^{-d+1})`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if the net is empty (never the case for a valid net).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The net vectors.
+    #[inline]
+    pub fn vectors(&self) -> &[Point] {
+        &self.vectors
+    }
+
+    /// The net vector closest (in Euclidean distance) to the unit vector
+    /// `v`, together with its index. Linear scan over the net — `O(ε^{-d+1})`
+    /// as in the paper's query procedure (Algorithm 6, line 1).
+    pub fn nearest(&self, v: &[f64]) -> (usize, &Point) {
+        assert_eq!(v.len(), self.dim, "query vector dimension mismatch");
+        let mut best = 0usize;
+        let mut best_dot = f64::NEG_INFINITY;
+        for (i, u) in self.vectors.iter().enumerate() {
+            // For unit vectors, minimizing ‖u − v‖ = maximizing ⟨u, v⟩.
+            let d = u.dot(v);
+            if d > best_dot {
+                best_dot = d;
+                best = i;
+            }
+        }
+        (best, &self.vectors[best])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_unit(rng: &mut StdRng, d: usize) -> Vec<f64> {
+        loop {
+            let v: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let n: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if n > 1e-3 {
+                return v.iter().map(|x| x / n).collect();
+            }
+        }
+    }
+
+    #[test]
+    fn d1_net_is_pm_one() {
+        let net = EpsNet::new(1, 0.1);
+        assert_eq!(net.len(), 2);
+        let (_, u) = net.nearest(&[-0.7]);
+        assert_eq!(u.as_slice(), &[-1.0]);
+    }
+
+    #[test]
+    fn all_vectors_are_unit() {
+        for d in [2, 3] {
+            let net = EpsNet::new(d, 0.3);
+            for u in net.vectors() {
+                assert!((u.norm() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn net_is_centrally_symmetric() {
+        for d in [1, 2, 3] {
+            let net = EpsNet::new(d, 0.4);
+            for u in net.vectors() {
+                let neg: Vec<f64> = u.iter().map(|c| -c).collect();
+                let found = net
+                    .vectors()
+                    .iter()
+                    .any(|w| w.iter().zip(&neg).all(|(a, b)| (a - b).abs() < 1e-9));
+                assert!(found, "missing antipode of {u:?} in d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn covering_property_holds_on_random_vectors() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (d, eps) in [(2usize, 0.2f64), (2, 0.05), (3, 0.3)] {
+            let net = EpsNet::new(d, eps);
+            for _ in 0..500 {
+                let v = random_unit(&mut rng, d);
+                let (_, u) = net.nearest(&v);
+                let dist: f64 = u
+                    .iter()
+                    .zip(&v)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(
+                    dist <= eps + 1e-9,
+                    "covering violated: d={d} eps={eps} dist={dist}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn net_size_scales_with_eps() {
+        let coarse = EpsNet::new(2, 0.5).len();
+        let fine = EpsNet::new(2, 0.05).len();
+        assert!(fine > coarse, "finer nets must have more vectors");
+        // d=2 nets should stay linear in 1/eps (O(eps^-1)).
+        assert!(fine < 100 * coarse);
+    }
+
+    #[test]
+    fn nearest_picks_the_true_argmin() {
+        let net = EpsNet::new(2, 0.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let v = random_unit(&mut rng, 2);
+            let (i, _) = net.nearest(&v);
+            let best_brute = net
+                .vectors()
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da: f64 = a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum();
+                    let db: f64 = b.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap()
+                .0;
+            let di: f64 = net.vectors()[i]
+                .iter()
+                .zip(&v)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            let db: f64 = net.vectors()[best_brute]
+                .iter()
+                .zip(&v)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            assert!((di - db).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Linear-scan reference implementation of the search traits.
+//!
+//! Used as ground truth in tests and as the Ω(N)-style baseline in
+//! micro-benchmarks of the substrate itself.
+
+use crate::{BuildableIndex, DeletableIndex, OrthoIndex, Region};
+
+/// A brute-force orthogonal "index": stores the points and scans them.
+#[derive(Clone, Debug)]
+pub struct BruteForce {
+    dim: usize,
+    points: Vec<Vec<f64>>,
+    alive: Vec<bool>,
+    n_alive: usize,
+}
+
+impl BuildableIndex for BruteForce {
+    fn build(dim: usize, points: Vec<Vec<f64>>) -> Self {
+        for p in &points {
+            assert_eq!(p.len(), dim, "point dimension mismatch");
+        }
+        let n = points.len();
+        BruteForce {
+            dim,
+            points,
+            alive: vec![true; n],
+            n_alive: n,
+        }
+    }
+}
+
+impl OrthoIndex for BruteForce {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn report(&self, region: &Region, out: &mut Vec<usize>) {
+        for (i, p) in self.points.iter().enumerate() {
+            if self.alive[i] && region.contains(p) {
+                out.push(i);
+            }
+        }
+    }
+
+    fn report_first(&self, region: &Region) -> Option<usize> {
+        self.points
+            .iter()
+            .enumerate()
+            .find(|(i, p)| self.alive[*i] && region.contains(p))
+            .map(|(i, _)| i)
+    }
+
+    fn count(&self, region: &Region) -> usize {
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| self.alive[*i] && region.contains(p))
+            .count()
+    }
+}
+
+impl DeletableIndex for BruteForce {
+    fn delete(&mut self, id: usize) -> bool {
+        if self.alive[id] {
+            self.alive[id] = false;
+            self.n_alive -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn restore(&mut self, id: usize) -> bool {
+        if !self.alive[id] {
+            self.alive[id] = true;
+            self.n_alive += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alive(&self) -> usize {
+        self.n_alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_and_tombstones() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let mut b = BruteForce::build(1, pts);
+        let region = Region::closed(vec![1.5], vec![3.5]);
+        let mut out = vec![];
+        b.report(&region, &mut out);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(b.count(&region), 2);
+        assert!(b.delete(1));
+        assert!(!b.delete(1));
+        assert_eq!(b.report_first(&region), Some(2));
+        assert!(b.restore(1));
+        assert_eq!(b.count(&region), 2);
+        assert_eq!(b.alive(), 3);
+    }
+}

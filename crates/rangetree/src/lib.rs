@@ -1,0 +1,106 @@
+//! Orthogonal search substrate for distribution-aware dataset search.
+//!
+//! Section 2 of the paper assumes dynamic range trees with the interface
+//! `Report(R, I)`, `ReportFirst(R, I)`, point insertion and deletion. The
+//! paper's index structures (crate `dds-core`) lift rectangles and weights
+//! into points of `R^{2d}`, `R^{4d}` or `R^{4md+m}` and only interact with
+//! the search structure through that interface, so the backend is pluggable:
+//!
+//! * [`KdTree`] — a bounding-box kd-tree with per-subtree *alive counts*.
+//!   It supports `report`, `report_first`, `count`, and O(depth) tombstone
+//!   `delete`/`restore`, which is exactly the enumeration pattern of
+//!   Algorithms 2 and 4 (find one point, delete the reported dataset's
+//!   points, continue, re-insert at the end). This is the default backend;
+//!   DESIGN.md §3 documents the substitution for the literal multi-level
+//!   dynamic range tree (`log^{4md} N` associated-structure blowup is not
+//!   laptop-viable in the lifted dimensions).
+//! * [`RangeTree`] — a faithful static multi-level range tree (De Berg et
+//!   al., as cited by the paper) used for low-dimensional exact structures
+//!   and as an ablation backend.
+//! * [`LogStructured`] — a Bentley–Saxe logarithmic-method wrapper that adds
+//!   batched insertion (plus tombstone deletion) on top of any
+//!   [`BuildableIndex`], realizing the paper's dynamic-synopsis remarks.
+//! * [`SortedScores`] / [`DynScores`] — the 1-dimensional structures used by
+//!   the Pref index (Algorithms 5–6): threshold reporting over static or
+//!   dynamic score sets.
+//!
+//! All query shapes are [`Region`]s: axis-parallel boxes with *per-bound
+//! strictness*, because the paper's orthants mix closed and open bounds
+//! (e.g. `R' = [R⁻,∞) × (−∞,R⁻) × (−∞,R⁺] × (R⁺,∞)` in Algorithm 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod brute;
+mod kdtree;
+mod logstructured;
+mod rangetree;
+mod region;
+mod scores;
+
+pub use brute::BruteForce;
+pub use kdtree::KdTree;
+pub use logstructured::{GlobalId, LogStructured};
+pub use rangetree::RangeTree;
+pub use region::Region;
+pub use scores::{DynScores, SortedScores, TotalF64};
+
+/// Read-only orthogonal search over a fixed point set. Item identifiers are
+/// the indexes of the points in the build input (`0..n`).
+pub trait OrthoIndex {
+    /// Number of points the structure was built over (dead or alive).
+    fn len(&self) -> usize;
+
+    /// True if the structure holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimension of the indexed points.
+    fn dim(&self) -> usize;
+
+    /// Appends the ids of all *alive* points inside `region` to `out`.
+    fn report(&self, region: &Region, out: &mut Vec<usize>);
+
+    /// Returns the id of one arbitrary alive point inside `region`, or
+    /// `None`. This is the paper's `ReportFirst` (Section 2).
+    fn report_first(&self, region: &Region) -> Option<usize>;
+
+    /// Streaming filtered reporting: calls `f(id)` for every alive point
+    /// inside `region`, stopping early when `f` returns `false`. The
+    /// default materializes `report`; backends override with a single-pass
+    /// traversal.
+    fn report_while(&self, region: &Region, f: &mut dyn FnMut(usize) -> bool) {
+        let mut ids = Vec::new();
+        self.report(region, &mut ids);
+        for id in ids {
+            if !f(id) {
+                return;
+            }
+        }
+    }
+
+    /// Counts alive points inside `region`.
+    fn count(&self, region: &Region) -> usize;
+}
+
+/// Orthogonal search with tombstone deletion, as required by the query
+/// procedures of Algorithms 2 and 4 (delete the reported dataset's points,
+/// keep querying, re-insert everything afterwards).
+pub trait DeletableIndex: OrthoIndex {
+    /// Marks a point dead. Returns `false` if it was already dead.
+    fn delete(&mut self, id: usize) -> bool;
+
+    /// Marks a point alive again. Returns `false` if it was already alive.
+    fn restore(&mut self, id: usize) -> bool;
+
+    /// Number of alive points.
+    fn alive(&self) -> usize;
+}
+
+/// Indexes constructible from a batch of points.
+pub trait BuildableIndex: OrthoIndex + Sized {
+    /// Builds the index over `points` (row-major coordinates). Ids are
+    /// assigned in input order: point `i` gets id `i`.
+    fn build(dim: usize, points: Vec<Vec<f64>>) -> Self;
+}

@@ -1,0 +1,214 @@
+//! Axis-parallel query regions with per-bound strictness.
+
+/// An axis-parallel box query `∏_h (lo_h, hi_h)` where each bound is
+/// independently closed or open. Open bounds are required to express the
+/// paper's query orthants faithfully (Algorithm 4 uses `(−∞, R⁻_h)` and
+/// `(R⁺_h, ∞)` factors) without floating-point nudging.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Region {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    lo_strict: Vec<bool>,
+    hi_strict: Vec<bool>,
+}
+
+impl Region {
+    /// Builds a region with explicit strictness flags.
+    ///
+    /// # Panics
+    /// Panics on arity mismatches or empty dimension.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>, lo_strict: Vec<bool>, hi_strict: Vec<bool>) -> Self {
+        assert!(!lo.is_empty(), "regions must have dimension >= 1");
+        assert_eq!(lo.len(), hi.len(), "bound arity mismatch");
+        assert_eq!(lo.len(), lo_strict.len(), "lo_strict arity mismatch");
+        assert_eq!(lo.len(), hi_strict.len(), "hi_strict arity mismatch");
+        Region {
+            lo,
+            hi,
+            lo_strict,
+            hi_strict,
+        }
+    }
+
+    /// A fully closed box `[lo_1, hi_1] × … × [lo_d, hi_d]`.
+    pub fn closed(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        let d = lo.len();
+        Region::new(lo, hi, vec![false; d], vec![false; d])
+    }
+
+    /// The unbounded region over `dim` dimensions.
+    pub fn all(dim: usize) -> Self {
+        Region::closed(vec![f64::NEG_INFINITY; dim], vec![f64::INFINITY; dim])
+    }
+
+    /// Dimension of the region.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bounds.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// True if the lower bound of dimension `h` is strict (open).
+    #[inline]
+    pub fn lo_strict(&self, h: usize) -> bool {
+        self.lo_strict[h]
+    }
+
+    /// True if the upper bound of dimension `h` is strict (open).
+    #[inline]
+    pub fn hi_strict(&self, h: usize) -> bool {
+        self.hi_strict[h]
+    }
+
+    /// Restricts dimension `h` to the (closed or strict) lower bound `v`.
+    pub fn with_lo(mut self, h: usize, v: f64, strict: bool) -> Self {
+        self.lo[h] = v;
+        self.lo_strict[h] = strict;
+        self
+    }
+
+    /// Restricts dimension `h` to the (closed or strict) upper bound `v`.
+    pub fn with_hi(mut self, h: usize, v: f64, strict: bool) -> Self {
+        self.hi[h] = v;
+        self.hi_strict[h] = strict;
+        self
+    }
+
+    /// True if the point `p` satisfies every bound.
+    #[inline]
+    pub fn contains(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.dim());
+        for (h, &x) in p.iter().enumerate() {
+            if self.lo_strict[h] {
+                if x <= self.lo[h] {
+                    return false;
+                }
+            } else if x < self.lo[h] {
+                return false;
+            }
+            if self.hi_strict[h] {
+                if x >= self.hi[h] {
+                    return false;
+                }
+            } else if x > self.hi[h] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if the closed box `[blo, bhi]` can contain a point of the
+    /// region (used for subtree pruning).
+    #[inline]
+    pub fn intersects_bbox(&self, blo: &[f64], bhi: &[f64]) -> bool {
+        debug_assert_eq!(blo.len(), self.dim());
+        for h in 0..self.dim() {
+            // Highest value available in the box must clear the lower bound…
+            if self.lo_strict[h] {
+                if bhi[h] <= self.lo[h] {
+                    return false;
+                }
+            } else if bhi[h] < self.lo[h] {
+                return false;
+            }
+            // …and the lowest value must clear the upper bound.
+            if self.hi_strict[h] {
+                if blo[h] >= self.hi[h] {
+                    return false;
+                }
+            } else if blo[h] > self.hi[h] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if every point of the closed box `[blo, bhi]` satisfies the
+    /// region (used to report whole subtrees without per-point checks).
+    #[inline]
+    pub fn contains_bbox(&self, blo: &[f64], bhi: &[f64]) -> bool {
+        debug_assert_eq!(blo.len(), self.dim());
+        for h in 0..self.dim() {
+            if self.lo_strict[h] {
+                if blo[h] <= self.lo[h] {
+                    return false;
+                }
+            } else if blo[h] < self.lo[h] {
+                return false;
+            }
+            if self.hi_strict[h] {
+                if bhi[h] >= self.hi[h] {
+                    return false;
+                }
+            } else if bhi[h] > self.hi[h] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_region_includes_boundary() {
+        let r = Region::closed(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!(r.contains(&[0.0, 1.0]));
+        assert!(!r.contains(&[1.0001, 0.5]));
+    }
+
+    #[test]
+    fn strict_bounds_exclude_boundary() {
+        let r = Region::closed(vec![0.0], vec![1.0])
+            .with_lo(0, 0.0, true)
+            .with_hi(0, 1.0, true);
+        assert!(!r.contains(&[0.0]));
+        assert!(!r.contains(&[1.0]));
+        assert!(r.contains(&[0.5]));
+    }
+
+    #[test]
+    fn bbox_pruning_respects_strictness() {
+        // Region: x > 5 (strict).
+        let r = Region::all(1).with_lo(0, 5.0, true);
+        // A box ending exactly at 5 cannot contain a satisfying point.
+        assert!(!r.intersects_bbox(&[0.0], &[5.0]));
+        assert!(r.intersects_bbox(&[0.0], &[5.0001]));
+        // Containment: box starting exactly at 5 is not fully inside.
+        assert!(!r.contains_bbox(&[5.0], &[9.0]));
+        assert!(r.contains_bbox(&[5.0001], &[9.0]));
+        // Closed variant accepts boundary.
+        let rc = Region::all(1).with_lo(0, 5.0, false);
+        assert!(rc.intersects_bbox(&[0.0], &[5.0]));
+        assert!(rc.contains_bbox(&[5.0], &[9.0]));
+    }
+
+    #[test]
+    fn algorithm4_style_orthant() {
+        // d = 1 lifted to R^4: (rho_lo, rhohat_lo, rho_hi, rhohat_hi) with
+        // conditions rho_lo >= 3, rhohat_lo < 3, rho_hi <= 8, rhohat_hi > 8.
+        let r = Region::all(4)
+            .with_lo(0, 3.0, false)
+            .with_hi(1, 3.0, true)
+            .with_hi(2, 8.0, false)
+            .with_lo(3, 8.0, true);
+        // The running example pair ([7,7],[1,9]) lifted to (7,1,7,9).
+        assert!(r.contains(&[7.0, 1.0, 7.0, 9.0]));
+        // A pair whose expansion stops exactly at the query boundary fails.
+        assert!(!r.contains(&[7.0, 3.0, 7.0, 9.0]));
+        assert!(!r.contains(&[7.0, 1.0, 7.0, 8.0]));
+    }
+}

@@ -1,0 +1,208 @@
+//! One-dimensional score structures for the Pref index (Section 5).
+//!
+//! Algorithm 5 builds, per ε-net vector `v`, a "1-dimensional static range
+//! tree" over the scores `γ_v^(i)`; Algorithm 6 reports all indexes with
+//! score in `[a_θ − ε − δ, ∞)`. A sorted array with binary search is exactly
+//! that structure ([`SortedScores`]); the dynamic variant (Remark 1 of
+//! Theorem 5.4) is an ordered set ([`DynScores`]).
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+/// `f64` wrapper with a total order (via `f64::total_cmp`), usable as an
+/// ordered-collection key. NaN sorts above +∞ and is rejected at the API
+/// boundary of the structures below.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Static sorted score array: the per-vector structure `T_v` of Algorithm 5.
+#[derive(Clone, Debug)]
+pub struct SortedScores {
+    /// Scores in ascending order.
+    keys: Vec<f64>,
+    /// `ids[i]` is the dataset index whose score is `keys[i]`.
+    ids: Vec<u32>,
+}
+
+impl SortedScores {
+    /// Builds from `scores[i]` = score of dataset `i`.
+    ///
+    /// # Panics
+    /// Panics on NaN scores.
+    pub fn build(scores: &[f64]) -> Self {
+        assert!(scores.iter().all(|s| !s.is_nan()), "NaN score");
+        assert!(scores.len() < u32::MAX as usize, "too many scores");
+        let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| scores[a as usize].total_cmp(&scores[b as usize]));
+        let keys = order.iter().map(|&i| scores[i as usize]).collect();
+        SortedScores { keys, ids: order }
+    }
+
+    /// Number of scores.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Appends every dataset index with score `≥ t` — the `T_v.Report(I')`
+    /// call of Algorithm 6. Output-sensitive: `O(log N + OUT)`.
+    pub fn report_at_least(&self, t: f64, out: &mut Vec<usize>) {
+        let start = self.keys.partition_point(|k| *k < t);
+        out.extend(self.ids[start..].iter().map(|&i| i as usize));
+    }
+
+    /// Appends every dataset index with score in the closed interval
+    /// `[lo, hi]`.
+    pub fn report_in(&self, lo: f64, hi: f64, out: &mut Vec<usize>) {
+        let start = self.keys.partition_point(|k| *k < lo);
+        let end = self.keys.partition_point(|k| *k <= hi);
+        if start < end {
+            out.extend(self.ids[start..end].iter().map(|&i| i as usize));
+        }
+    }
+
+    /// Counts scores `≥ t`.
+    pub fn count_at_least(&self, t: f64) -> usize {
+        self.keys.len() - self.keys.partition_point(|k| *k < t)
+    }
+
+    /// The scores in ascending order.
+    pub fn keys(&self) -> &[f64] {
+        &self.keys
+    }
+}
+
+/// Dynamic ordered score set supporting synopsis insertion/deletion.
+#[derive(Clone, Debug, Default)]
+pub struct DynScores {
+    set: BTreeSet<(TotalF64, usize)>,
+}
+
+impl DynScores {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Inserts `(score, id)`. Returns `false` if the exact pair is present.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn insert(&mut self, id: usize, score: f64) -> bool {
+        assert!(!score.is_nan(), "NaN score");
+        self.set.insert((TotalF64(score), id))
+    }
+
+    /// Removes `(score, id)`. Returns `false` if absent.
+    pub fn remove(&mut self, id: usize, score: f64) -> bool {
+        self.set.remove(&(TotalF64(score), id))
+    }
+
+    /// Appends every id with score `≥ t` in `O(log N + OUT)`.
+    pub fn report_at_least(&self, t: f64, out: &mut Vec<usize>) {
+        out.extend(
+            self.set
+                .range((TotalF64(t), 0)..)
+                .map(|&(_, id)| id),
+        );
+    }
+
+    /// Counts entries with score `≥ t` (linear tail walk; used in tests).
+    pub fn count_at_least(&self, t: f64) -> usize {
+        self.set.range((TotalF64(t), 0)..).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_scores_threshold_reporting() {
+        let s = SortedScores::build(&[0.5, 0.9, 0.1, 0.7]);
+        let mut out = vec![];
+        s.report_at_least(0.6, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 3]);
+        assert_eq!(s.count_at_least(0.6), 2);
+        assert_eq!(s.count_at_least(2.0), 0);
+        // Closed boundary included.
+        let mut out2 = vec![];
+        s.report_at_least(0.7, &mut out2);
+        out2.sort_unstable();
+        assert_eq!(out2, vec![1, 3]);
+    }
+
+    #[test]
+    fn sorted_scores_interval_reporting() {
+        let s = SortedScores::build(&[0.5, 0.9, 0.1, 0.7]);
+        let mut out = vec![];
+        s.report_in(0.4, 0.8, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 3]);
+    }
+
+    #[test]
+    fn dyn_scores_insert_remove() {
+        let mut d = DynScores::new();
+        d.insert(0, 0.5);
+        d.insert(1, 0.9);
+        d.insert(2, 0.1);
+        assert!(d.remove(2, 0.1));
+        assert!(!d.remove(2, 0.1));
+        let mut out = vec![];
+        d.report_at_least(0.5, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(d.count_at_least(0.0), 2);
+    }
+
+    #[test]
+    fn duplicate_scores_are_kept_per_id() {
+        let mut d = DynScores::new();
+        d.insert(0, 0.5);
+        d.insert(1, 0.5);
+        let mut out = vec![];
+        d.report_at_least(0.5, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn total_f64_orders_negative_zero_and_infinities() {
+        let mut v = [TotalF64(f64::INFINITY),
+            TotalF64(-0.0),
+            TotalF64(0.0),
+            TotalF64(f64::NEG_INFINITY)];
+        v.sort();
+        assert_eq!(v[0].0, f64::NEG_INFINITY);
+        assert_eq!(v[3].0, f64::INFINITY);
+    }
+}

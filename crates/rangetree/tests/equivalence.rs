@@ -1,0 +1,201 @@
+//! Randomized equivalence of all orthogonal-search backends against the
+//! brute-force reference, including strict bounds, tombstones and the
+//! ReportFirst exhaustion pattern used by the paper's query procedures.
+
+use dds_rangetree::{
+    BruteForce, BuildableIndex, DeletableIndex, KdTree, LogStructured, OrthoIndex, RangeTree,
+    Region,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(rng: &mut StdRng, n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect()
+}
+
+/// Points with heavy coordinate ties, to exercise strict-bound handling.
+fn gridded_points(rng: &mut StdRng, n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-4i32..5) as f64).collect())
+        .collect()
+}
+
+fn random_region(rng: &mut StdRng, dim: usize) -> Region {
+    let mut region = Region::all(dim);
+    for h in 0..dim {
+        if rng.gen_bool(0.8) {
+            let a = rng.gen_range(-6.0..6.0);
+            let b = rng.gen_range(-6.0..6.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            region = region
+                .with_lo(h, lo, rng.gen_bool(0.5))
+                .with_hi(h, hi, rng.gen_bool(0.5));
+        }
+    }
+    region
+}
+
+fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn kdtree_and_rangetree_match_bruteforce() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for dim in [1usize, 2, 3, 4] {
+        for trial in 0..8 {
+            let pts = if trial % 2 == 0 {
+                random_points(&mut rng, 300, dim)
+            } else {
+                gridded_points(&mut rng, 300, dim)
+            };
+            let brute = BruteForce::build(dim, pts.clone());
+            let kd = KdTree::build(dim, pts.clone());
+            let rt = RangeTree::build(dim, pts.clone());
+            for _ in 0..25 {
+                let region = random_region(&mut rng, dim);
+                let mut want = vec![];
+                brute.report(&region, &mut want);
+                let want = sorted(want);
+                let mut got_kd = vec![];
+                kd.report(&region, &mut got_kd);
+                assert_eq!(sorted(got_kd), want, "kd report dim={dim}");
+                let mut got_rt = vec![];
+                rt.report(&region, &mut got_rt);
+                assert_eq!(sorted(got_rt), want, "rt report dim={dim}");
+                assert_eq!(kd.count(&region), want.len(), "kd count dim={dim}");
+                assert_eq!(rt.count(&region), want.len(), "rt count dim={dim}");
+                // report_first returns a member of the answer set.
+                match kd.report_first(&region) {
+                    Some(id) => assert!(want.contains(&id)),
+                    None => assert!(want.is_empty()),
+                }
+                match rt.report_first(&region) {
+                    Some(id) => assert!(want.contains(&id)),
+                    None => assert!(want.is_empty()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kdtree_tombstones_match_bruteforce() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dim = 3;
+    let pts = gridded_points(&mut rng, 400, dim);
+    let mut brute = BruteForce::build(dim, pts.clone());
+    let mut kd = KdTree::build(dim, pts.clone());
+    for step in 0..600 {
+        let id = rng.gen_range(0..pts.len());
+        if rng.gen_bool(0.5) {
+            assert_eq!(brute.delete(id), kd.delete(id), "delete step {step}");
+        } else {
+            assert_eq!(brute.restore(id), kd.restore(id), "restore step {step}");
+        }
+        if step % 50 == 0 {
+            let region = random_region(&mut rng, dim);
+            let mut want = vec![];
+            brute.report(&region, &mut want);
+            let mut got = vec![];
+            kd.report(&region, &mut got);
+            assert_eq!(sorted(got), sorted(want));
+            assert_eq!(kd.alive(), brute.alive());
+        }
+    }
+}
+
+#[test]
+fn report_first_exhaustion_enumerates_answer_set_exactly() {
+    // The exact enumeration loop of Algorithm 2: ReportFirst + delete until
+    // empty must produce the answer set with no duplicates, on every backend.
+    let mut rng = StdRng::seed_from_u64(99);
+    let dim = 2;
+    let pts = gridded_points(&mut rng, 250, dim);
+    let region = random_region(&mut rng, dim);
+    let brute = BruteForce::build(dim, pts.clone());
+    let mut want = vec![];
+    brute.report(&region, &mut want);
+    let want = sorted(want);
+
+    let mut kd = KdTree::build(dim, pts.clone());
+    let mut got = vec![];
+    while let Some(id) = kd.report_first(&region) {
+        got.push(id);
+        assert!(kd.delete(id));
+    }
+    assert_eq!(sorted(got.clone()), want);
+    for id in got {
+        assert!(kd.restore(id));
+    }
+    assert_eq!(kd.alive(), pts.len());
+}
+
+#[test]
+fn report_while_visits_exactly_the_answer_set() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for dim in [1usize, 3] {
+        let pts = gridded_points(&mut rng, 300, dim);
+        let kd = KdTree::build(dim, pts.clone());
+        let rt = RangeTree::build(dim, pts.clone());
+        for _ in 0..20 {
+            let region = random_region(&mut rng, dim);
+            let mut want = vec![];
+            BruteForce::build(dim, pts.clone()).report(&region, &mut want);
+            let want = sorted(want);
+            for index in [&kd as &dyn OrthoIndex, &rt as &dyn OrthoIndex] {
+                // Full traversal: the visited set equals the answer set.
+                let mut got = vec![];
+                index.report_while(&region, &mut |id| {
+                    got.push(id);
+                    true
+                });
+                assert_eq!(sorted(got), want);
+                // Early abort stops after exactly one callback.
+                let mut count = 0;
+                index.report_while(&region, &mut |_| {
+                    count += 1;
+                    false
+                });
+                assert_eq!(count, usize::from(!want.is_empty()));
+            }
+        }
+    }
+}
+
+#[test]
+fn logstructured_matches_bruteforce_under_churn() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let dim = 2;
+    let mut ls: LogStructured<KdTree> = LogStructured::new(dim);
+    // Mirror of alive points: gid -> coords.
+    let mut mirror: Vec<(usize, Vec<f64>)> = Vec::new();
+    for _ in 0..30 {
+        let batch_len = rng.gen_range(1..40);
+        let batch = gridded_points(&mut rng, batch_len, dim);
+        let gids = ls.insert_batch(batch.clone());
+        mirror.extend(gids.into_iter().zip(batch));
+        // Random deletions.
+        for _ in 0..rng.gen_range(0..10) {
+            if mirror.is_empty() {
+                break;
+            }
+            let k = rng.gen_range(0..mirror.len());
+            let (gid, _) = mirror.swap_remove(k);
+            assert!(ls.delete(gid));
+        }
+        let region = random_region(&mut rng, dim);
+        let mut got = vec![];
+        ls.report(&region, &mut got);
+        let want: Vec<usize> = mirror
+            .iter()
+            .filter(|(_, p)| region.contains(p))
+            .map(|(g, _)| *g)
+            .collect();
+        assert_eq!(sorted(got), sorted(want));
+        assert_eq!(ls.alive(), mirror.len());
+    }
+}

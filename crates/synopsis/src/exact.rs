@@ -1,0 +1,162 @@
+//! The exact synopsis: `S_{P_i} = P_i`.
+//!
+//! The paper observes (Section 1.1) that taking every synopsis equal to its
+//! dataset recovers the centralized setting with δ = 0. This type is
+//! therefore both the centralized adapter used by `CPtile`/`CPref` and the
+//! ground truth the federated synopses are measured against.
+
+use crate::{PercentileSynopsis, PrefSynopsis};
+use dds_geom::{Point, Rect};
+use rand::{Rng, RngCore};
+
+/// A synopsis holding the full dataset (δ = 0).
+#[derive(Clone, Debug)]
+pub struct ExactSynopsis {
+    points: Vec<Point>,
+    dim: usize,
+}
+
+impl ExactSynopsis {
+    /// Wraps a dataset.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or of mixed dimension — measure functions
+    /// are only applied where well-defined (`|P| > 0`).
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "exact synopsis of an empty dataset");
+        let dim = points[0].dim();
+        assert!(
+            points.iter().all(|p| p.dim() == dim),
+            "mixed dimensions in dataset"
+        );
+        ExactSynopsis { points, dim }
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of points `n_i = |P_i|`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Never true (construction rejects empty datasets).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Exact `ω_k(P, v)`: the k-th largest inner product with `v`.
+    /// `-∞` if `k` exceeds the dataset size or `k == 0`.
+    pub fn exact_score(&self, v: &[f64], k: usize) -> f64 {
+        if k == 0 || k > self.points.len() {
+            return f64::NEG_INFINITY;
+        }
+        let mut scores: Vec<f64> = self.points.iter().map(|p| p.dot(v)).collect();
+        // k-th largest = element at index k-1 in descending order.
+        let (_, kth, _) = scores.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+        *kth
+    }
+}
+
+impl PercentileSynopsis for ExactSynopsis {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> Vec<Point> {
+        (0..n)
+            .map(|_| self.points[rng.gen_range(0..self.points.len())].clone())
+            .collect()
+    }
+
+    fn mass(&self, r: &Rect) -> f64 {
+        r.mass(&self.points)
+    }
+
+    fn all_points(&self) -> Option<&[Point]> {
+        Some(&self.points)
+    }
+
+    fn percentile_delta(&self) -> Option<f64> {
+        Some(0.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.points.len() * (self.dim * 8 + 24)
+    }
+}
+
+impl PrefSynopsis for ExactSynopsis {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn score(&self, v: &[f64], k: usize) -> f64 {
+        self.exact_score(v, k)
+    }
+
+    fn pref_delta(&self) -> Option<f64> {
+        Some(0.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.points.len() * (self.dim * 8 + 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pts(xs: &[f64]) -> Vec<Point> {
+        xs.iter().map(|&x| Point::one(x)).collect()
+    }
+
+    #[test]
+    fn mass_is_exact() {
+        let s = ExactSynopsis::new(pts(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(s.mass(&Rect::interval(1.5, 3.5)), 0.5);
+        assert_eq!(s.percentile_delta(), Some(0.0));
+    }
+
+    #[test]
+    fn samples_come_from_the_dataset() {
+        let s = ExactSynopsis::new(pts(&[1.0, 2.0, 3.0]));
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in PercentileSynopsis::sample(&s, 100, &mut rng) {
+            assert!([1.0, 2.0, 3.0].contains(&p[0]));
+        }
+    }
+
+    #[test]
+    fn kth_largest_score() {
+        let s = ExactSynopsis::new(vec![
+            Point::two(1.0, 0.0),
+            Point::two(0.5, 0.5),
+            Point::two(0.0, 1.0),
+        ]);
+        let v = [1.0, 0.0];
+        assert_eq!(s.exact_score(&v, 1), 1.0);
+        assert_eq!(s.exact_score(&v, 2), 0.5);
+        assert_eq!(s.exact_score(&v, 3), 0.0);
+        assert_eq!(s.exact_score(&v, 4), f64::NEG_INFINITY);
+        assert_eq!(s.exact_score(&v, 0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn kth_score_with_ties() {
+        let s = ExactSynopsis::new(pts(&[2.0, 2.0, 1.0]));
+        assert_eq!(s.exact_score(&[1.0], 2), 2.0);
+        assert_eq!(s.exact_score(&[1.0], 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_rejected() {
+        let _ = ExactSynopsis::new(vec![]);
+    }
+}

@@ -1,0 +1,402 @@
+//! Histogram synopses.
+//!
+//! Histograms are the synopsis family the paper calls out for both problem
+//! classes (Section 1.2) and the one used by the Fainder baseline \[8\].
+//! [`GridHistogram`] is a d-dimensional equi-width grid; the 1-dimensional
+//! [`EquiDepthHistogram`] stores quantile boundaries (each bucket holds equal
+//! mass), which matches the per-column percentile sketches of [8].
+
+use crate::{PercentileSynopsis, PrefSynopsis};
+use dds_geom::{Point, Rect};
+use rand::{Rng, RngCore};
+
+/// d-dimensional equi-width histogram over the data bounding box, with mass
+/// spread uniformly inside each cell.
+#[derive(Clone, Debug)]
+pub struct GridHistogram {
+    dim: usize,
+    bins: usize,
+    bbox: Rect,
+    /// Normalized cell weights, row-major over the `bins^dim` grid.
+    weights: Vec<f64>,
+    /// Cumulative weights for sampling.
+    cdf: Vec<f64>,
+    original_len: usize,
+}
+
+impl GridHistogram {
+    /// Builds a histogram with `bins` buckets per dimension.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, `bins == 0`, or `bins^dim` overflows
+    /// a reasonable cell budget (16M cells).
+    pub fn from_points(points: &[Point], bins: usize) -> Self {
+        assert!(!points.is_empty(), "histogram of an empty dataset");
+        assert!(bins >= 1, "need at least one bin per dimension");
+        let dim = points[0].dim();
+        let cells = bins
+            .checked_pow(dim as u32)
+            .filter(|&c| c <= 16_000_000)
+            .expect("bins^dim too large");
+        let bbox = Rect::bounding(points);
+        let mut counts = vec![0.0f64; cells];
+        for p in points {
+            counts[Self::cell_index(&bbox, bins, dim, p)] += 1.0;
+        }
+        let total = points.len() as f64;
+        let weights: Vec<f64> = counts.iter().map(|c| c / total).collect();
+        let mut cdf = Vec::with_capacity(cells);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        GridHistogram {
+            dim,
+            bins,
+            bbox,
+            weights,
+            cdf,
+            original_len: points.len(),
+        }
+    }
+
+    fn cell_index(bbox: &Rect, bins: usize, dim: usize, p: &Point) -> usize {
+        let mut idx = 0usize;
+        for h in 0..dim {
+            let lo = bbox.lo_at(h);
+            let hi = bbox.hi_at(h);
+            let width = hi - lo;
+            let b = if width <= 0.0 {
+                0
+            } else {
+                (((p[h] - lo) / width * bins as f64) as usize).min(bins - 1)
+            };
+            idx = idx * bins + b;
+        }
+        idx
+    }
+
+    /// The rectangle covered by a (multi-)cell index.
+    fn cell_rect(&self, mut idx: usize) -> Rect {
+        let mut lo = vec![0.0; self.dim];
+        let mut hi = vec![0.0; self.dim];
+        for h in (0..self.dim).rev() {
+            let b = idx % self.bins;
+            idx /= self.bins;
+            let blo = self.bbox.lo_at(h);
+            let bhi = self.bbox.hi_at(h);
+            let width = (bhi - blo) / self.bins as f64;
+            lo[h] = blo + b as f64 * width;
+            hi[h] = blo + (b + 1) as f64 * width;
+        }
+        Rect::from_bounds(&lo, &hi)
+    }
+
+    /// Number of bins per dimension.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Size of the summarized dataset.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+}
+
+impl PercentileSynopsis for GridHistogram {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> Vec<Point> {
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let cell = self.cdf.partition_point(|c| *c < u).min(self.cdf.len() - 1);
+                let r = self.cell_rect(cell);
+                Point::new(
+                    (0..self.dim)
+                        .map(|h| rng.gen_range(r.lo_at(h)..=r.hi_at(h)))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn mass(&self, r: &Rect) -> f64 {
+        let mut total = 0.0;
+        for (idx, &w) in self.weights.iter().enumerate() {
+            if w > 0.0 {
+                total += w * self.cell_rect(idx).overlap_fraction(r);
+            }
+        }
+        total.clamp(0.0, 1.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.weights.len() * 16 + self.dim * 16 + 64
+    }
+}
+
+impl PrefSynopsis for GridHistogram {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Walks cells in decreasing center-score order, accumulating expected
+    /// counts until rank `k`. Error is bounded by half the cell diagonal.
+    fn score(&self, v: &[f64], k: usize) -> f64 {
+        if k == 0 || k > self.original_len {
+            return f64::NEG_INFINITY;
+        }
+        let mut scored: Vec<(f64, f64)> = self
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(idx, &w)| {
+                let c = self.cell_rect(idx).center();
+                (c.dot(v), w * self.original_len as f64)
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+        let mut acc = 0.0;
+        for (score, cnt) in scored {
+            acc += cnt;
+            if acc + 1e-9 >= k as f64 {
+                return score;
+            }
+        }
+        f64::NEG_INFINITY
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.weights.len() * 16 + self.dim * 16 + 64
+    }
+}
+
+/// 1-dimensional equi-depth (quantile) histogram: `b` buckets of equal mass.
+#[derive(Clone, Debug)]
+pub struct EquiDepthHistogram {
+    /// `b + 1` non-decreasing boundaries.
+    boundaries: Vec<f64>,
+    original_len: usize,
+}
+
+impl EquiDepthHistogram {
+    /// Builds a `b`-bucket equi-depth histogram of a 1-dimensional dataset.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, not 1-dimensional, or `b == 0`.
+    pub fn from_points(points: &[Point], b: usize) -> Self {
+        assert!(!points.is_empty(), "histogram of an empty dataset");
+        assert!(b >= 1, "need at least one bucket");
+        assert!(
+            points.iter().all(|p| p.dim() == 1),
+            "equi-depth histograms are 1-dimensional"
+        );
+        let mut xs: Vec<f64> = points.iter().map(|p| p[0]).collect();
+        xs.sort_unstable_by(|a, b| a.total_cmp(b));
+        let n = xs.len();
+        let mut boundaries = Vec::with_capacity(b + 1);
+        for i in 0..=b {
+            let rank = ((i as f64 / b as f64) * (n - 1) as f64).round() as usize;
+            boundaries.push(xs[rank.min(n - 1)]);
+        }
+        EquiDepthHistogram {
+            boundaries,
+            original_len: n,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Size of the summarized dataset.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// CDF of the histogram distribution at `x` (linear within buckets,
+    /// jumps across zero-width buckets).
+    pub fn cdf(&self, x: f64) -> f64 {
+        let b = self.buckets();
+        let bd = &self.boundaries;
+        if x < bd[0] {
+            return 0.0;
+        }
+        if x >= bd[b] {
+            return 1.0;
+        }
+        // Last bucket start <= x.
+        let i = bd.partition_point(|v| *v <= x).saturating_sub(1).min(b - 1);
+        let lo = bd[i];
+        let hi = bd[i + 1];
+        let frac = if hi > lo { (x - lo) / (hi - lo) } else { 1.0 };
+        ((i as f64 + frac) / b as f64).clamp(0.0, 1.0)
+    }
+
+    /// Inverse CDF (quantile function).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let b = self.buckets();
+        let q = q.clamp(0.0, 1.0);
+        let scaled = q * b as f64;
+        let i = (scaled as usize).min(b - 1);
+        let frac = scaled - i as f64;
+        let lo = self.boundaries[i];
+        let hi = self.boundaries[i + 1];
+        lo + frac * (hi - lo)
+    }
+}
+
+impl PercentileSynopsis for EquiDepthHistogram {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> Vec<Point> {
+        (0..n)
+            .map(|_| Point::one(self.quantile(rng.gen())))
+            .collect()
+    }
+
+    fn mass(&self, r: &Rect) -> f64 {
+        assert_eq!(r.dim(), 1, "dimension mismatch");
+        (self.cdf(r.hi_at(0)) - self.cdf(r.lo_at(0))).max(0.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.boundaries.len() * 8 + 32
+    }
+}
+
+impl PrefSynopsis for EquiDepthHistogram {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    /// For `v = [a]`, `ω_k(P, v) = a · x_q` where `x_q` is the appropriate
+    /// order statistic: the k-th largest of `a·x` is the `1 − (k−½)/n`
+    /// quantile of `x` when `a ≥ 0` and the `(k−½)/n` quantile when `a < 0`.
+    fn score(&self, v: &[f64], k: usize) -> f64 {
+        assert_eq!(v.len(), 1, "dimension mismatch");
+        if k == 0 || k > self.original_len {
+            return f64::NEG_INFINITY;
+        }
+        let a = v[0];
+        let n = self.original_len as f64;
+        let q = if a >= 0.0 {
+            1.0 - (k as f64 - 0.5) / n
+        } else {
+            (k as f64 - 0.5) / n
+        };
+        a * self.quantile(q)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.boundaries.len() * 8 + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point::one(rng.gen_range(0.0..1.0))).collect()
+    }
+
+    #[test]
+    fn grid_mass_approximates_uniform() {
+        let pts = uniform_points(20_000, 3);
+        let h = GridHistogram::from_points(&pts, 32);
+        let r = Rect::interval(0.2, 0.7);
+        assert!((PercentileSynopsis::mass(&h, &r) - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn grid_mass_2d_cluster() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Point> = (0..10_000)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Point::two(rng.gen_range(0.0..0.1), rng.gen_range(0.0..0.1))
+                } else {
+                    Point::two(rng.gen_range(0.9..1.0), rng.gen_range(0.9..1.0))
+                }
+            })
+            .collect();
+        let h = GridHistogram::from_points(&pts, 16);
+        let left = Rect::from_bounds(&[0.0, 0.0], &[0.2, 0.2]);
+        assert!((PercentileSynopsis::mass(&h, &left) - 0.5).abs() < 0.05);
+        let middle = Rect::from_bounds(&[0.4, 0.4], &[0.6, 0.6]);
+        assert!(PercentileSynopsis::mass(&h, &middle) < 0.02);
+    }
+
+    #[test]
+    fn grid_sampling_matches_weights() {
+        let pts = uniform_points(5000, 11);
+        let h = GridHistogram::from_points(&pts, 8);
+        let mut rng = StdRng::seed_from_u64(17);
+        let sample = PercentileSynopsis::sample(&h, 4000, &mut rng);
+        let r = Rect::interval(0.0, 0.5);
+        let frac = r.mass(&sample);
+        assert!((frac - 0.5).abs() < 0.05, "sampled mass {frac}");
+    }
+
+    #[test]
+    fn grid_pref_score_on_uniform() {
+        let pts = uniform_points(10_000, 23);
+        let h = GridHistogram::from_points(&pts, 64);
+        // k = 1000 of 10k → 0.9 quantile.
+        let s = PrefSynopsis::score(&h, &[1.0], 1000);
+        assert!((s - 0.9).abs() < 0.05, "score {s}");
+    }
+
+    #[test]
+    fn equidepth_cdf_quantile_roundtrip() {
+        let pts = uniform_points(8000, 31);
+        let h = EquiDepthHistogram::from_points(&pts, 32);
+        for q in [0.1, 0.33, 0.5, 0.9] {
+            let x = h.quantile(q);
+            assert!((h.cdf(x) - q).abs() < 0.05, "roundtrip at {q}");
+        }
+        assert_eq!(h.cdf(f64::NEG_INFINITY), 0.0);
+        assert_eq!(h.cdf(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn equidepth_mass_close_to_exact() {
+        let pts = uniform_points(8000, 37);
+        let h = EquiDepthHistogram::from_points(&pts, 64);
+        let r = Rect::interval(0.25, 0.5);
+        let exact = r.mass(&pts);
+        assert!((PercentileSynopsis::mass(&h, &r) - exact).abs() < 0.03);
+    }
+
+    #[test]
+    fn equidepth_negative_direction_score() {
+        let pts = uniform_points(8000, 41);
+        let h = EquiDepthHistogram::from_points(&pts, 64);
+        // For v = [-1], the k-th largest of -x corresponds to small x:
+        // k = 800 of 8000 → 0.1 quantile ≈ 0.1, score ≈ -0.1.
+        let s = PrefSynopsis::score(&h, &[-1.0], 800);
+        assert!((s + 0.1).abs() < 0.05, "score {s}");
+    }
+
+    #[test]
+    fn degenerate_single_value_dataset() {
+        let pts: Vec<Point> = (0..100).map(|_| Point::one(5.0)).collect();
+        let h = EquiDepthHistogram::from_points(&pts, 8);
+        assert_eq!(PercentileSynopsis::mass(&h, &Rect::interval(4.0, 6.0)), 1.0);
+        assert_eq!(PercentileSynopsis::mass(&h, &Rect::interval(6.0, 7.0)), 0.0);
+        let g = GridHistogram::from_points(&pts, 8);
+        assert!((PercentileSynopsis::mass(&g, &Rect::interval(4.0, 6.0)) - 1.0).abs() < 1e-9);
+    }
+}

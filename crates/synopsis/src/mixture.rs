@@ -1,0 +1,286 @@
+//! Gaussian mixture synopses (axis-aligned covariance), fitted by a short
+//! seeded k-means pass. Mixture models are one of the synopsis families the
+//! paper lists for the percentile class (Section 1.2).
+
+use crate::math::{invert_cdf, normal_cdf_at, standard_normal};
+use crate::{PercentileSynopsis, PrefSynopsis};
+use dds_geom::{Point, Rect};
+use rand::{Rng, RngCore};
+
+/// One mixture component with diagonal covariance.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// Mixing weight (weights sum to 1).
+    pub weight: f64,
+    /// Per-dimension mean.
+    pub mean: Vec<f64>,
+    /// Per-dimension standard deviation (may be 0 for point masses).
+    pub std: Vec<f64>,
+}
+
+/// A Gaussian mixture model synopsis.
+#[derive(Clone, Debug)]
+pub struct GaussianMixtureSynopsis {
+    dim: usize,
+    components: Vec<Component>,
+    original_len: usize,
+}
+
+impl GaussianMixtureSynopsis {
+    /// Fits `k` components to `points` with `iters` k-means iterations.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `k == 0`.
+    pub fn fit(points: &[Point], k: usize, iters: usize, rng: &mut dyn RngCore) -> Self {
+        assert!(!points.is_empty(), "mixture of an empty dataset");
+        assert!(k >= 1, "need at least one component");
+        let dim = points[0].dim();
+        let k = k.min(points.len());
+        // Initialize centers on random points.
+        let mut centers: Vec<Vec<f64>> = (0..k)
+            .map(|_| points[rng.gen_range(0..points.len())].as_slice().to_vec())
+            .collect();
+        let mut assignment = vec![0usize; points.len()];
+        for _ in 0..iters {
+            // Assign.
+            for (i, p) in points.iter().enumerate() {
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (c, center) in centers.iter().enumerate() {
+                    let d: f64 = p
+                        .iter()
+                        .zip(center)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                assignment[i] = best;
+            }
+            // Update.
+            let mut sums = vec![vec![0.0f64; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (i, p) in points.iter().enumerate() {
+                counts[assignment[i]] += 1;
+                for h in 0..dim {
+                    sums[assignment[i]][h] += p[h];
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for h in 0..dim {
+                        centers[c][h] = sums[c][h] / counts[c] as f64;
+                    }
+                } else {
+                    // Re-seed empty clusters.
+                    centers[c] = points[rng.gen_range(0..points.len())].as_slice().to_vec();
+                }
+            }
+        }
+        // Final statistics per component.
+        let mut counts = vec![0usize; k];
+        let mut var = vec![vec![0.0f64; dim]; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for h in 0..dim {
+                let d = p[h] - centers[c][h];
+                var[c][h] += d * d;
+            }
+        }
+        let components: Vec<Component> = (0..k)
+            .filter(|&c| counts[c] > 0)
+            .map(|c| Component {
+                weight: counts[c] as f64 / points.len() as f64,
+                mean: centers[c].clone(),
+                std: (0..dim)
+                    .map(|h| (var[c][h] / counts[c] as f64).sqrt())
+                    .collect(),
+            })
+            .collect();
+        GaussianMixtureSynopsis {
+            dim,
+            components,
+            original_len: points.len(),
+        }
+    }
+
+    /// The fitted components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Size of the summarized dataset.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// CDF of the mixture projected onto the unit vector `v`, evaluated
+    /// at `t`. The projection of an axis-aligned Gaussian is
+    /// `N(⟨μ, v⟩, Σ_h v_h² σ_h²)`.
+    fn projected_cdf(&self, v: &[f64], t: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|c| {
+                let mu: f64 = c.mean.iter().zip(v).map(|(m, x)| m * x).sum();
+                let var: f64 = c.std.iter().zip(v).map(|(s, x)| (s * x) * (s * x)).sum();
+                c.weight * normal_cdf_at(t, mu, var.sqrt())
+            })
+            .sum()
+    }
+}
+
+impl PercentileSynopsis for GaussianMixtureSynopsis {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> Vec<Point> {
+        (0..n)
+            .map(|_| {
+                let u: f64 = {
+                    let r = &mut *rng;
+                    r.gen()
+                };
+                // Pick a component by cumulative weight.
+                let mut acc = 0.0;
+                let mut chosen = self.components.len() - 1;
+                for (c, comp) in self.components.iter().enumerate() {
+                    acc += comp.weight;
+                    if u <= acc {
+                        chosen = c;
+                        break;
+                    }
+                }
+                let comp = &self.components[chosen];
+                Point::new(
+                    (0..self.dim)
+                        .map(|h| comp.mean[h] + comp.std[h] * standard_normal(rng))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn mass(&self, r: &Rect) -> f64 {
+        self.components
+            .iter()
+            .map(|c| {
+                let cell: f64 = (0..self.dim)
+                    .map(|h| {
+                        normal_cdf_at(r.hi_at(h), c.mean[h], c.std[h])
+                            - normal_cdf_at(r.lo_at(h), c.mean[h], c.std[h])
+                    })
+                    .product();
+                c.weight * cell.max(0.0)
+            })
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.components.len() * (2 * self.dim * 8 + 32) + 48
+    }
+}
+
+impl PrefSynopsis for GaussianMixtureSynopsis {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `ω_k` estimate: the `1 − (k−½)/n` quantile of the projected mixture,
+    /// found by bisection over the projected support.
+    fn score(&self, v: &[f64], k: usize) -> f64 {
+        if k == 0 || k > self.original_len {
+            return f64::NEG_INFINITY;
+        }
+        let q = 1.0 - (k as f64 - 0.5) / self.original_len as f64;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in &self.components {
+            let mu: f64 = c.mean.iter().zip(v).map(|(m, x)| m * x).sum();
+            let sd: f64 = c
+                .std
+                .iter()
+                .zip(v)
+                .map(|(s, x)| (s * x) * (s * x))
+                .sum::<f64>()
+                .sqrt();
+            lo = lo.min(mu - 10.0 * sd - 1e-9);
+            hi = hi.max(mu + 10.0 * sd + 1e-9);
+        }
+        invert_cdf(|t| self.projected_cdf(v, t), q, lo, hi, 1e-9 * (hi - lo).abs().max(1.0))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.components.len() * (2 * self.dim * 8 + 32) + 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cluster_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0 } else { 10.0 };
+                Point::two(
+                    c + standard_normal(&mut rng) * 0.5,
+                    c + standard_normal(&mut rng) * 0.5,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fits_two_visible_clusters() {
+        let pts = two_cluster_points(4000, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let gmm = GaussianMixtureSynopsis::fit(&pts, 2, 10, &mut rng);
+        assert_eq!(gmm.components().len(), 2);
+        let mut means: Vec<f64> = gmm.components().iter().map(|c| c.mean[0]).collect();
+        means.sort_by(|a, b| a.total_cmp(b));
+        assert!((means[0] - 0.0).abs() < 0.5, "low cluster at {}", means[0]);
+        assert!((means[1] - 10.0).abs() < 0.5, "high cluster at {}", means[1]);
+    }
+
+    #[test]
+    fn mass_of_cluster_region() {
+        let pts = two_cluster_points(4000, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let gmm = GaussianMixtureSynopsis::fit(&pts, 2, 10, &mut rng);
+        let low = Rect::from_bounds(&[-3.0, -3.0], &[3.0, 3.0]);
+        let m = PercentileSynopsis::mass(&gmm, &low);
+        assert!((m - 0.5).abs() < 0.05, "mass {m}");
+    }
+
+    #[test]
+    fn samples_follow_the_mixture() {
+        let pts = two_cluster_points(4000, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let gmm = GaussianMixtureSynopsis::fit(&pts, 2, 10, &mut rng);
+        let sample = PercentileSynopsis::sample(&gmm, 2000, &mut rng);
+        let low = Rect::from_bounds(&[-3.0, -3.0], &[3.0, 3.0]);
+        let frac = low.mass(&sample);
+        assert!((frac - 0.5).abs() < 0.06, "sampled mass {frac}");
+    }
+
+    #[test]
+    fn projected_quantile_score() {
+        // Single Gaussian at 0 with sd 1 projected on [1, 0]:
+        // k-th largest of n=1000 at k=100 → 0.9 quantile ≈ 1.2816.
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<Point> = (0..1000)
+            .map(|_| Point::two(standard_normal(&mut rng), standard_normal(&mut rng)))
+            .collect();
+        let gmm = GaussianMixtureSynopsis::fit(&pts, 1, 5, &mut rng);
+        let s = PrefSynopsis::score(&gmm, &[1.0, 0.0], 100);
+        assert!((s - 1.2816).abs() < 0.15, "score {s}");
+    }
+}

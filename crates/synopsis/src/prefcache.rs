@@ -1,0 +1,149 @@
+//! Direction-cache Pref synopsis — the "kernel" synopsis of [5, 37, 55].
+//!
+//! Precomputes, for every vector of an internal ε-net, the exact top-`k_max`
+//! scores of the dataset. `Score(v, k)` snaps `v` to the nearest cached
+//! direction and reads the k-th entry; by Lemma 5.1 the additive error is at
+//! most the net parameter ε (points are assumed inside the unit ball).
+
+use crate::PrefSynopsis;
+use dds_geom::{EpsNet, Point};
+
+/// Cached top-k scores along an ε-net of directions.
+#[derive(Clone, Debug)]
+pub struct NetCachePref {
+    net: EpsNet,
+    /// `topk[i]` = descending top-`k_max` scores along net vector `i`.
+    topk: Vec<Vec<f64>>,
+    dim: usize,
+    k_max: usize,
+    original_len: usize,
+}
+
+impl NetCachePref {
+    /// Builds the cache with net parameter `eps` and rank budget `k_max`.
+    /// Queries with `k > k_max` fall back to the deepest cached rank; keep
+    /// `k ≤ k_max` for the advertised error bound.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `k_max == 0`.
+    pub fn build(points: &[Point], eps: f64, k_max: usize) -> Self {
+        assert!(!points.is_empty(), "cache of an empty dataset");
+        assert!(k_max >= 1, "k_max must be positive");
+        let dim = points[0].dim();
+        let net = EpsNet::new(dim, eps);
+        let keep = k_max.min(points.len());
+        let topk = net
+            .vectors()
+            .iter()
+            .map(|v| {
+                let mut scores: Vec<f64> = points.iter().map(|p| p.dot(v)).collect();
+                scores.sort_unstable_by(|a, b| b.total_cmp(a));
+                scores.truncate(keep);
+                scores
+            })
+            .collect();
+        NetCachePref {
+            net,
+            topk,
+            dim,
+            k_max: keep,
+            original_len: points.len(),
+        }
+    }
+
+    /// The rank budget.
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    /// Size of the summarized dataset.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Number of cached directions.
+    pub fn directions(&self) -> usize {
+        self.net.len()
+    }
+}
+
+impl PrefSynopsis for NetCachePref {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn score(&self, v: &[f64], k: usize) -> f64 {
+        if k == 0 || k > self.original_len {
+            return f64::NEG_INFINITY;
+        }
+        let (i, _) = self.net.nearest(v);
+        let cached = &self.topk[i];
+        // Fall back to the deepest rank when k exceeds the budget.
+        cached[(k - 1).min(cached.len() - 1)]
+    }
+
+    fn pref_delta(&self) -> Option<f64> {
+        Some(self.net.eps())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.topk.iter().map(|t| t.len() * 8 + 24).sum::<usize>()
+            + self.net.len() * (self.dim * 8 + 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_score_matches_exact_on_net_directions() {
+        let pts = vec![
+            Point::two(1.0, 0.0),
+            Point::two(0.0, 1.0),
+            Point::two(0.6, 0.6),
+        ];
+        let cache = NetCachePref::build(&pts, 0.1, 3);
+        // Query along an exact net direction: error only from the cache rank.
+        let s1 = cache.score(&[1.0, 0.0], 1);
+        assert!((s1 - 1.0).abs() < 0.02, "top score {s1}");
+        let s2 = cache.score(&[1.0, 0.0], 2);
+        assert!((s2 - 0.6).abs() < 0.12, "second score {s2}");
+    }
+
+    #[test]
+    fn error_is_within_net_parameter() {
+        // Points in the unit ball; arbitrary query vector.
+        let pts: Vec<Point> = (0..200)
+            .map(|i| {
+                let a = i as f64 * 0.0314;
+                Point::two(0.9 * a.cos(), 0.9 * a.sin())
+            })
+            .collect();
+        let eps = 0.05;
+        let cache = NetCachePref::build(&pts, eps, 10);
+        for (vx, vy) in [(0.3, 0.95), (-0.7, 0.7), (0.99, -0.1)] {
+            let n = f64::sqrt(vx * vx + vy * vy);
+            let v = [vx / n, vy / n];
+            for k in [1usize, 5, 10] {
+                let mut scores: Vec<f64> = pts.iter().map(|p| p.dot(&v)).collect();
+                scores.sort_unstable_by(|a, b| b.total_cmp(a));
+                let exact = scores[k - 1];
+                let est = cache.score(&v, k);
+                assert!(
+                    (est - exact).abs() <= eps + 1e-9,
+                    "k={k} exact={exact} est={est}"
+                );
+            }
+        }
+        assert_eq!(cache.pref_delta(), Some(eps));
+    }
+
+    #[test]
+    fn oversized_k_is_rejected() {
+        let pts = vec![Point::one(0.5), Point::one(0.7)];
+        let cache = NetCachePref::build(&pts, 0.2, 5);
+        assert_eq!(cache.k_max(), 2);
+        assert_eq!(cache.score(&[1.0], 3), f64::NEG_INFINITY);
+    }
+}

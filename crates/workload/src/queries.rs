@@ -1,0 +1,167 @@
+//! Query-workload generators.
+
+use dds_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A random rectangle with corners drawn uniformly in `bbox`.
+pub fn random_rect(rng: &mut StdRng, bbox: &Rect) -> Rect {
+    let d = bbox.dim();
+    let mut lo = Vec::with_capacity(d);
+    let mut hi = Vec::with_capacity(d);
+    for h in 0..d {
+        let a = rng.gen_range(bbox.lo_at(h)..=bbox.hi_at(h));
+        let b = rng.gen_range(bbox.lo_at(h)..=bbox.hi_at(h));
+        let (l, u) = if a <= b { (a, b) } else { (b, a) };
+        lo.push(l);
+        hi.push(u);
+    }
+    Rect::from_bounds(&lo, &hi)
+}
+
+/// A rectangle centered on a random point of `anchor` whose mass in `anchor`
+/// is approximately `target` (binary search on the half-width). Used to
+/// control output sizes in the Ptile experiments.
+pub fn rect_with_selectivity(rng: &mut StdRng, anchor: &[Point], target: f64) -> Rect {
+    assert!(!anchor.is_empty());
+    assert!((0.0..=1.0).contains(&target));
+    let d = anchor[0].dim();
+    let bbox = Rect::bounding(anchor);
+    let center = &anchor[rng.gen_range(0..anchor.len())];
+    let max_half: f64 = (0..d)
+        .map(|h| bbox.hi_at(h) - bbox.lo_at(h))
+        .fold(0.0, f64::max);
+    let rect_at = |half: f64| {
+        let lo: Vec<f64> = (0..d).map(|h| center[h] - half).collect();
+        let hi: Vec<f64> = (0..d).map(|h| center[h] + half).collect();
+        Rect::from_bounds(&lo, &hi)
+    };
+    let mut lo_w = 0.0f64;
+    let mut hi_w = max_half;
+    for _ in 0..40 {
+        let mid = 0.5 * (lo_w + hi_w);
+        if rect_at(mid).mass(anchor) < target {
+            lo_w = mid;
+        } else {
+            hi_w = mid;
+        }
+    }
+    rect_at(0.5 * (lo_w + hi_w))
+}
+
+/// A uniformly random unit vector.
+pub fn random_unit_vector(rng: &mut StdRng, dim: usize) -> Vec<f64> {
+    loop {
+        let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let n: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if n > 1e-3 && n <= 1.0 {
+            return v.iter().map(|x| x / n).collect();
+        }
+    }
+}
+
+/// Exact `ω_k(P, v)` — k-th largest inner product (−∞ if `k > |P|`).
+pub fn exact_kth_score(points: &[Point], v: &[f64], k: usize) -> f64 {
+    if k == 0 || k > points.len() {
+        return f64::NEG_INFINITY;
+    }
+    let mut scores: Vec<f64> = points.iter().map(|p| p.dot(v)).collect();
+    let (_, kth, _) = scores.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+    *kth
+}
+
+/// A Pref threshold `a_θ` chosen so that roughly a `target` fraction of the
+/// repository qualifies: the `1 − target` quantile of the per-dataset
+/// scores `ω_k(P_i, v)`.
+pub fn threshold_with_selectivity(
+    repo: &[Vec<Point>],
+    v: &[f64],
+    k: usize,
+    target: f64,
+) -> f64 {
+    assert!(!repo.is_empty());
+    assert!((0.0..=1.0).contains(&target));
+    let mut scores: Vec<f64> = repo
+        .iter()
+        .map(|p| exact_kth_score(p, v, k))
+        .filter(|s| s.is_finite())
+        .collect();
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.sort_unstable_by(|a, b| a.total_cmp(b));
+    let idx = (((1.0 - target) * (scores.len() - 1) as f64).round() as usize)
+        .min(scores.len() - 1);
+    scores[idx]
+}
+
+/// A random percentile interval `θ = [a, b] ⊆ [0, 1]` with width at least
+/// `min_width`.
+pub fn random_theta(rng: &mut StdRng, min_width: f64) -> (f64, f64) {
+    let a: f64 = rng.gen_range(0.0..(1.0 - min_width).max(1e-9));
+    let b: f64 = rng.gen_range((a + min_width).min(1.0)..=1.0);
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selectivity_search_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts: Vec<Point> = (0..5000)
+            .map(|_| Point::two(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        for target in [0.05, 0.2, 0.5] {
+            let r = rect_with_selectivity(&mut rng, &pts, target);
+            let got = r.mass(&pts);
+            assert!(
+                (got - target).abs() < 0.05,
+                "target {target} got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn kth_scores_and_thresholds() {
+        let repo: Vec<Vec<Point>> = (0..10)
+            .map(|i| {
+                (0..50)
+                    .map(|j| Point::one((i * 50 + j) as f64 / 500.0))
+                    .collect()
+            })
+            .collect();
+        let v = [1.0];
+        // Dataset 9 holds the largest values.
+        let top = exact_kth_score(&repo[9], &v, 1);
+        assert!(top > exact_kth_score(&repo[0], &v, 1));
+        // A 20% selectivity threshold should admit about 2 of 10 datasets.
+        let t = threshold_with_selectivity(&repo, &v, 5, 0.2);
+        let qualifying = repo
+            .iter()
+            .filter(|p| exact_kth_score(p, &v, 5) >= t)
+            .count();
+        assert!((1..=3).contains(&qualifying), "qualifying {qualifying}");
+    }
+
+    #[test]
+    fn random_theta_is_ordered() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let (a, b) = random_theta(&mut rng, 0.1);
+            assert!(a < b && b <= 1.0 && a >= 0.0 && b - a >= 0.1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn unit_vectors_are_unit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for d in [1, 2, 4] {
+            let v = random_unit_vector(&mut rng, d);
+            let n: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((n - 1.0).abs() < 1e-9);
+        }
+    }
+}

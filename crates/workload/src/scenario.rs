@@ -1,0 +1,155 @@
+//! The economist scenario of Example 1.1.
+//!
+//! A repository of city crime datasets: every dataset holds incident
+//! locations `(x, y)` of one city (one borough is the "Brooklyn" analog),
+//! plus a parallel repository of neighborhood quality-of-life vectors
+//! `(−crime, −pollution, healthcare)` in the unit ball, for preference
+//! queries of the form "cities with at least k neighborhoods scoring ≥ τ on
+//! my linear notion of quality of life".
+
+use crate::datasets;
+use dds_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Materialized economist scenario.
+#[derive(Clone, Debug)]
+pub struct CityScenario {
+    /// City names (`city-0`, `city-1`, …).
+    pub names: Vec<String>,
+    /// Per-city incident locations in `[0, 100]²`.
+    pub incidents: Vec<Vec<Point>>,
+    /// Per-city neighborhood quality vectors in the unit ball of `R³`
+    /// (coordinates: safety, air quality, healthcare — larger is better).
+    pub quality: Vec<Vec<Point>>,
+    /// The "Brooklyn" analog: a geographic rectangle that a known subset of
+    /// cities concentrates incidents in.
+    pub brooklyn: Rect,
+    /// Indexes of the cities whose incident share inside [`Self::brooklyn`]
+    /// was forced to be at least `target_fraction`.
+    pub focused_cities: Vec<usize>,
+    /// The incident fraction forced into the focus region for
+    /// [`Self::focused_cities`].
+    pub target_fraction: f64,
+}
+
+impl CityScenario {
+    /// Generates the scenario: `n_cities` cities with `incidents_per_city`
+    /// incident records and 20–60 neighborhoods each. One in four cities is
+    /// *focused*: at least `target_fraction` of its incidents fall inside
+    /// the Brooklyn-analog rectangle.
+    pub fn generate(
+        n_cities: usize,
+        incidents_per_city: usize,
+        target_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_cities >= 1 && incidents_per_city >= 4);
+        assert!((0.0..=1.0).contains(&target_fraction));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let map = Rect::from_bounds(&[0.0, 0.0], &[100.0, 100.0]);
+        let brooklyn = Rect::from_bounds(&[20.0, 20.0], &[35.0, 35.0]);
+        let mut names = Vec::with_capacity(n_cities);
+        let mut incidents = Vec::with_capacity(n_cities);
+        let mut quality = Vec::with_capacity(n_cities);
+        let mut focused_cities = Vec::new();
+        for i in 0..n_cities {
+            names.push(format!("city-{i}"));
+            let focused = i % 4 == 0;
+            let mut pts = Vec::with_capacity(incidents_per_city);
+            if focused {
+                focused_cities.push(i);
+                let inside = ((incidents_per_city as f64) * target_fraction).ceil() as usize;
+                pts.extend(datasets::uniform_cube(&mut rng, inside, &brooklyn));
+                pts.extend(datasets::uniform_cube(
+                    &mut rng,
+                    incidents_per_city - inside,
+                    &map,
+                ));
+            } else {
+                // Unfocused cities: clustered somewhere random; their mass in
+                // the focus region is whatever falls there by chance.
+                let clusters = rng.gen_range(2..=5);
+                pts.extend(datasets::gaussian_clusters(
+                    &mut rng,
+                    incidents_per_city,
+                    &map,
+                    clusters,
+                    0.08,
+                ));
+            }
+            incidents.push(pts);
+
+            // Neighborhood quality vectors: focused (high-crime) cities skew
+            // towards lower quality-of-life scores.
+            let n_hoods = rng.gen_range(20..=60);
+            let bias = if focused { -0.25 } else { 0.2 };
+            let hoods: Vec<Point> = (0..n_hoods)
+                .map(|_| {
+                    let mut v: Vec<f64> =
+                        (0..3).map(|_| rng.gen_range(-0.5..0.5) + bias).collect();
+                    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                    if norm > 1.0 {
+                        for x in &mut v {
+                            *x /= norm + 1e-9;
+                        }
+                    }
+                    Point::new(v)
+                })
+                .collect();
+            quality.push(hoods);
+        }
+        CityScenario {
+            names,
+            incidents,
+            quality,
+            brooklyn,
+            focused_cities,
+            target_fraction,
+        }
+    }
+
+    /// Number of cities.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the scenario is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn focused_cities_meet_the_fraction() {
+        let sc = CityScenario::generate(16, 400, 0.15, 42);
+        assert_eq!(sc.len(), 16);
+        for &i in &sc.focused_cities {
+            let frac = sc.brooklyn.mass(&sc.incidents[i]);
+            assert!(
+                frac >= 0.15,
+                "city {i} has only {frac:.3} of incidents in focus region"
+            );
+        }
+    }
+
+    #[test]
+    fn quality_vectors_live_in_unit_ball() {
+        let sc = CityScenario::generate(8, 100, 0.1, 7);
+        for hoods in &sc.quality {
+            assert!(!hoods.is_empty());
+            assert!(hoods.iter().all(|p| p.norm() <= 1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CityScenario::generate(6, 100, 0.1, 3);
+        let b = CityScenario::generate(6, 100, 0.1, 3);
+        assert_eq!(a.incidents[0][0].as_slice(), b.incidents[0][0].as_slice());
+    }
+}

@@ -1,0 +1,124 @@
+//! Uniform set-intersection instances (Definition 3.1 / Lemma 3.3).
+//!
+//! A collection of sets is *uniform* if every universe element belongs to
+//! the same number of sets. The lower-bound reduction of Appendix B.1 maps
+//! such instances to CPtile repositories; this module generates them and
+//! answers intersection queries brute-force for validation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniform collection of sets over universe `{0, …, universe-1}`.
+#[derive(Clone, Debug)]
+pub struct UniformSetInstance {
+    /// `sets[i]` is sorted ascending.
+    pub sets: Vec<Vec<u64>>,
+    /// Universe size `q`.
+    pub universe: u64,
+    /// Number of sets each element belongs to.
+    pub replication: usize,
+}
+
+impl UniformSetInstance {
+    /// Generates `g` sets over `universe` elements, each element placed in
+    /// exactly `replication` distinct sets.
+    ///
+    /// # Panics
+    /// Panics if `replication > g` or any argument is zero.
+    pub fn generate(g: usize, universe: u64, replication: usize, seed: u64) -> Self {
+        assert!(g >= 1 && universe >= 1 && replication >= 1);
+        assert!(replication <= g, "cannot replicate into more sets than exist");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sets = vec![Vec::new(); g];
+        let mut slots: Vec<usize> = (0..g).collect();
+        for u in 0..universe {
+            // Choose `replication` distinct sets by partial shuffle.
+            for pick in 0..replication {
+                let j = rng.gen_range(pick..g);
+                slots.swap(pick, j);
+                sets[slots[pick]].push(u);
+            }
+        }
+        for s in &mut sets {
+            s.sort_unstable();
+        }
+        UniformSetInstance {
+            sets,
+            universe,
+            replication,
+        }
+    }
+
+    /// Total input size `M = Σ |S_i|`.
+    pub fn total_size(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Brute-force `S_i ∩ S_j` (sorted), the ground truth for the reduction
+    /// tests.
+    pub fn intersect(&self, i: usize, j: usize) -> Vec<u64> {
+        let (a, b) = (&self.sets[i], &self.sets[j]);
+        let mut out = Vec::new();
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < a.len() && y < b.len() {
+            match a[x].cmp(&b[y]) {
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[x]);
+                    x += 1;
+                    y += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the uniformity invariant (every element in exactly
+    /// `replication` sets).
+    pub fn is_uniform(&self) -> bool {
+        let mut counts = vec![0usize; self.universe as usize];
+        for s in &self.sets {
+            for &u in s {
+                counts[u as usize] += 1;
+            }
+        }
+        counts.iter().all(|&c| c == self.replication)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_uniform() {
+        let inst = UniformSetInstance::generate(8, 100, 3, 1);
+        assert!(inst.is_uniform());
+        assert_eq!(inst.total_size(), 300);
+    }
+
+    #[test]
+    fn intersections_are_correct() {
+        let inst = UniformSetInstance::generate(5, 50, 2, 2);
+        for i in 0..5 {
+            for j in 0..5 {
+                let got = inst.intersect(i, j);
+                let brute: Vec<u64> = inst.sets[i]
+                    .iter()
+                    .filter(|u| inst.sets[j].contains(u))
+                    .copied()
+                    .collect();
+                assert_eq!(got, brute);
+            }
+        }
+    }
+
+    #[test]
+    fn self_intersection_is_the_set() {
+        let inst = UniformSetInstance::generate(4, 30, 2, 3);
+        for i in 0..4 {
+            assert_eq!(inst.intersect(i, i), inst.sets[i]);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! A living repository: datasets are published and withdrawn over time;
+//! the dynamic indexes (Remark 1 of Theorems 4.11 / 5.4) absorb both
+//! without rebuilding.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_repository
+//! ```
+
+use dds_core::framework::Interval;
+use dds_core::pref::{DynamicPrefIndex, PrefBuildParams};
+use dds_core::ptile::{DynamicPtileIndex, PtileBuildParams};
+use dds_geom::Rect;
+use dds_synopsis::ExactSynopsis;
+use dds_workload::datasets;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut ptile = DynamicPtileIndex::new(1, PtileBuildParams::exact_centralized());
+    let mut pref = DynamicPrefIndex::new(2, 3, PrefBuildParams::exact_centralized());
+
+    // A sliding window of live datasets: publish one per tick, withdraw the
+    // oldest once the window is full.
+    let window = 40;
+    let mut live: VecDeque<(u64, u64, f64)> = VecDeque::new(); // (ptile h, pref h, center)
+    let mut insert_total = std::time::Duration::ZERO;
+    let mut remove_total = std::time::Duration::ZERO;
+    let mut ticks = 0u32;
+
+    for t in 0..200u32 {
+        // New dataset clustered around a drifting center.
+        let center = (t as f64 * 0.7) % 100.0;
+        let box1 = Rect::interval(center, center + 5.0);
+        let pts = datasets::uniform_cube(&mut rng, 60, &box1);
+        let ball = datasets::unit_ball(&mut rng, 40, 2);
+
+        let t0 = Instant::now();
+        let hp = ptile.insert_synopsis(&ExactSynopsis::new(pts));
+        let hq = pref.insert_synopsis(&ExactSynopsis::new(ball));
+        insert_total += t0.elapsed();
+        live.push_back((hp, hq, center));
+        ticks += 1;
+
+        if live.len() > window {
+            let (hp, hq, _) = live.pop_front().unwrap();
+            let t0 = Instant::now();
+            assert!(ptile.remove_synopsis(hp));
+            assert!(pref.remove_synopsis(hq));
+            remove_total += t0.elapsed();
+        }
+
+        // Periodic queries against the live window.
+        if t % 50 == 49 {
+            let probe_center = live[live.len() / 2].2;
+            let r = Rect::interval(probe_center - 2.0, probe_center + 7.0);
+            let hits = ptile.query(&r, Interval::new(0.5, 1.0));
+            let v = {
+                let x: f64 = rng.gen_range(-1.0..1.0);
+                let y: f64 = rng.gen_range(-1.0..1.0);
+                let n = (x * x + y * y).sqrt().max(1e-6);
+                [x / n, y / n]
+            };
+            let pref_hits = pref.query(&v, 0.5);
+            println!(
+                "tick {:>3}: {} live datasets | ptile window hits = {:>2} | pref hits = {:>2}",
+                t + 1,
+                live.len(),
+                hits.len(),
+                pref_hits.len()
+            );
+            // The window datasets fully covered by the probe must be found.
+            for &(hp, _, c) in &live {
+                let covered = r.contains_rect(&Rect::interval(c, c + 5.0));
+                if covered {
+                    assert!(hits.contains(&hp), "missed fully-covered dataset");
+                }
+            }
+        }
+    }
+
+    println!(
+        "\n{} inserts ({:.1?} avg), {} removals ({:.1?} avg) — no rebuilds.",
+        ticks,
+        insert_total / ticks,
+        ticks.saturating_sub(window as u32),
+        remove_total / ticks.saturating_sub(window as u32).max(1)
+    );
+
+    // Point sanity check after heavy churn.
+    let _ = ptile.query(&Rect::interval(0.0, 100.0), Interval::new(0.0, 1.0));
+    println!("final live datasets: {}", ptile.len());
+}

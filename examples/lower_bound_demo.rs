@@ -1,0 +1,66 @@
+//! The Section 3 lower-bound constructions, executed: set intersection
+//! answered through a CPtile index over the Figure 4 geometry, and
+//! halfspace reporting answered through a CPref index.
+//!
+//! ```sh
+//! cargo run --release --example lower_bound_demo
+//! ```
+
+use dds_core::lowerbound::{HalfspaceReporter, SetIntersectionCPtile};
+use dds_workload::{datasets, UniformSetInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // ---- Uniform set intersection -> CPtile (Theorem 3.4) ---------------
+    let inst = UniformSetInstance::generate(8, 60, 3, 42);
+    println!(
+        "uniform set-intersection instance: g = {} sets, universe = {}, every element in {} sets, M = {}",
+        inst.sets.len(),
+        inst.universe,
+        inst.replication,
+        inst.total_size()
+    );
+    let mut red = SetIntersectionCPtile::build(&inst.sets, inst.universe);
+    let mut checked = 0usize;
+    for i in 0..inst.sets.len() {
+        for j in (i + 1)..inst.sets.len() {
+            let via_cptile = red.intersect(i, j);
+            let brute = inst.intersect(i, j);
+            assert_eq!(via_cptile, brute, "S_{i} ∩ S_{j}");
+            checked += 1;
+        }
+    }
+    println!(
+        "  answered all {} set-intersection queries through the CPtile oracle\n  (every |S_i ∩ S_j| matched brute force — a fast CPtile structure\n   would therefore break the strong set-intersection conjecture)\n",
+        checked
+    );
+    let sample = red.intersect(0, 1);
+    println!("  example: S_0 ∩ S_1 = {sample:?}\n");
+
+    // ---- Halfspace reporting -> CPref (Theorem 3.5) ----------------------
+    let mut rng = StdRng::seed_from_u64(43);
+    let pts = datasets::unit_ball(&mut rng, 200, 3);
+    let rep = HalfspaceReporter::build(pts.clone(), 0.08);
+    let w = [0.267, 0.535, 0.802]; // 1:2:3 direction, normalized
+    let c = 0.4;
+    let hits = rep.report(&w, c);
+    let cands = rep.candidates(&w, c);
+    println!(
+        "halfspace reporting via CPref: |U| = 200 points in R^3, H = {{x : <x, w> >= {c}}}"
+    );
+    println!(
+        "  CPref candidates: {} (superset within band ±{:.3}), exact answer: {}",
+        cands.len(),
+        rep.band(),
+        hits.len()
+    );
+    let brute: Vec<usize> = pts
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.dot(&w) >= c)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(hits, brute);
+    println!("  exact answer matches brute force — the reduction is faithful.");
+}

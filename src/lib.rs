@@ -1,0 +1,65 @@
+//! # Distribution-Aware Dataset Search
+//!
+//! Umbrella crate re-exporting the workspace libraries that implement
+//! *"A Theoretical Framework for Distribution-Aware Dataset Search"*
+//! (PODS 2025): percentile-aware (**Ptile**) and preference-aware (**Pref**)
+//! indexing over repositories of datasets, in both the centralized and the
+//! federated (synopsis-only) setting.
+//!
+//! See the individual crates for the full APIs:
+//!
+//! * [`geom`] — geometric substrate (rectangles, coordinate grids, ε-nets).
+//! * [`rangetree`] — orthogonal search structures (range trees, kd-trees,
+//!   dynamic wrappers).
+//! * [`synopsis`] — dataset synopses (samples, histograms, mixtures) with
+//!   measured error.
+//! * [`workload`] — seeded data and query generators used by tests, examples
+//!   and benchmarks.
+//! * [`core`] — the paper's data structures: Ptile/Pref indexes, baselines,
+//!   lower-bound reductions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distribution_aware_search::prelude::*;
+//!
+//! // Three tiny 1-d datasets.
+//! let datasets = vec![
+//!     Dataset::from_rows("a", vec![vec![1.0], vec![7.0], vec![9.0]]),
+//!     Dataset::from_rows("b", vec![vec![2.0], vec![4.0], vec![6.0], vec![10.0]]),
+//!     Dataset::from_rows("c", vec![vec![100.0], vec![200.0]]),
+//! ];
+//! let repo = Repository::new(datasets);
+//!
+//! // Centralized percentile search: which datasets have >= 20% of their
+//! // points inside [3, 8]?
+//! let mut index = PtileThresholdIndex::build(
+//!     &repo.exact_synopses(),
+//!     PtileBuildParams::exact_centralized(),
+//! );
+//! let mut hits = index.query(&Rect::from_bounds(&[3.0], &[8.0]), 0.2);
+//! hits.sort_unstable();
+//! assert_eq!(hits, vec![0, 1]);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dds_core as core;
+pub use dds_geom as geom;
+pub use dds_rangetree as rangetree;
+pub use dds_synopsis as synopsis;
+pub use dds_workload as workload;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use dds_core::engine::MixedQueryEngine;
+    pub use dds_core::framework::{
+        Dataset, Interval, LogicalExpr, MeasureFunction, Predicate, Repository,
+    };
+    pub use dds_core::pref::{PrefBuildParams, PrefIndex, PrefMultiIndex};
+    pub use dds_core::ptile::{
+        ExactCPtile1D, PtileBuildParams, PtileMultiIndex, PtileRangeIndex, PtileThresholdIndex,
+    };
+    pub use dds_geom::{Point, Rect};
+    pub use dds_synopsis::{PercentileSynopsis, PrefSynopsis};
+}

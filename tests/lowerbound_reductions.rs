@@ -1,0 +1,76 @@
+//! End-to-end validation of the Section 3 lower-bound constructions:
+//! uniform set intersection ↔ CPtile (Appendix B.1 / Figure 4) and
+//! halfspace reporting ↔ CPref (Appendix B.2).
+
+mod common;
+
+use dds_core::lowerbound::{HalfspaceReporter, SetIntersectionCPtile};
+use dds_workload::datasets;
+use dds_workload::UniformSetInstance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn set_intersection_reduction_on_generated_instances() {
+    for (g, universe, replication, seed) in
+        [(6usize, 40u64, 3usize, 1u64), (10, 80, 4, 2), (4, 25, 2, 3)]
+    {
+        let inst = UniformSetInstance::generate(g, universe, replication, seed);
+        assert!(inst.is_uniform());
+        let mut red = SetIntersectionCPtile::build(&inst.sets, inst.universe);
+        for i in 0..g {
+            for j in 0..g {
+                assert_eq!(
+                    red.intersect(i, j),
+                    inst.intersect(i, j),
+                    "instance (g={g}, u={universe}, r={replication}) sets {i}∩{j}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn set_intersection_disjoint_pairs_report_empty() {
+    // Hand-built uniform instance with guaranteed-disjoint pairs.
+    let sets = vec![vec![0u64, 1], vec![2u64, 3], vec![0u64, 2], vec![1u64, 3]];
+    let mut red = SetIntersectionCPtile::build(&sets, 4);
+    assert!(red.intersect(0, 1).is_empty());
+    assert!(red.intersect(2, 3).is_empty());
+    assert_eq!(red.intersect(0, 2), vec![0]);
+    assert_eq!(red.intersect(1, 3), vec![3]);
+    assert_eq!(red.intersect(1, 1), vec![2, 3]);
+}
+
+#[test]
+fn halfspace_reduction_in_r2_and_r3() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for d in [2usize, 3] {
+        let pts = datasets::unit_ball(&mut rng, 120, d);
+        let rep = HalfspaceReporter::build(pts.clone(), 0.05);
+        let dirs = match d {
+            2 => vec![vec![1.0, 0.0], vec![0.6, -0.8]],
+            _ => vec![vec![1.0, 0.0, 0.0], vec![0.57735, 0.57735, 0.57735]],
+        };
+        for w in dirs {
+            for c in [-0.4, 0.0, 0.3, 0.7] {
+                let got = rep.report(&w, c);
+                let want: Vec<usize> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.dot(&w) >= c)
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(got, want, "d={d} w={w:?} c={c}");
+                // The raw CPref candidates form a superset within the band.
+                let cands = rep.candidates(&w, c);
+                for i in &want {
+                    assert!(cands.contains(i));
+                }
+                for &i in &cands {
+                    assert!(pts[i].dot(&w) >= c - rep.band() - 1e-9);
+                }
+            }
+        }
+    }
+}
