@@ -89,5 +89,10 @@ fn bench_pref_multi(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pref_query, bench_pref_build, bench_pref_multi);
+criterion_group!(
+    benches,
+    bench_pref_query,
+    bench_pref_build,
+    bench_pref_multi
+);
 criterion_main!(benches);

@@ -21,11 +21,20 @@ use rand::{Rng, SeedableRng};
 pub fn a1_pair_enumeration(_scale: Scale) -> Table {
     let mut table = Table::new(
         "A1 — canonical pairs: literal enumeration vs one-step expansion",
-        &["sample", "|R_i|", "literal pairs", "one-step pairs", "queries", "mismatches"],
+        &[
+            "sample",
+            "|R_i|",
+            "literal pairs",
+            "one-step pairs",
+            "queries",
+            "mismatches",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(0xA1);
     for s in [6usize, 10, 14, 18] {
-        let pts: Vec<Point> = (0..s).map(|_| Point::one(rng.gen_range(0.0..100.0))).collect();
+        let pts: Vec<Point> = (0..s)
+            .map(|_| Point::one(rng.gen_range(0.0..100.0)))
+            .collect();
         // The literal enumeration needs the paper's bounding-box facet
         // projections S̄ to have matchable pairs near the extremes; build
         // both representations over the same box-augmented grid (queries
@@ -88,7 +97,9 @@ pub fn a1_pair_enumeration(_scale: Scale) -> Table {
 pub fn a2_backend(scale: Scale) -> Table {
     let mut table = Table::new(
         "A2 — search backend on lifted points (d=1 ⇒ 3 dims)",
-        &["points", "kd build", "kd/q", "rt build", "rt/q", "rt bytes", "brute/q"],
+        &[
+            "points", "kd build", "kd/q", "rt build", "rt/q", "rt bytes", "brute/q",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(0xA2);
     let sweep = if scale.quick {
@@ -187,7 +198,15 @@ pub fn a3_lazy_vs_eager(scale: Scale) -> Table {
 pub fn a4_eps_budget(scale: Scale) -> Table {
     let mut table = Table::new(
         "A4 — ε vs space: per-dataset rectangle budget sweep (threshold index)",
-        &["budget", "sample", "provable ε", "lifted", "bytes", "index/q", "precision"],
+        &[
+            "budget",
+            "sample",
+            "provable ε",
+            "lifted",
+            "bytes",
+            "index/q",
+            "precision",
+        ],
     );
     let n = if scale.quick { 300 } else { 1000 };
     let wl = mixed_workload(n, 2000, 1, 0xA4);

@@ -13,7 +13,15 @@ use rand::{Rng, SeedableRng};
 pub fn e4_exact_1d(scale: Scale) -> Table {
     let mut table = Table::new(
         "E4 — exact CPtile in R¹, θ fixed (Thm C.5): exact answers, output-sensitive queries",
-        &["N", "total pts", "build", "index/q", "brute/q", "mismatches", "avg OUT"],
+        &[
+            "N",
+            "total pts",
+            "build",
+            "index/q",
+            "brute/q",
+            "mismatches",
+            "avg OUT",
+        ],
     );
     let theta = Interval::new(0.3, 0.7);
     for n in scale.n_sweep() {

@@ -11,7 +11,16 @@ use dds_workload::UniformSetInstance;
 pub fn e12_set_intersection(scale: Scale) -> Table {
     let mut table = Table::new(
         "E12 — set intersection ↔ CPtile reduction (Fig. 4 / Thm 3.4)",
-        &["g", "universe", "repl", "M", "build", "oracle/q", "brute/q", "mismatches"],
+        &[
+            "g",
+            "universe",
+            "repl",
+            "M",
+            "build",
+            "oracle/q",
+            "brute/q",
+            "mismatches",
+        ],
     );
     let configs = if scale.quick {
         vec![(8usize, 60u64, 3usize)]

@@ -9,17 +9,22 @@ pub mod ptile;
 pub mod scaling;
 pub mod setup;
 
-/// Sweep sizes: `quick` shrinks every experiment for smoke runs.
+/// Sweep sizes: `quick` shrinks every experiment for fast runs, `smoke`
+/// shrinks them further to a CI sanity check.
 #[derive(Clone, Copy, Debug)]
 pub struct Scale {
     /// Reduced sweeps for fast runs.
     pub quick: bool,
+    /// Minimal sweeps: just prove the experiment executes end-to-end.
+    pub smoke: bool,
 }
 
 impl Scale {
     /// The repository-size sweep for scaling experiments.
     pub fn n_sweep(&self) -> Vec<usize> {
-        if self.quick {
+        if self.smoke {
+            vec![200, 400]
+        } else if self.quick {
             vec![500, 1000, 2000]
         } else {
             vec![1000, 2000, 4000, 8000, 16000, 32000]
@@ -28,7 +33,9 @@ impl Scale {
 
     /// Number of measured queries per configuration.
     pub fn queries(&self) -> usize {
-        if self.quick {
+        if self.smoke {
+            4
+        } else if self.quick {
             10
         } else {
             30

@@ -14,7 +14,16 @@ use dds_core::pref::{PrefBuildParams, PrefIndex, PrefMultiIndex};
 pub fn e6_pref_scaling(scale: Scale) -> Table {
     let mut table = Table::new(
         "E6 — Pref threshold queries (Thm 5.4): scaling vs linear scan (d=2, k=10)",
-        &["N", "build", "dirs", "index/q", "scan/q", "missed", "band viol.", "avg OUT"],
+        &[
+            "N",
+            "build",
+            "dirs",
+            "index/q",
+            "scan/q",
+            "missed",
+            "band viol.",
+            "avg OUT",
+        ],
     );
     let k = 10;
     for n in scale.n_sweep() {
@@ -58,7 +67,15 @@ pub fn e6_pref_scaling(scale: Scale) -> Table {
 pub fn e7_pref_multi(scale: Scale) -> Table {
     let mut table = Table::new(
         "E7 — Pref conjunctions, m = 2 (Thm D.4): lazy T_V materialization",
-        &["N", "score table", "first/q", "cached/q", "trees built", "missed", "avg OUT"],
+        &[
+            "N",
+            "score table",
+            "first/q",
+            "cached/q",
+            "trees built",
+            "missed",
+            "avg OUT",
+        ],
     );
     let k = 5;
     let sweep = if scale.quick {

@@ -25,7 +25,16 @@ fn bench_params() -> PtileBuildParams {
 pub fn e1_threshold_query_scaling(scale: Scale) -> Table {
     let mut table = Table::new(
         "E1 — Ptile threshold: query time vs N (Thm 4.4 vs Ω(N) baselines; d=1)",
-        &["N", "build", "lifted", "index/q", "per-out", "exact-scan/q", "fainder/q", "avg OUT"],
+        &[
+            "N",
+            "build",
+            "lifted",
+            "index/q",
+            "per-out",
+            "exact-scan/q",
+            "fainder/q",
+            "avg OUT",
+        ],
     );
     for n in scale.n_sweep() {
         let wl = clustered_workload(n, 400, 1, 0xE1);
@@ -69,7 +78,16 @@ pub fn e1_threshold_query_scaling(scale: Scale) -> Table {
 pub fn e2_threshold_guarantees(scale: Scale) -> Table {
     let mut table = Table::new(
         "E2 — Ptile threshold guarantees (Thm 4.4): recall and ε-band, centralized",
-        &["N", "d", "queries", "missed", "band viol.", "exact out", "reported", "precision"],
+        &[
+            "N",
+            "d",
+            "queries",
+            "missed",
+            "band viol.",
+            "exact out",
+            "reported",
+            "precision",
+        ],
     );
     for (n, d) in [(2000usize, 1usize), (1000, 2)] {
         let n = if scale.quick { n / 4 } else { n };
@@ -107,7 +125,15 @@ pub fn e2_threshold_guarantees(scale: Scale) -> Table {
 pub fn e3_range_queries(scale: Scale) -> Table {
     let mut table = Table::new(
         "E3 — Ptile range predicates (Thm 4.11): scaling and two-sided band",
-        &["N", "build", "index/q", "exact-scan/q", "missed", "band viol.", "precision"],
+        &[
+            "N",
+            "build",
+            "index/q",
+            "exact-scan/q",
+            "missed",
+            "band viol.",
+            "precision",
+        ],
     );
     for n in scale.n_sweep() {
         let wl = clustered_workload(n, 400, 1, 0xE3);
@@ -147,7 +173,15 @@ pub fn e3_range_queries(scale: Scale) -> Table {
 pub fn e5_multi_predicates(scale: Scale) -> Table {
     let mut table = Table::new(
         "E5 — logical expressions, m = 2 conjunctions (Thm C.8)",
-        &["N", "build", "lifted", "index/q", "missed", "band viol.", "avg OUT"],
+        &[
+            "N",
+            "build",
+            "lifted",
+            "index/q",
+            "missed",
+            "band viol.",
+            "avg OUT",
+        ],
     );
     let sweep = if scale.quick {
         vec![250, 500]
@@ -169,7 +203,10 @@ pub fn e5_multi_predicates(scale: Scale) -> Table {
             if pair.len() < 2 {
                 break;
             }
-            let preds = vec![(pair[0].rect.clone(), pair[0].theta), (pair[1].rect.clone(), pair[1].theta)];
+            let preds = vec![
+                (pair[0].rect.clone(), pair[0].theta),
+                (pair[1].rect.clone(), pair[1].theta),
+            ];
             let (hits, d) = time(|| idx.query(&preds));
             t_idx.push(d);
             out_total += hits.len();

@@ -7,9 +7,7 @@ use crate::table::{fmt_bytes, fmt_duration, Table};
 use crate::timing::{median_duration, time};
 use dds_core::delay::DelayRecorder;
 use dds_core::pref::{PrefBuildParams, PrefIndex};
-use dds_core::ptile::{
-    DynamicPtileIndex, PtileBuildParams, PtileRangeIndex, PtileThresholdIndex,
-};
+use dds_core::ptile::{DynamicPtileIndex, PtileBuildParams, PtileRangeIndex, PtileThresholdIndex};
 use std::time::Duration;
 
 fn bench_params() -> PtileBuildParams {
@@ -66,9 +64,19 @@ pub fn e8_construction_scaling(scale: Scale) -> Table {
 pub fn e9_dynamic_updates(scale: Scale) -> Table {
     let mut table = Table::new(
         "E9 — dynamic updates (Remark 1): per-op cost vs full rebuild",
-        &["N base", "insert avg", "remove avg", "query/q", "rebuild (static)"],
+        &[
+            "N base",
+            "insert avg",
+            "remove avg",
+            "query/q",
+            "rebuild (static)",
+        ],
     );
-    let sweep = if scale.quick { vec![500] } else { vec![2000, 8000] };
+    let sweep = if scale.quick {
+        vec![500]
+    } else {
+        vec![2000, 8000]
+    };
     for n in sweep {
         let wl = clustered_workload(n, 300, 1, 0xE9);
         let mut dynamic = DynamicPtileIndex::new(1, bench_params());

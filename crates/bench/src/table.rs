@@ -101,8 +101,14 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(fmt_duration(std::time::Duration::from_micros(500)), "500.0us");
-        assert_eq!(fmt_duration(std::time::Duration::from_millis(12)), "12.00ms");
+        assert_eq!(
+            fmt_duration(std::time::Duration::from_micros(500)),
+            "500.0us"
+        );
+        assert_eq!(
+            fmt_duration(std::time::Duration::from_millis(12)),
+            "12.00ms"
+        );
         assert_eq!(fmt_bytes(512), "512B");
         assert_eq!(fmt_bytes(2048), "2.0KiB");
     }

@@ -144,11 +144,7 @@ mod tests {
             fn dim(&self) -> usize {
                 PercentileSynopsis::dim(&self.0)
             }
-            fn sample(
-                &self,
-                n: usize,
-                rng: &mut dyn rand::RngCore,
-            ) -> Vec<dds_geom::Point> {
+            fn sample(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<dds_geom::Point> {
                 self.0.sample(n, rng)
             }
             fn mass(&self, r: &Rect) -> f64 {
@@ -173,8 +169,6 @@ mod tests {
         assert!(scan
             .query_point_estimate(&r, Interval::new(0.45, 0.55))
             .is_empty());
-        assert!(scan
-            .query(&r, Interval::new(0.45, 0.55))
-            .contains(&1));
+        assert!(scan.query(&r, Interval::new(0.45, 0.55)).contains(&1));
     }
 }

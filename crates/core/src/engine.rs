@@ -10,10 +10,38 @@
 //! clauses it unions (both operations preserve the superset-plus-band
 //! guarantee shape, as the appendices note for the homogeneous cases).
 
-use crate::framework::{Interval, LogicalExpr, MeasureFunction, Repository};
+use crate::framework::{Interval, LogicalExpr, MeasureFunction, Predicate, Repository};
 use crate::pref::{PrefBuildParams, PrefIndex};
 use crate::ptile::{PtileBuildParams, PtileRangeIndex};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+/// Bit-exact hash key for a predicate, so identical predicates appearing in
+/// several DNF clauses share one index query per [`MixedQueryEngine::query`]
+/// call. Encodes the measure discriminant, then every float as its IEEE-754
+/// bit pattern (`f64::to_bits`), so `-0.0 != 0.0` keys differ — a false
+/// negative only costs a redundant query, never a wrong answer.
+fn predicate_key(pred: &Predicate) -> Vec<u64> {
+    let mut key = Vec::new();
+    match &pred.measure {
+        MeasureFunction::Percentile(r) => {
+            key.push(0);
+            key.push(r.dim() as u64);
+            for h in 0..r.dim() {
+                key.push(r.lo_at(h).to_bits());
+                key.push(r.hi_at(h).to_bits());
+            }
+        }
+        MeasureFunction::TopK { v, k } => {
+            key.push(1);
+            key.push(*k as u64);
+            key.extend(v.iter().map(|x| x.to_bits()));
+        }
+    }
+    key.push(pred.theta.lo.to_bits());
+    key.push(pred.theta.hi.to_bits());
+    key
+}
 
 /// Errors answering a mixed expression.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,7 +54,10 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::MissingRank(k) => {
-                write!(f, "no Pref index built for k = {k}; add it to the engine params")
+                write!(
+                    f,
+                    "no Pref index built for k = {k}; add it to the engine params"
+                )
             }
         }
     }
@@ -42,6 +73,9 @@ pub struct MixedQueryEngine {
     ptile: PtileRangeIndex,
     /// One Pref index per supported rank `k`.
     pref: HashMap<usize, PrefIndex>,
+    /// Underlying index queries issued over the engine's lifetime (after
+    /// per-call memoization; distinct from the number of DNF literals seen).
+    index_queries: u64,
 }
 
 impl MixedQueryEngine {
@@ -67,7 +101,15 @@ impl MixedQueryEngine {
             n_datasets: repo.len(),
             ptile,
             pref,
+            index_queries: 0,
         }
+    }
+
+    /// Total underlying index queries issued so far. DNF expansion can
+    /// repeat one predicate in many clauses; this counts post-memoization
+    /// queries, so it measures real index work.
+    pub fn index_queries(&self) -> u64 {
+        self.index_queries
     }
 
     /// The Ptile guarantee band.
@@ -87,29 +129,40 @@ impl MixedQueryEngine {
         let dnf = expr.to_dnf();
         let mut seen = vec![false; self.n_datasets];
         let mut out = Vec::new();
+        // DNF expansion repeats predicates across clauses (e.g. distributing
+        // `p ∧ (q ∨ r)` puts `p` in both clauses); memoize each predicate's
+        // hit mask so every distinct predicate queries its index once.
+        let mut memo: HashMap<Vec<u64>, Vec<bool>> = HashMap::new();
         for clause in dnf {
             let mut acc: Option<Vec<bool>> = None;
             for pred in &clause {
-                let hits = match &pred.measure {
-                    MeasureFunction::Percentile(r) => {
-                        let theta = Interval::new(
-                            pred.theta.lo.max(0.0),
-                            pred.theta.hi.min(1.0).max(pred.theta.lo.max(0.0)),
-                        );
-                        self.ptile.query(r, theta)
-                    }
-                    MeasureFunction::TopK { v, k } => {
-                        let idx = self.pref.get(k).ok_or(EngineError::MissingRank(*k))?;
-                        idx.query(v, pred.theta.lo)
+                let mask = match memo.entry(predicate_key(pred)) {
+                    Entry::Occupied(e) => e.into_mut(),
+                    Entry::Vacant(e) => {
+                        let hits = match &pred.measure {
+                            MeasureFunction::Percentile(r) => {
+                                let theta = Interval::new(
+                                    pred.theta.lo.max(0.0),
+                                    pred.theta.hi.min(1.0).max(pred.theta.lo.max(0.0)),
+                                );
+                                self.ptile.query(r, theta)
+                            }
+                            MeasureFunction::TopK { v, k } => {
+                                let idx = self.pref.get(k).ok_or(EngineError::MissingRank(*k))?;
+                                idx.query(v, pred.theta.lo)
+                            }
+                        };
+                        self.index_queries += 1;
+                        let mut mask = vec![false; self.n_datasets];
+                        for j in hits {
+                            mask[j] = true;
+                        }
+                        e.insert(mask)
                     }
                 };
-                let mut mask = vec![false; self.n_datasets];
-                for j in hits {
-                    mask[j] = true;
-                }
                 acc = Some(match acc {
-                    None => mask,
-                    Some(prev) => prev.iter().zip(&mask).map(|(a, b)| *a && *b).collect(),
+                    None => mask.clone(),
+                    Some(prev) => prev.iter().zip(mask).map(|(a, b)| *a && *b).collect(),
                 });
             }
             if let Some(mask) = acc {
@@ -207,13 +260,45 @@ mod tests {
     }
 
     #[test]
+    fn repeated_predicates_query_indexes_once() {
+        // `(a ∧ s) ∨ (b ∧ s)`: DNF expansion mentions the score predicate
+        // in both clauses, but it must hit the Pref index only once.
+        let mut e = engine();
+        let score = Predicate::topk_at_least(vec![1.0, 0.0], 1, 0.5);
+        let expr = LogicalExpr::Or(vec![
+            LogicalExpr::And(vec![
+                LogicalExpr::Pred(Predicate::percentile_at_least(region_a(), 0.5)),
+                LogicalExpr::Pred(score.clone()),
+            ]),
+            LogicalExpr::And(vec![
+                LogicalExpr::Pred(Predicate::percentile_at_least(region_b(), 0.5)),
+                LogicalExpr::Pred(score.clone()),
+            ]),
+        ]);
+        let mut hits = e.query(&expr).unwrap();
+        hits.sort_unstable();
+        assert_eq!(
+            e.index_queries(),
+            3,
+            "4 DNF literals, 3 distinct predicates → 3 index queries"
+        );
+        for i in ground_truth(&repo(), &expr) {
+            assert!(hits.contains(&i));
+        }
+        // A second identical call re-queries (memo is per-call) and keeps
+        // counting.
+        let again = e.query(&expr).unwrap();
+        assert_eq!(e.index_queries(), 6);
+        let mut again = again;
+        again.sort_unstable();
+        assert_eq!(again, hits);
+    }
+
+    #[test]
     fn no_duplicates_across_clauses() {
         let mut e = engine();
         let p = Predicate::percentile_at_least(region_a(), 0.5);
-        let expr = LogicalExpr::Or(vec![
-            LogicalExpr::Pred(p.clone()),
-            LogicalExpr::Pred(p),
-        ]);
+        let expr = LogicalExpr::Or(vec![LogicalExpr::Pred(p.clone()), LogicalExpr::Pred(p)]);
         let hits = e.query(&expr).unwrap();
         let mut dedup = hits.clone();
         dedup.sort_unstable();

@@ -134,7 +134,10 @@ mod tests {
     fn diverse_datasets_are_found() {
         let mut rng = StdRng::seed_from_u64(1);
         // Dataset 0: spread 50 apart. Dataset 1: a single tight blob.
-        let datasets = vec![two_blob_dataset(50.0, &mut rng), two_blob_dataset(0.0, &mut rng)];
+        let datasets = vec![
+            two_blob_dataset(50.0, &mut rng),
+            two_blob_dataset(0.0, &mut rng),
+        ];
         let idx = DiversityDatasetIndex::build(&datasets, 16);
         let r = Rect::from_bounds(&[-5.0, -5.0], &[60.0, 5.0]);
         let hits = idx.query(&r, 30.0);
@@ -154,8 +157,7 @@ mod tests {
             let tau = rng.gen_range(1.0..60.0);
             let hits = idx.query(&r, tau);
             for (j, pts) in datasets.iter().enumerate() {
-                let inside: Vec<&Point> =
-                    pts.iter().filter(|p| r.contains_point(p)).collect();
+                let inside: Vec<&Point> = pts.iter().filter(|p| r.contains_point(p)).collect();
                 let mut diam: f64 = 0.0;
                 for a in 0..inside.len() {
                     for b in (a + 1)..inside.len() {
@@ -163,7 +165,10 @@ mod tests {
                     }
                 }
                 if diam >= tau {
-                    assert!(hits.contains(&j), "missed dataset {j}: diam {diam} tau {tau}");
+                    assert!(
+                        hits.contains(&j),
+                        "missed dataset {j}: diam {diam} tau {tau}"
+                    );
                 }
                 if hits.contains(&j) {
                     assert!(

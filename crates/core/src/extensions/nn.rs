@@ -182,7 +182,10 @@ mod tests {
         // The covering radius really covers.
         let (centers, r) = gonzalez(&pts, 8);
         for p in &pts {
-            let d = centers.iter().map(|c| p.dist(c)).fold(f64::INFINITY, f64::min);
+            let d = centers
+                .iter()
+                .map(|c| p.dist(c))
+                .fold(f64::INFINITY, f64::min);
             assert!(d <= r + 1e-9);
         }
     }
@@ -204,9 +207,15 @@ mod tests {
             let hits = idx.query(&q, tau);
             let qp = Point::new(q.clone());
             for (j, pts) in datasets.iter().enumerate() {
-                let d = pts.iter().map(|p| p.dist(&qp)).fold(f64::INFINITY, f64::min);
+                let d = pts
+                    .iter()
+                    .map(|p| p.dist(&qp))
+                    .fold(f64::INFINITY, f64::min);
                 if d <= tau {
-                    assert!(hits.contains(&j), "missed dataset {j} at dist {d} tau {tau}");
+                    assert!(
+                        hits.contains(&j),
+                        "missed dataset {j} at dist {d} tau {tau}"
+                    );
                 }
             }
             for &j in &hits {
@@ -226,8 +235,9 @@ mod tests {
     #[test]
     fn larger_coresets_tighten_the_band() {
         let mut rng = StdRng::seed_from_u64(3);
-        let datasets: Vec<Vec<Point>> =
-            (0..10).map(|_| cluster((0.0, 0.0), 400, 20.0, &mut rng)).collect();
+        let datasets: Vec<Vec<Point>> = (0..10)
+            .map(|_| cluster((0.0, 0.0), 400, 20.0, &mut rng))
+            .collect();
         let coarse = NnDatasetIndex::build(&datasets, 4);
         let fine = NnDatasetIndex::build(&datasets, 64);
         assert!(fine.band() < coarse.band());
@@ -236,8 +246,9 @@ mod tests {
     #[test]
     fn no_duplicates_and_deterministic() {
         let mut rng = StdRng::seed_from_u64(4);
-        let datasets: Vec<Vec<Point>> =
-            (0..10).map(|_| cluster((0.0, 0.0), 100, 5.0, &mut rng)).collect();
+        let datasets: Vec<Vec<Point>> = (0..10)
+            .map(|_| cluster((0.0, 0.0), 100, 5.0, &mut rng))
+            .collect();
         let idx = NnDatasetIndex::build(&datasets, 8);
         let a = idx.query(&[0.0, 0.0], 3.0);
         let b = idx.query(&[0.0, 0.0], 3.0);

@@ -37,7 +37,8 @@ impl GuaranteeCheck {
     }
 
     fn false_positives(&self) -> usize {
-        self.reported.saturating_sub(self.exact_out.min(self.reported))
+        self.reported
+            .saturating_sub(self.exact_out.min(self.reported))
     }
 }
 
@@ -92,10 +93,7 @@ pub fn check_ptile_conjunction(
     };
     for (i, pts) in repo.iter().enumerate() {
         let masses: Vec<f64> = preds.iter().map(|(r, _)| r.mass(pts)).collect();
-        let qualifies = preds
-            .iter()
-            .zip(&masses)
-            .all(|((_, t), &m)| t.contains(m));
+        let qualifies = preds.iter().zip(&masses).all(|((_, t), &m)| t.contains(m));
         if qualifies {
             check.exact_out += 1;
             if !is_reported[i] {
@@ -208,10 +206,7 @@ mod tests {
 
     #[test]
     fn pref_checker() {
-        let repo = vec![
-            vec![Point::one(0.9)],
-            vec![Point::one(0.4)],
-        ];
+        let repo = vec![vec![Point::one(0.9)], vec![Point::one(0.4)]];
         let check = check_pref(&repo, &[1.0], 1, 0.5, &[0], 0.0);
         assert!(check.holds());
         let check = check_pref(&repo, &[1.0], 1, 0.5, &[0, 1], 0.0);

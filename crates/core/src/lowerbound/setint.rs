@@ -71,7 +71,11 @@ impl SetIntersectionCPtile {
         let params = PtileBuildParams::exact_centralized()
             .with_rect_budget((points_per_dataset * (points_per_dataset + 1)).pow(2));
         let index = PtileThresholdIndex::build(&synopses, params);
-        assert_eq!(index.eps(), 0.0, "reduction datasets must be indexed exactly");
+        assert_eq!(
+            index.eps(),
+            0.0,
+            "reduction datasets must be indexed exactly"
+        );
         SetIntersectionCPtile {
             index,
             prefix,
@@ -133,11 +137,17 @@ mod tests {
         let m = 6.0;
         for t in [1.0, 2.0, 3.0] {
             assert!(rect.contains_point(&[-t, -t + m]), "G_0 point t={t}");
-            assert!(!rect.contains_point(&[t, t - m]), "G'_0 point t={t} excluded");
+            assert!(
+                !rect.contains_point(&[t, t - m]),
+                "G'_0 point t={t} excluded"
+            );
         }
         for t in [4.0, 5.0, 6.0] {
             assert!(rect.contains_point(&[t, t - m]), "G'_1 point t={t}");
-            assert!(!rect.contains_point(&[-t, -t + m]), "G_1 point t={t} excluded");
+            assert!(
+                !rect.contains_point(&[-t, -t + m]),
+                "G_1 point t={t} excluded"
+            );
         }
     }
 

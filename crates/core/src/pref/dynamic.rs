@@ -65,7 +65,11 @@ impl DynamicPrefIndex {
 
     /// Inserts a synopsis: evaluates `Score(v, k)` on every net vector.
     pub fn insert_synopsis<S: PrefSynopsis>(&mut self, synopsis: &S) -> SynopsisHandle {
-        assert_eq!(synopsis.dim(), self.net.dim(), "synopsis dimension mismatch");
+        assert_eq!(
+            synopsis.dim(),
+            self.net.dim(),
+            "synopsis dimension mismatch"
+        );
         let handle = self.next_handle;
         self.next_handle += 1;
         let scores: Vec<f64> = self

@@ -153,8 +153,7 @@ impl PrefIndex {
 
     /// Approximate heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.trees.len() * (self.n_datasets * 12 + 48)
-            + self.net.len() * (self.net.dim() * 8 + 24)
+        self.trees.len() * (self.n_datasets * 12 + 48) + self.net.len() * (self.net.dim() * 8 + 24)
     }
 
     /// Answers `Π = Pred_{M_{u,k}, [a_θ, ∞)}` (Algorithm 6): dataset

@@ -13,9 +13,8 @@ use super::PrefBuildParams;
 use dds_geom::EpsNet;
 use dds_rangetree::{BuildableIndex, KdTree, OrthoIndex, Region};
 use dds_synopsis::PrefSynopsis;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Approximate Pref index for conjunctions of up to `m` threshold
 /// predicates (Theorem D.4).
@@ -93,7 +92,7 @@ impl PrefMultiIndex {
 
     /// Number of memoized direction tuples.
     pub fn materialized_trees(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().expect("cache lock poisoned").len()
     }
 
     /// Answers a conjunction of up to `m` threshold predicates
@@ -131,7 +130,7 @@ impl PrefMultiIndex {
     }
 
     fn materialize(&self, key: &[u32]) -> Arc<KdTree> {
-        let mut cache = self.cache.lock();
+        let mut cache = self.cache.lock().expect("cache lock poisoned");
         if let Some(t) = cache.get(key) {
             return Arc::clone(t);
         }
@@ -165,10 +164,7 @@ mod tests {
     #[test]
     fn conjunction_selects_the_balanced_dataset() {
         let idx = PrefMultiIndex::build(&synopses(), 1, 2, PrefBuildParams::exact_centralized());
-        let hits = idx.query(&[
-            (vec![1.0, 0.0], 0.5),
-            (vec![0.0, 1.0], 0.5),
-        ]);
+        let hits = idx.query(&[(vec![1.0, 0.0], 0.5), (vec![0.0, 1.0], 0.5)]);
         assert_eq!(hits, vec![1], "only ds1 clears 0.5 on both axes");
     }
 
@@ -197,15 +193,10 @@ mod tests {
     fn recall_and_band_on_conjunctions() {
         let syns = synopses();
         let idx = PrefMultiIndex::build(&syns, 1, 2, PrefBuildParams::exact_centralized());
-        let queries = [
-            (vec![0.6, 0.8], 0.3),
-            (vec![0.8, -0.6], -0.2),
-        ];
+        let queries = [(vec![0.6, 0.8], 0.3), (vec![0.8, -0.6], -0.2)];
         let hits = idx.query(&queries);
         for (i, s) in syns.iter().enumerate() {
-            let qualifies = queries
-                .iter()
-                .all(|(v, a)| s.exact_score(v, 1) >= *a);
+            let qualifies = queries.iter().all(|(v, a)| s.exact_score(v, 1) >= *a);
             if qualifies {
                 assert!(hits.contains(&i), "missed qualifying dataset {i}");
             }

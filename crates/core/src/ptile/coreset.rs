@@ -191,11 +191,7 @@ mod tests {
 
     #[test]
     fn small_supports_are_taken_exactly() {
-        let syn = ExactSynopsis::new(vec![
-            Point::one(1.0),
-            Point::one(7.0),
-            Point::one(9.0),
-        ]);
+        let syn = ExactSynopsis::new(vec![Point::one(1.0), Point::one(7.0), Point::one(9.0)]);
         let mut rng = StdRng::seed_from_u64(1);
         let params = PtileBuildParams::exact_centralized();
         let cs = build_coreset(&syn, &params, 10, &mut rng);

@@ -71,7 +71,12 @@ impl ExactCPtile1D {
             if ca == 0 {
                 // Sentinel for "no point ≤ R⁺" (count 0 qualifies).
                 let s0 = xs[0];
-                lifted.push(vec![f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY, s0]);
+                lifted.push(vec![
+                    f64::NEG_INFINITY,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    s0,
+                ]);
                 owner.push(i as u32);
             }
             for j in 1..=n {
@@ -89,7 +94,11 @@ impl ExactCPtile1D {
                 };
                 // q encodes "at most cb points in [R⁻, p_j]":
                 // p_{j-cb} < R⁻. If j ≤ cb, always.
-                let q = if j > cb { xs[j - cb - 1] } else { f64::NEG_INFINITY };
+                let q = if j > cb {
+                    xs[j - cb - 1]
+                } else {
+                    f64::NEG_INFINITY
+                };
                 lifted.push(vec![q, r, p, s]);
                 owner.push(i as u32);
             }
@@ -128,7 +137,10 @@ impl ExactCPtile1D {
     /// # Panics
     /// Panics on non-finite query bounds (lift sentinels use ±∞).
     pub fn query(&self, lo: f64, hi: f64) -> Vec<usize> {
-        assert!(lo.is_finite() && hi.is_finite(), "query bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "query bounds must be finite"
+        );
         assert!(lo <= hi, "invalid query interval");
         let region = Region::all(4)
             .with_hi(0, lo, true) // q < R⁻
@@ -149,10 +161,7 @@ mod tests {
     fn repo() -> Repository {
         Repository::new(vec![
             Dataset::from_rows("a", vec![vec![1.0], vec![7.0], vec![9.0]]),
-            Dataset::from_rows(
-                "b",
-                vec![vec![2.0], vec![4.0], vec![6.0], vec![10.0]],
-            ),
+            Dataset::from_rows("b", vec![vec![2.0], vec![4.0], vec![6.0], vec![10.0]]),
             Dataset::from_rows("c", vec![vec![100.0], vec![200.0]]),
         ])
     }
@@ -225,7 +234,11 @@ mod tests {
             for (lo, hi) in [(5.0, 5.0), (4.0, 6.0), (6.0, 9.0), (0.0, 4.0)] {
                 let mut got = idx.query(lo, hi);
                 got.sort_unstable();
-                assert_eq!(got, brute(&repo, theta, lo, hi), "θ=[{a},{b}] R=[{lo},{hi}]");
+                assert_eq!(
+                    got,
+                    brute(&repo, theta, lo, hi),
+                    "θ=[{a},{b}] R=[{lo},{hi}]"
+                );
             }
         }
     }

@@ -87,10 +87,7 @@ impl PtileMultiIndex {
         assert!(m >= 1, "need at least one predicate slot");
         let dim = synopses[0].dim();
         let tuple_budget = params.max_rects_per_dataset.max(1);
-        let per_slot_budget = (tuple_budget as f64)
-            .powf(1.0 / m as f64)
-            .floor()
-            .max(1.0) as usize;
+        let per_slot_budget = (tuple_budget as f64).powf(1.0 / m as f64).floor().max(1.0) as usize;
         let inner = PtileBuildParams {
             max_rects_per_dataset: per_slot_budget,
             ..params.clone()
@@ -258,11 +255,7 @@ impl PtileMultiIndex {
             }
             acc = Some(match acc {
                 None => mask,
-                Some(prev) => prev
-                    .iter()
-                    .zip(&mask)
-                    .map(|(a, b)| *a && *b)
-                    .collect(),
+                Some(prev) => prev.iter().zip(&mask).map(|(a, b)| *a && *b).collect(),
             });
         }
         acc.map(|mask| {
@@ -293,8 +286,10 @@ impl PtileMultiIndex {
                 .map(|p: &Predicate| match &p.measure {
                     MeasureFunction::Percentile(r) => {
                         // Clamp percentile thresholds into [0, 1].
-                        let theta =
-                            Interval::new(p.theta.lo.max(0.0), p.theta.hi.min(1.0).max(p.theta.lo.max(0.0)));
+                        let theta = Interval::new(
+                            p.theta.lo.max(0.0),
+                            p.theta.hi.min(1.0).max(p.theta.lo.max(0.0)),
+                        );
                         Ok((r.clone(), theta))
                     }
                     MeasureFunction::TopK { .. } => Err(MultiQueryError::NonPercentile),
@@ -323,9 +318,11 @@ impl PtileMultiIndex {
                 region = region.with_hi(base + 2 * d + h, r.hi_at(h), false);
                 region = region.with_lo(base + 3 * d + h, r.hi_at(h), true);
             }
-            region = region
-                .with_lo(4 * m * d + 2 * l, theta.lo, false)
-                .with_hi(4 * m * d + 2 * l + 1, theta.hi, false);
+            region = region.with_lo(4 * m * d + 2 * l, theta.lo, false).with_hi(
+                4 * m * d + 2 * l + 1,
+                theta.hi,
+                false,
+            );
         }
         region
     }
@@ -370,8 +367,7 @@ mod tests {
 
     #[test]
     fn conjunction_of_two_predicates() {
-        let mut idx =
-            PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         assert_eq!(idx.eps(), 0.0);
         // ≥ 40% in A and ≥ 40% in B: only ds0.
         let hits = idx.query(&[
@@ -383,8 +379,7 @@ mod tests {
 
     #[test]
     fn conjunction_with_two_sided_bands() {
-        let mut idx =
-            PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         // Mass in A within [0.1, 0.3] and mass in B within [0.7, 0.9]: ds2.
         let hits = idx.query(&[
             (region_a(), Interval::new(0.1, 0.3)),
@@ -395,8 +390,7 @@ mod tests {
 
     #[test]
     fn single_predicate_clause_is_padded() {
-        let mut idx =
-            PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         let mut hits = idx.query(&[(region_a(), Interval::new(0.4, 1.0))]);
         hits.sort_unstable();
         assert_eq!(hits, vec![0, 1]);
@@ -404,8 +398,7 @@ mod tests {
 
     #[test]
     fn degenerate_band_falls_back_to_intersection() {
-        let mut idx =
-            PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         // Mass in B within [0, 0.1] (degenerate lower bound) and ≥ 0.9 in A:
         // ds1 (0 in B, 1.0 in A).
         let hits = idx.query(&[
@@ -417,8 +410,7 @@ mod tests {
 
     #[test]
     fn dnf_expression_union() {
-        let mut idx =
-            PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         // (≥ 0.9 in A) OR (≥ 0.7 in B): ds1 ∪ ds2.
         let expr = LogicalExpr::Or(vec![
             LogicalExpr::Pred(Predicate::percentile_at_least(region_a(), 0.9)),
@@ -431,8 +423,7 @@ mod tests {
 
     #[test]
     fn oversized_clause_is_rejected() {
-        let mut idx =
-            PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         let p = Predicate::percentile_at_least(region_a(), 0.5);
         let expr = LogicalExpr::And(vec![
             LogicalExpr::Pred(p.clone()),
@@ -447,8 +438,7 @@ mod tests {
 
     #[test]
     fn non_percentile_predicate_is_rejected() {
-        let mut idx =
-            PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         let expr = LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0], 1, 0.5));
         assert_eq!(idx.query_expr(&expr), Err(MultiQueryError::NonPercentile));
     }

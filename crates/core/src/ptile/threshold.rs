@@ -190,7 +190,8 @@ impl PtileThresholdIndex {
         // Degenerate band, per dataset: when a_θ ≤ ε_i + δ_i the dataset is
         // within the guarantee band even if its sample misses R entirely.
         let mut degenerate_hits = Vec::new();
-        self.degenerate.report_at_least(a_theta, &mut degenerate_hits);
+        self.degenerate
+            .report_at_least(a_theta, &mut degenerate_hits);
         for j in degenerate_hits {
             reported[j] = true;
             f(j);
@@ -216,7 +217,8 @@ impl PtileThresholdIndex {
         let mut reported = vec![false; self.n_datasets];
         let mut out = Vec::new();
         let mut degenerate_hits = Vec::new();
-        self.degenerate.report_at_least(a_theta, &mut degenerate_hits);
+        self.degenerate
+            .report_at_least(a_theta, &mut degenerate_hits);
         for j in degenerate_hits {
             reported[j] = true;
             out.push(j);
@@ -350,7 +352,12 @@ mod tests {
     fn eager_and_lazy_strategies_agree() {
         let mut idx =
             PtileThresholdIndex::build(&figure1_synopses(), PtileBuildParams::exact_centralized());
-        for (lo, hi, a) in [(3.0, 8.0, 0.2), (0.0, 20.0, 0.5), (5.0, 6.0, 0.1), (0.0, 2.0, 0.3)] {
+        for (lo, hi, a) in [
+            (3.0, 8.0, 0.2),
+            (0.0, 20.0, 0.5),
+            (5.0, 6.0, 0.1),
+            (0.0, 2.0, 0.3),
+        ] {
             let mut lazy = idx.query(&Rect::interval(lo, hi), a);
             let mut eager = idx.query_eager(&Rect::interval(lo, hi), a);
             lazy.sort_unstable();

@@ -35,7 +35,10 @@ impl CoordGrid {
     /// # Panics
     /// Panics if `points` is empty or the points have mixed dimensions.
     pub fn from_points(points: &[Point]) -> Self {
-        assert!(!points.is_empty(), "cannot build a grid from an empty sample");
+        assert!(
+            !points.is_empty(),
+            "cannot build a grid from an empty sample"
+        );
         let d = points[0].dim();
         let mut coords = vec![Vec::with_capacity(points.len()); d];
         for p in points {
@@ -71,7 +74,10 @@ impl CoordGrid {
         for c in &mut coords {
             c.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN coordinate"));
             c.dedup();
-            assert!(!c.is_empty(), "every dimension needs at least one coordinate");
+            assert!(
+                !c.is_empty(),
+                "every dimension needs at least one coordinate"
+            );
         }
         CoordGrid { coords }
     }
@@ -318,7 +324,10 @@ mod tests {
         assert_eq!(rects.len(), 6);
         assert_eq!(g.rect_count(), 6);
         for (lo, hi) in [(1., 1.), (7., 7.), (9., 9.), (1., 7.), (1., 9.), (7., 9.)] {
-            assert!(rects.contains(&Rect::interval(lo, hi)), "missing [{lo},{hi}]");
+            assert!(
+                rects.contains(&Rect::interval(lo, hi)),
+                "missing [{lo},{hi}]"
+            );
         }
         // S2 = {2, 4, 6, 10} yields 10 intervals.
         let g2 = grid_1d(&[2.0, 4.0, 6.0, 10.0]);

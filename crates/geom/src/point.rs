@@ -61,7 +61,11 @@ impl Point {
     /// Panics if the dimensions differ.
     #[inline]
     pub fn dot(&self, v: &[f64]) -> f64 {
-        assert_eq!(self.coords.len(), v.len(), "dimension mismatch in dot product");
+        assert_eq!(
+            self.coords.len(),
+            v.len(),
+            "dimension mismatch in dot product"
+        );
         self.coords.iter().zip(v).map(|(a, b)| a * b).sum()
     }
 

@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn mass_matches_paper_running_example() {
         // Figure 1: S2 = {2, 4, 6, 10}, R = [3, 8] -> mass 2/4.
-        let s2: Vec<Point> = [2.0, 4.0, 6.0, 10.0].iter().map(|&x| Point::one(x)).collect();
+        let s2: Vec<Point> = [2.0, 4.0, 6.0, 10.0]
+            .iter()
+            .map(|&x| Point::one(x))
+            .collect();
         let r = Rect::interval(3.0, 8.0);
         assert_eq!(r.count_inside(&s2), 2);
         assert!((r.mass(&s2) - 0.5).abs() < 1e-12);
@@ -281,7 +284,11 @@ mod tests {
 
     #[test]
     fn bounding_box() {
-        let pts = vec![Point::two(1.0, 5.0), Point::two(-2.0, 3.0), Point::two(0.0, 7.0)];
+        let pts = vec![
+            Point::two(1.0, 5.0),
+            Point::two(-2.0, 3.0),
+            Point::two(0.0, 7.0),
+        ];
         let b = Rect::bounding(&pts);
         assert_eq!(b, Rect::from_bounds(&[-2.0, 3.0], &[1.0, 7.0]));
     }

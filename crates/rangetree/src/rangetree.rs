@@ -25,7 +25,11 @@ pub struct RangeTree {
 #[derive(Clone, Debug)]
 enum Level {
     /// Last dimension: ids sorted by their coordinate.
-    Last { h: usize, keys: Vec<f64>, ids: Vec<u32> },
+    Last {
+        h: usize,
+        keys: Vec<f64>,
+        ids: Vec<u32>,
+    },
     /// Intermediate dimension: a BST with associated structures.
     Inner { h: usize, root: Box<BstNode> },
 }
@@ -64,8 +68,16 @@ impl DimBounds {
 
     #[inline]
     fn admits(&self, x: f64) -> bool {
-        let lo_ok = if self.lo_strict { x > self.lo } else { x >= self.lo };
-        let hi_ok = if self.hi_strict { x < self.hi } else { x <= self.hi };
+        let lo_ok = if self.lo_strict {
+            x > self.lo
+        } else {
+            x >= self.lo
+        };
+        let hi_ok = if self.hi_strict {
+            x < self.hi
+        } else {
+            x <= self.hi
+        };
         lo_ok && hi_ok
     }
 
@@ -78,8 +90,16 @@ impl DimBounds {
     /// The closed interval `[min, max]` is disjoint from the bounds.
     #[inline]
     fn disjoint(&self, min: f64, max: f64) -> bool {
-        let below = if self.lo_strict { max <= self.lo } else { max < self.lo };
-        let above = if self.hi_strict { min >= self.hi } else { min > self.hi };
+        let below = if self.lo_strict {
+            max <= self.lo
+        } else {
+            max < self.lo
+        };
+        let above = if self.hi_strict {
+            min >= self.hi
+        } else {
+            min > self.hi
+        };
         below || above
     }
 
@@ -103,15 +123,20 @@ impl RangeTree {
     fn build_level(points: &[Vec<f64>], idxs: &[u32], h: usize, dim: usize) -> Level {
         debug_assert!(!idxs.is_empty());
         let mut sorted: Vec<u32> = idxs.to_vec();
-        sorted.sort_unstable_by(|&a, &b| {
-            points[a as usize][h].total_cmp(&points[b as usize][h])
-        });
+        sorted.sort_unstable_by(|&a, &b| points[a as usize][h].total_cmp(&points[b as usize][h]));
         if h + 1 == dim {
             let keys = sorted.iter().map(|&i| points[i as usize][h]).collect();
-            Level::Last { h, keys, ids: sorted }
+            Level::Last {
+                h,
+                keys,
+                ids: sorted,
+            }
         } else {
             let root = Self::build_bst(points, &sorted, h, dim);
-            Level::Inner { h, root: Box::new(root) }
+            Level::Inner {
+                h,
+                root: Box::new(root),
+            }
         }
     }
 
@@ -258,7 +283,10 @@ impl RangeTree {
 impl BuildableIndex for RangeTree {
     fn build(dim: usize, points: Vec<Vec<f64>>) -> Self {
         assert!(dim >= 1, "range tree requires dim >= 1");
-        assert!(points.len() < u32::MAX as usize, "too many points for u32 ids");
+        assert!(
+            points.len() < u32::MAX as usize,
+            "too many points for u32 ids"
+        );
         for p in &points {
             assert_eq!(p.len(), dim, "point dimension mismatch");
             assert!(p.iter().all(|c| !c.is_nan()), "NaN coordinate");
@@ -296,7 +324,9 @@ impl OrthoIndex for RangeTree {
 
     fn count(&self, region: &Region) -> usize {
         assert_eq!(region.dim(), self.dim, "region dimension mismatch");
-        self.root.as_ref().map_or(0, |r| self.count_level(r, region))
+        self.root
+            .as_ref()
+            .map_or(0, |r| self.count_level(r, region))
     }
 }
 

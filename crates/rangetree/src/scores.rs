@@ -128,11 +128,7 @@ impl DynScores {
 
     /// Appends every id with score `≥ t` in `O(log N + OUT)`.
     pub fn report_at_least(&self, t: f64, out: &mut Vec<usize>) {
-        out.extend(
-            self.set
-                .range((TotalF64(t), 0)..)
-                .map(|&(_, id)| id),
-        );
+        out.extend(self.set.range((TotalF64(t), 0)..).map(|&(_, id)| id));
     }
 
     /// Counts entries with score `≥ t` (linear tail walk; used in tests).
@@ -197,10 +193,12 @@ mod tests {
 
     #[test]
     fn total_f64_orders_negative_zero_and_infinities() {
-        let mut v = [TotalF64(f64::INFINITY),
+        let mut v = [
+            TotalF64(f64::INFINITY),
             TotalF64(-0.0),
             TotalF64(0.0),
-            TotalF64(f64::NEG_INFINITY)];
+            TotalF64(f64::NEG_INFINITY),
+        ];
         v.sort();
         assert_eq!(v[0].0, f64::NEG_INFINITY);
         assert_eq!(v[3].0, f64::INFINITY);

@@ -20,7 +20,11 @@ fn random_rect(points: &[Point], rng: &mut dyn RngCore) -> Rect {
     let mut lo = Vec::with_capacity(d);
     let mut hi = Vec::with_capacity(d);
     for h in 0..d {
-        let (l, u) = if a[h] <= b[h] { (a[h], b[h]) } else { (b[h], a[h]) };
+        let (l, u) = if a[h] <= b[h] {
+            (a[h], b[h])
+        } else {
+            (b[h], a[h])
+        };
         let jitter = (u - l).abs() * 0.01 + 1e-9;
         lo.push(l - rng.gen_range(0.0..jitter));
         hi.push(u + rng.gen_range(0.0..jitter));

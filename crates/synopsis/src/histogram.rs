@@ -309,7 +309,9 @@ mod tests {
 
     fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| Point::one(rng.gen_range(0.0..1.0))).collect()
+        (0..n)
+            .map(|_| Point::one(rng.gen_range(0.0..1.0)))
+            .collect()
     }
 
     #[test]

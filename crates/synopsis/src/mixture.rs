@@ -47,11 +47,7 @@ impl GaussianMixtureSynopsis {
                 let mut best = 0usize;
                 let mut best_d = f64::INFINITY;
                 for (c, center) in centers.iter().enumerate() {
-                    let d: f64 = p
-                        .iter()
-                        .zip(center)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
+                    let d: f64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
                     if d < best_d {
                         best_d = d;
                         best = c;
@@ -211,7 +207,13 @@ impl PrefSynopsis for GaussianMixtureSynopsis {
             lo = lo.min(mu - 10.0 * sd - 1e-9);
             hi = hi.max(mu + 10.0 * sd + 1e-9);
         }
-        invert_cdf(|t| self.projected_cdf(v, t), q, lo, hi, 1e-9 * (hi - lo).abs().max(1.0))
+        invert_cdf(
+            |t| self.projected_cdf(v, t),
+            q,
+            lo,
+            hi,
+            1e-9 * (hi - lo).abs().max(1.0),
+        )
     }
 
     fn memory_bytes(&self) -> usize {
@@ -247,7 +249,11 @@ mod tests {
         let mut means: Vec<f64> = gmm.components().iter().map(|c| c.mean[0]).collect();
         means.sort_by(|a, b| a.total_cmp(b));
         assert!((means[0] - 0.0).abs() < 0.5, "low cluster at {}", means[0]);
-        assert!((means[1] - 10.0).abs() < 0.5, "high cluster at {}", means[1]);
+        assert!(
+            (means[1] - 10.0).abs() < 0.5,
+            "high cluster at {}",
+            means[1]
+        );
     }
 
     #[test]

@@ -73,12 +73,7 @@ pub fn exact_kth_score(points: &[Point], v: &[f64], k: usize) -> f64 {
 /// A Pref threshold `a_θ` chosen so that roughly a `target` fraction of the
 /// repository qualifies: the `1 − target` quantile of the per-dataset
 /// scores `ω_k(P_i, v)`.
-pub fn threshold_with_selectivity(
-    repo: &[Vec<Point>],
-    v: &[f64],
-    k: usize,
-    target: f64,
-) -> f64 {
+pub fn threshold_with_selectivity(repo: &[Vec<Point>], v: &[f64], k: usize, target: f64) -> f64 {
     assert!(!repo.is_empty());
     assert!((0.0..=1.0).contains(&target));
     let mut scores: Vec<f64> = repo
@@ -90,8 +85,7 @@ pub fn threshold_with_selectivity(
         return 0.0;
     }
     scores.sort_unstable_by(|a, b| a.total_cmp(b));
-    let idx = (((1.0 - target) * (scores.len() - 1) as f64).round() as usize)
-        .min(scores.len() - 1);
+    let idx = (((1.0 - target) * (scores.len() - 1) as f64).round() as usize).min(scores.len() - 1);
     scores[idx]
 }
 
@@ -117,10 +111,7 @@ mod tests {
         for target in [0.05, 0.2, 0.5] {
             let r = rect_with_selectivity(&mut rng, &pts, target);
             let got = r.mass(&pts);
-            assert!(
-                (got - target).abs() < 0.05,
-                "target {target} got {got}"
-            );
+            assert!((got - target).abs() < 0.05, "target {target} got {got}");
         }
     }
 

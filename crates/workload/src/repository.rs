@@ -124,10 +124,7 @@ mod tests {
         assert_eq!(a.len(), 10);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.len(), y.len());
-            assert!(x
-                .iter()
-                .zip(y)
-                .all(|(p, q)| p.as_slice() == q.as_slice()));
+            assert!(x.iter().zip(y).all(|(p, q)| p.as_slice() == q.as_slice()));
         }
     }
 

@@ -86,8 +86,7 @@ impl CityScenario {
             let bias = if focused { -0.25 } else { 0.2 };
             let hoods: Vec<Point> = (0..n_hoods)
                 .map(|_| {
-                    let mut v: Vec<f64> =
-                        (0..3).map(|_| rng.gen_range(-0.5..0.5) + bias).collect();
+                    let mut v: Vec<f64> = (0..3).map(|_| rng.gen_range(-0.5..0.5) + bias).collect();
                     let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
                     if norm > 1.0 {
                         for x in &mut v {

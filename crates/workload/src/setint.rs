@@ -27,7 +27,10 @@ impl UniformSetInstance {
     /// Panics if `replication > g` or any argument is zero.
     pub fn generate(g: usize, universe: u64, replication: usize, seed: u64) -> Self {
         assert!(g >= 1 && universe >= 1 && replication >= 1);
-        assert!(replication <= g, "cannot replicate into more sets than exist");
+        assert!(
+            replication <= g,
+            "cannot replicate into more sets than exist"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sets = vec![Vec::new(); g];
         let mut slots: Vec<usize> = (0..g).collect();

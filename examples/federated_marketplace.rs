@@ -38,7 +38,9 @@ fn main() {
             match i % 3 {
                 0 => Box::new(GridHistogram::from_points(pts, 128)),
                 1 => Box::new(GaussianMixtureSynopsis::fit(pts, 8, 12, &mut rng)),
-                _ => Box::new(UniformSampleSynopsis::from_points(pts, 1200, 0.001, &mut rng)),
+                _ => Box::new(UniformSampleSynopsis::from_points(
+                    pts, 1200, 0.001, &mut rng,
+                )),
             }
         })
         .collect();
@@ -132,5 +134,8 @@ fn main() {
         scan_time / n_queries
     );
     assert_eq!(total_missed, 0, "marketplace recall violated");
-    println!("\nall reported datasets are within the ±{:.3} band.", index.slack());
+    println!(
+        "\nall reported datasets are within the ±{:.3} band.",
+        index.slack()
+    );
 }

@@ -46,9 +46,7 @@ fn main() {
     let c = 0.4;
     let hits = rep.report(&w, c);
     let cands = rep.candidates(&w, c);
-    println!(
-        "halfspace reporting via CPref: |U| = 200 points in R^3, H = {{x : <x, w> >= {c}}}"
-    );
+    println!("halfspace reporting via CPref: |U| = 200 points in R^3, H = {{x : <x, w> >= {c}}}");
     println!(
         "  CPref candidates: {} (superset within band ±{:.3}), exact answer: {}",
         cands.len(),

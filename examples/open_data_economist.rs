@@ -30,10 +30,17 @@ fn main() {
     );
     let mut coverage = ptile.query(&sc.brooklyn, 0.10);
     coverage.sort_unstable();
-    println!(">= 10% of incidents in the focus region ({} cities):", coverage.len());
+    println!(
+        ">= 10% of incidents in the focus region ({} cities):",
+        coverage.len()
+    );
     for &c in &coverage {
         let mass = sc.brooklyn.mass(&sc.incidents[c]);
-        let tag = if sc.focused_cities.contains(&c) { " [engineered]" } else { "" };
+        let tag = if sc.focused_cities.contains(&c) {
+            " [engineered]"
+        } else {
+            ""
+        };
         println!("  {} mass={:.3}{}", sc.names[c], mass, tag);
     }
     // Soundness spot-check: every engineered city is present.

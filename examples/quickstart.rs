@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use distribution_aware_search::prelude::*;
 use dds_core::framework::Interval;
+use distribution_aware_search::prelude::*;
 
 fn main() {
     // Three 1-d datasets — the running example of the paper's Section 4

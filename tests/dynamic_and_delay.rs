@@ -52,8 +52,7 @@ fn dynamic_ptile_tracks_static_rebuild() {
             assert!(dynamic.remove_synopsis(h));
         }
     }
-    let kept_synopses: Vec<ExactSynopsis> =
-        keep.iter().map(|&i| synopses[i].clone()).collect();
+    let kept_synopses: Vec<ExactSynopsis> = keep.iter().map(|&i| synopses[i].clone()).collect();
     let mut rebuilt = PtileRangeIndex::build(&kept_synopses, params);
     for _ in 0..15 {
         let r = queries::random_rect(&mut rng, &bbox);
@@ -84,8 +83,10 @@ fn delay_is_bounded_per_report() {
     // liberal constant of the mean (no pathological stalls), which is the
     // observable consequence of the Õ(1)-delay claim.
     let repo = mixed_repo(120, 150, 1, 411);
-    let mut idx =
-        PtileThresholdIndex::build(&repo.exact_synopses(), PtileBuildParams::exact_centralized());
+    let mut idx = PtileThresholdIndex::build(
+        &repo.exact_synopses(),
+        PtileBuildParams::exact_centralized(),
+    );
     let r = dds_geom::Rect::interval(0.0, 100.0);
     let mut rec = DelayRecorder::new();
     idx.query_cb(&r, 0.9, &mut |_| rec.tick());
@@ -147,11 +148,12 @@ fn unknown_delta_remark_semantics() {
     let deltas: Vec<f64> = synopses
         .iter()
         .zip(&sets)
-        .map(|(s, pts)| {
-            1.5 * dds_synopsis::error::estimate_percentile_error(s, pts, 60, &mut rng)
-        })
+        .map(|(s, pts)| 1.5 * dds_synopsis::error::estimate_percentile_error(s, pts, 60, &mut rng))
         .collect();
-    let delta_max = deltas.iter().fold(0.0f64, |a, &b| a.max(b)).clamp(0.01, 0.6);
+    let delta_max = deltas
+        .iter()
+        .fold(0.0f64, |a, &b| a.max(b))
+        .clamp(0.01, 0.6);
     let mut idx = PtileThresholdIndex::build(&synopses, PtileBuildParams::federated(delta_max));
     let bbox = dds_geom::Rect::from_bounds(&[0.0], &[100.0]);
     for _ in 0..15 {

@@ -29,13 +29,14 @@ fn multi_index_conjunction_guarantees() {
         let r2 = queries::random_rect(&mut rng, &bbox);
         let a1: f64 = rng.gen_range(0.05..0.6);
         let a2: f64 = rng.gen_range(0.05..0.6);
-        let preds = vec![
-            (r1, Interval::new(a1, 1.0)),
-            (r2, Interval::new(a2, 1.0)),
-        ];
+        let preds = vec![(r1, Interval::new(a1, 1.0)), (r2, Interval::new(a2, 1.0))];
         let hits = idx.query(&preds);
         let check = check_ptile_conjunction(&sets, &preds, &hits, slack);
-        assert!(check.missed.is_empty(), "query {q}: missed {:?}", check.missed);
+        assert!(
+            check.missed.is_empty(),
+            "query {q}: missed {:?}",
+            check.missed
+        );
         assert!(
             check.out_of_band.is_empty(),
             "query {q}: band violated {:?}",
@@ -63,10 +64,7 @@ fn expression_queries_cover_ground_truth() {
             LogicalExpr::Pred(Predicate::percentile_at_least(r1.clone(), a1)),
             LogicalExpr::And(vec![
                 LogicalExpr::Pred(Predicate::percentile_at_least(r2.clone(), a2)),
-                LogicalExpr::Pred(Predicate::percentile(
-                    r1.clone(),
-                    Interval::new(0.0, 0.5),
-                )),
+                LogicalExpr::Pred(Predicate::percentile(r1.clone(), Interval::new(0.0, 0.5))),
             ]),
         ]);
         let hits = idx.query_expr(&expr).expect("percentile expression");

@@ -26,13 +26,19 @@ fn nn_dataset_search_at_scale() {
         let hits = idx.query(&q, tau);
         let qp = Point::new(q.clone());
         for (j, pts) in sets.iter().enumerate() {
-            let d = pts.iter().map(|p| p.dist(&qp)).fold(f64::INFINITY, f64::min);
+            let d = pts
+                .iter()
+                .map(|p| p.dist(&qp))
+                .fold(f64::INFINITY, f64::min);
             if d <= tau {
                 assert!(hits.contains(&j), "missed dataset {j} at dist {d:.3}");
             }
         }
         for &j in &hits {
-            let d = sets[j].iter().map(|p| p.dist(&qp)).fold(f64::INFINITY, f64::min);
+            let d = sets[j]
+                .iter()
+                .map(|p| p.dist(&qp))
+                .fold(f64::INFINITY, f64::min);
             assert!(d <= tau + idx.band_for(j) + 1e-9, "band violated for {j}");
         }
     }
@@ -46,7 +52,10 @@ fn diversity_search_recall_at_scale() {
     let mut rng = StdRng::seed_from_u64(612);
     for _ in 0..10 {
         let lo = vec![rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)];
-        let hi = vec![lo[0] + rng.gen_range(10.0..50.0), lo[1] + rng.gen_range(10.0..50.0)];
+        let hi = vec![
+            lo[0] + rng.gen_range(10.0..50.0),
+            lo[1] + rng.gen_range(10.0..50.0),
+        ];
         let r = Rect::from_bounds(&lo, &hi);
         let tau = rng.gen_range(5.0..60.0);
         let hits = idx.query(&r, tau);

@@ -1,0 +1,125 @@
+//! Pins the umbrella crate's public API: everything here goes through
+//! `distribution_aware_search` only — no direct `dds_*` imports — so a
+//! missing `prelude` re-export or a renamed facade module breaks this test
+//! at compile time.
+
+use distribution_aware_search::prelude::*;
+
+/// Example 1.1 shaped repository: rows are (quality score, position).
+fn repo() -> Repository {
+    Repository::new(vec![
+        Dataset::from_rows(
+            "census_a",
+            vec![vec![0.9, 2.0], vec![0.8, 3.0], vec![0.7, 4.0]],
+        ),
+        Dataset::from_rows("census_b", vec![vec![0.3, 2.5], vec![0.2, 3.5]]),
+        Dataset::from_rows("remote_c", vec![vec![0.9, 40.0], vec![0.8, 41.0]]),
+    ])
+}
+
+#[test]
+fn ptile_indexes_through_the_facade() {
+    let repo = repo();
+    let syns = repo.exact_synopses();
+
+    let mut threshold = PtileThresholdIndex::build(&syns, PtileBuildParams::exact_centralized());
+    let region = Rect::from_bounds(&[0.0, 0.0], &[1.0, 10.0]);
+    let mut hits = threshold.query(&region, 0.5);
+    hits.sort_unstable();
+    assert_eq!(hits, vec![0, 1], "all of a and b sit at positions <= 10");
+
+    let mut range = PtileRangeIndex::build(&syns, PtileBuildParams::exact_centralized());
+    let mut hits = range.query(&region, Interval::new(0.5, 1.0));
+    hits.sort_unstable();
+    assert_eq!(hits, vec![0, 1]);
+}
+
+#[test]
+fn exact_1d_and_multi_through_the_facade() {
+    let repo = Repository::new(vec![
+        Dataset::from_rows("x", vec![vec![1.0], vec![7.0], vec![9.0]]),
+        Dataset::from_rows("y", vec![vec![2.0], vec![4.0], vec![6.0], vec![10.0]]),
+    ]);
+    let exact = ExactCPtile1D::build(&repo, Interval::new(0.5, 1.0));
+    let mut hits = exact.query(3.0, 9.0);
+    hits.sort_unstable();
+    assert_eq!(hits, vec![0, 1], "both have >= 50% of mass in [3, 9]");
+
+    let syns = repo.exact_synopses();
+    let mut multi = PtileMultiIndex::build(&syns, 2, PtileBuildParams::exact_centralized());
+    let q1 = (Rect::interval(0.0, 5.0), Interval::new(0.2, 1.0));
+    let q2 = (Rect::interval(5.0, 11.0), Interval::new(0.2, 1.0));
+    let mut hits = multi.query(&[q1, q2]);
+    hits.sort_unstable();
+    assert_eq!(hits, vec![0, 1]);
+}
+
+#[test]
+fn pref_indexes_through_the_facade() {
+    let repo = repo();
+    let syns = repo.exact_synopses();
+
+    let idx = PrefIndex::build(
+        &syns,
+        1,
+        PrefBuildParams::exact_centralized().with_eps(0.02),
+    );
+    // Quality direction: datasets whose best score clears 0.5.
+    let hits = idx.query(&[1.0, 0.0], 0.5);
+    assert!(hits.contains(&0) && hits.contains(&2));
+    assert!(idx.slack() >= 0.0);
+
+    let multi = PrefMultiIndex::build(&syns, 1, 2, PrefBuildParams::exact_centralized());
+    let hits = multi.query(&[(vec![1.0, 0.0], 0.5)]);
+    assert!(hits.contains(&0) && hits.contains(&2));
+}
+
+#[test]
+fn mixed_engine_and_synopsis_traits_through_the_facade() {
+    let repo = repo();
+    let mut engine = MixedQueryEngine::build(
+        &repo,
+        &[1],
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized().with_eps(0.02),
+    );
+    let expr = LogicalExpr::And(vec![
+        LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::from_bounds(&[0.0, 0.0], &[1.0, 10.0]),
+            0.5,
+        )),
+        LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0, 0.0], 1, 0.5)),
+    ]);
+    let hits = engine.query(&expr).expect("rank 1 is indexed");
+    assert!(hits.contains(&0), "census_a has the mass and the quality");
+
+    // The synopsis traits are re-exported; calling a trait method through
+    // the prelude pins them.
+    let syns = repo.exact_synopses();
+    let everywhere = Rect::from_bounds(&[-1e9, -1e9], &[1e9, 1e9]);
+    assert!((PercentileSynopsis::mass(&syns[0], &everywhere) - 1.0).abs() < 1e-9);
+    assert!(syns[0].score(&[1.0, 0.0], 1) >= 0.9 - 1e-9);
+
+    // The per-crate facade modules stay addressable too.
+    let p = distribution_aware_search::geom::Point::two(0.5, 0.5);
+    assert_eq!(p.dim(), 2);
+}
+
+#[test]
+fn quickstart_docs_scenario_through_the_facade() {
+    // Mirrors the `src/lib.rs` doctest so the README/quickstart snippet is
+    // also covered by `cargo test` proper.
+    let datasets = vec![
+        Dataset::from_rows("a", vec![vec![1.0], vec![7.0], vec![9.0]]),
+        Dataset::from_rows("b", vec![vec![2.0], vec![4.0], vec![6.0], vec![10.0]]),
+        Dataset::from_rows("c", vec![vec![100.0], vec![200.0]]),
+    ];
+    let repo = Repository::new(datasets);
+    let mut index = PtileThresholdIndex::build(
+        &repo.exact_synopses(),
+        PtileBuildParams::exact_centralized(),
+    );
+    let mut hits = index.query(&Rect::from_bounds(&[3.0], &[8.0]), 0.2);
+    hits.sort_unstable();
+    assert_eq!(hits, vec![0, 1]);
+}

@@ -82,7 +82,11 @@ fn equi_depth_histograms_match_fainder_setting() {
         let a: f64 = rng.gen_range(0.05..0.8);
         let hits = idx.query(&r, a);
         let check = check_ptile(&sets, &r, Interval::new(a, 1.0), &hits, slack);
-        assert!(check.missed.is_empty(), "query {q}: missed {:?}", check.missed);
+        assert!(
+            check.missed.is_empty(),
+            "query {q}: missed {:?}",
+            check.missed
+        );
         assert!(
             check.out_of_band.is_empty(),
             "query {q}: band violated {:?}",
@@ -110,7 +114,11 @@ fn mixture_synopses_keep_the_band_2d() {
         let a: f64 = rng.gen_range(0.05..0.8);
         let hits = idx.query(&r, a);
         let check = check_ptile(&sets, &r, Interval::new(a, 1.0), &hits, slack);
-        assert!(check.missed.is_empty(), "query {q}: missed {:?}", check.missed);
+        assert!(
+            check.missed.is_empty(),
+            "query {q}: missed {:?}",
+            check.missed
+        );
         assert!(
             check.out_of_band.is_empty(),
             "query {q}: band violated {:?}",
@@ -141,7 +149,11 @@ fn sample_synopses_advertised_delta_suffices() {
         let a: f64 = rng.gen_range(0.05..0.8);
         let hits = idx.query(&r, a);
         let check = check_ptile(&sets, &r, Interval::new(a, 1.0), &hits, slack);
-        assert!(check.missed.is_empty(), "query {q}: missed {:?}", check.missed);
+        assert!(
+            check.missed.is_empty(),
+            "query {q}: missed {:?}",
+            check.missed
+        );
         assert!(
             check.out_of_band.is_empty(),
             "query {q}: band violated {:?}",
@@ -169,7 +181,11 @@ fn federated_pref_with_direction_caches() {
         let a = queries::threshold_with_selectivity(&raw, &v, k, 0.3);
         let hits = idx.query(&v, a);
         let check = check_pref(&sets, &v, k, a, &hits, slack);
-        assert!(check.missed.is_empty(), "query {q}: missed {:?}", check.missed);
+        assert!(
+            check.missed.is_empty(),
+            "query {q}: missed {:?}",
+            check.missed
+        );
         assert!(
             check.out_of_band.is_empty(),
             "query {q}: band violated {:?}",

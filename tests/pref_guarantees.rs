@@ -17,7 +17,11 @@ fn pref_index_guarantees_d2() {
     let repo = ball_repo(60, 400, 2, 201);
     let sets = point_sets(&repo);
     for k in [1usize, 10] {
-        let idx = PrefIndex::build(&repo.exact_synopses(), k, PrefBuildParams::exact_centralized());
+        let idx = PrefIndex::build(
+            &repo.exact_synopses(),
+            k,
+            PrefBuildParams::exact_centralized(),
+        );
         let slack = idx.slack();
         let mut rng = StdRng::seed_from_u64(202 + k as u64);
         for q in 0..30 {
@@ -53,7 +57,11 @@ fn pref_index_guarantees_d3() {
         let a = queries::threshold_with_selectivity(&sets, &v, k, 0.25);
         let hits = idx.query(&v, a);
         let check = check_pref(&sets, &v, k, a, &hits, slack);
-        assert!(check.missed.is_empty(), "query {q}: missed {:?}", check.missed);
+        assert!(
+            check.missed.is_empty(),
+            "query {q}: missed {:?}",
+            check.missed
+        );
         assert!(
             check.out_of_band.is_empty(),
             "query {q}: band violated {:?}",
@@ -170,7 +178,11 @@ fn dynamic_pref_tracks_static_answers() {
 fn pref_matches_linear_scan_within_band() {
     let repo = ball_repo(50, 250, 2, 251);
     let k = 4;
-    let idx = PrefIndex::build(&repo.exact_synopses(), k, PrefBuildParams::exact_centralized());
+    let idx = PrefIndex::build(
+        &repo.exact_synopses(),
+        k,
+        PrefBuildParams::exact_centralized(),
+    );
     let scan = LinearScanPref::build(&repo);
     let mut rng = StdRng::seed_from_u64(252);
     for _ in 0..20 {

@@ -30,8 +30,10 @@ fn assert_holds(check: &GuaranteeCheck, ctx: &str) {
 fn threshold_index_guarantees_d1() {
     let repo = mixed_repo(60, 500, 1, 11);
     let sets = point_sets(&repo);
-    let mut idx =
-        PtileThresholdIndex::build(&repo.exact_synopses(), PtileBuildParams::exact_centralized());
+    let mut idx = PtileThresholdIndex::build(
+        &repo.exact_synopses(),
+        PtileBuildParams::exact_centralized(),
+    );
     let slack = idx.slack();
     let mut rng = StdRng::seed_from_u64(12);
     let bbox = dds_geom::Rect::from_bounds(&[0.0], &[100.0]);
@@ -48,8 +50,10 @@ fn threshold_index_guarantees_d1() {
 fn threshold_index_guarantees_d2() {
     let repo = mixed_repo(40, 400, 2, 21);
     let sets = point_sets(&repo);
-    let mut idx =
-        PtileThresholdIndex::build(&repo.exact_synopses(), PtileBuildParams::exact_centralized());
+    let mut idx = PtileThresholdIndex::build(
+        &repo.exact_synopses(),
+        PtileBuildParams::exact_centralized(),
+    );
     let slack = idx.slack();
     let mut rng = StdRng::seed_from_u64(22);
     let bbox = dds_geom::Rect::from_bounds(&[0.0, 0.0], &[100.0, 100.0]);
@@ -66,8 +70,10 @@ fn threshold_index_guarantees_d2() {
 fn range_index_guarantees_d1() {
     let repo = mixed_repo(50, 400, 1, 31);
     let sets = point_sets(&repo);
-    let mut idx =
-        PtileRangeIndex::build(&repo.exact_synopses(), PtileBuildParams::exact_centralized());
+    let mut idx = PtileRangeIndex::build(
+        &repo.exact_synopses(),
+        PtileBuildParams::exact_centralized(),
+    );
     let slack = idx.slack();
     let mut rng = StdRng::seed_from_u64(32);
     let bbox = dds_geom::Rect::from_bounds(&[0.0], &[100.0]);
@@ -84,8 +90,10 @@ fn range_index_guarantees_d1() {
 fn range_index_guarantees_d2() {
     let repo = mixed_repo(30, 300, 2, 41);
     let sets = point_sets(&repo);
-    let mut idx =
-        PtileRangeIndex::build(&repo.exact_synopses(), PtileBuildParams::exact_centralized());
+    let mut idx = PtileRangeIndex::build(
+        &repo.exact_synopses(),
+        PtileBuildParams::exact_centralized(),
+    );
     let slack = idx.slack();
     let mut rng = StdRng::seed_from_u64(42);
     let bbox = dds_geom::Rect::from_bounds(&[0.0, 0.0], &[100.0, 100.0]);
@@ -104,8 +112,10 @@ fn small_supports_make_answers_exact() {
     // agree with the exact baseline bit-for-bit.
     let repo = mixed_repo(40, 60, 1, 51);
     let scan = LinearScanPtile::build(&repo);
-    let mut idx =
-        PtileRangeIndex::build(&repo.exact_synopses(), PtileBuildParams::exact_centralized());
+    let mut idx = PtileRangeIndex::build(
+        &repo.exact_synopses(),
+        PtileBuildParams::exact_centralized(),
+    );
     assert_eq!(idx.eps(), 0.0, "60-point datasets fit the budget exactly");
     let mut rng = StdRng::seed_from_u64(52);
     let bbox = dds_geom::Rect::from_bounds(&[0.0], &[100.0]);
@@ -124,8 +134,10 @@ fn small_supports_make_answers_exact() {
 #[test]
 fn output_is_duplicate_free_and_queries_are_repeatable() {
     let repo = mixed_repo(30, 200, 1, 61);
-    let mut idx =
-        PtileThresholdIndex::build(&repo.exact_synopses(), PtileBuildParams::exact_centralized());
+    let mut idx = PtileThresholdIndex::build(
+        &repo.exact_synopses(),
+        PtileBuildParams::exact_centralized(),
+    );
     let r = dds_geom::Rect::interval(10.0, 60.0);
     let first = sorted(idx.query(&r, 0.3));
     let mut dedup = first.clone();
@@ -140,8 +152,10 @@ fn output_is_duplicate_free_and_queries_are_repeatable() {
 fn selectivity_controls_output_size() {
     let repo = mixed_repo(60, 300, 1, 71);
     let sets = point_sets(&repo);
-    let mut idx =
-        PtileThresholdIndex::build(&repo.exact_synopses(), PtileBuildParams::exact_centralized());
+    let mut idx = PtileThresholdIndex::build(
+        &repo.exact_synopses(),
+        PtileBuildParams::exact_centralized(),
+    );
     let mut rng = StdRng::seed_from_u64(72);
     // A rectangle sized to ~50% of a dataset's mass should report a healthy
     // fraction of the repository at a low threshold and much less at 0.9.

@@ -14,8 +14,10 @@ use dds_workload::CityScenario;
 fn percentile_query_finds_focused_cities() {
     let sc = CityScenario::generate(24, 300, 0.15, 501);
     let repo = Repository::from_point_sets(sc.incidents.clone());
-    let mut idx =
-        PtileThresholdIndex::build(&repo.exact_synopses(), PtileBuildParams::exact_centralized());
+    let mut idx = PtileThresholdIndex::build(
+        &repo.exact_synopses(),
+        PtileBuildParams::exact_centralized(),
+    );
     // "at least 10% of the data points from Brooklyn" — Example 1.1.
     let hits = idx.query(&sc.brooklyn, 0.10);
     // Every focused city (engineered ≥ 15%) must be found.
@@ -37,7 +39,11 @@ fn preference_query_finds_high_quality_cities() {
     let sc = CityScenario::generate(24, 200, 0.15, 511);
     let repo = Repository::from_point_sets(sc.quality.clone());
     let k = 5; // "at least k neighborhoods with high quality of life"
-    let idx = PrefIndex::build(&repo.exact_synopses(), k, PrefBuildParams::exact_centralized());
+    let idx = PrefIndex::build(
+        &repo.exact_synopses(),
+        k,
+        PrefBuildParams::exact_centralized(),
+    );
     // Equal-weight quality-of-life direction.
     let s3 = 1.0 / 3.0f64.sqrt();
     let v = vec![s3, s3, s3];

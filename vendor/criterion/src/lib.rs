@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small wall-clock benchmark harness exposing the criterion entry points the
+//! bench files use: [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `sample_size`/`bench_function`/`bench_with_input`/`finish`, `Bencher::iter`
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! It reports a median ns/iter per benchmark on stdout. There is no
+//! statistical analysis, plotting, or HTML report — the goal is that
+//! `cargo bench` compiles, runs fast, and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: a name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples of auto-scaled
+    /// iteration batches, and records the median ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: grow the batch until it runs
+        // for at least ~1ms so timer resolution doesn't dominate.
+        let mut batch: u64 = 1;
+        let calibration_floor = Duration::from_millis(1);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= calibration_floor || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        self.samples
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `routine` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(&full, self.sample_size, |b| routine(b));
+        self
+    }
+
+    /// Runs `routine` with an input value, criterion-style.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(&full, self.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (separator line, criterion API parity).
+    pub fn finish(self) {
+        let _ = &self.criterion;
+        println!();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut routine: F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    routine(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<50} (no samples recorded)");
+    } else {
+        println!("{name:<50} median {:>12.1} ns/iter", bencher.median_ns());
+    }
+}
+
+/// Top-level benchmark driver (stand-in for criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration. This shim ignores the harness arguments
+    /// cargo passes (`--bench`, filters), so this is the identity.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, DEFAULT_SAMPLE_SIZE, |b| routine(b));
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran += 1;
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}
