@@ -1,10 +1,11 @@
 //! Criterion micro-benchmarks for the substrates: orthogonal search
-//! backends (A2 companion), dynamic updates (E9) and the exact 1-d
-//! structure (E4).
+//! backends (A2 companion), dynamic updates (E9), the exact 1-d
+//! structure (E4) and the worker pool behind the parallel builds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dds_bench::experiments::setup::{clustered_workload, mixed_workload};
 use dds_core::framework::{Interval, Repository};
+use dds_core::pool::{mix_seed, par_map, BuildOptions};
 use dds_core::ptile::{DynamicPtileIndex, ExactCPtile1D, PtileBuildParams};
 use dds_rangetree::{BruteForce, BuildableIndex, KdTree, OrthoIndex, RangeTree, Region};
 use rand::rngs::StdRng;
@@ -94,5 +95,37 @@ fn bench_exact1d(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_backends, bench_dynamic_insert, bench_exact1d);
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worker_pool_par_map");
+    group.sample_size(20);
+    // A build-shaped work unit: seed an RNG per item, draw a few hundred
+    // values, sort — roughly one dataset coreset's worth of CPU.
+    let items: Vec<u64> = (0..256).collect();
+    let unit = |i: usize, &seed: &u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, i as u64));
+        let mut xs: Vec<f64> = (0..512).map(|_| rng.gen_range(0.0..1.0)).collect();
+        xs.sort_unstable_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+    for threads in [1usize, 2, 4, 8] {
+        let opts = BuildOptions::with_threads(threads);
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| par_map(&opts, &items, unit))
+        });
+    }
+    // Spawn/merge overhead floor: trivial units, many threads.
+    group.bench_function("overhead_trivial_units", |b| {
+        let opts = BuildOptions::with_threads(8);
+        b.iter(|| par_map(&opts, &items, |i, x| x + i as u64))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backends,
+    bench_dynamic_insert,
+    bench_exact1d,
+    bench_pool
+);
 criterion_main!(benches);

@@ -6,10 +6,9 @@ use super::Scale;
 use crate::table::Table;
 use dds_core::framework::Interval;
 use dds_core::guarantee::check_ptile;
+use dds_core::pool::BuildOptions;
 use dds_core::ptile::{PtileBuildParams, PtileThresholdIndex};
 use dds_synopsis::{error, EquiDepthHistogram};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// E11 — δ sweep via histogram resolution (Lemma 2.1 / Theorem 4.4 in the
 /// federated setting).
@@ -29,25 +28,25 @@ pub fn e11_federated_delta_sweep(scale: Scale) -> Table {
     );
     let n = if scale.quick { 200 } else { 800 };
     let wl = mixed_workload(n, 800, 1, 0xE11);
-    let mut rng = StdRng::seed_from_u64(0xE11 + 1);
+    let opts = BuildOptions::default();
     for bins in [4usize, 8, 16, 32, 64, 128] {
         let synopses: Vec<EquiDepthHistogram> = wl
             .sets
             .iter()
             .map(|pts| EquiDepthHistogram::from_points(pts, bins))
             .collect();
-        // Per-owner measured δ_i, padded (probe is a lower bound).
-        let deltas: Vec<f64> = synopses
-            .iter()
-            .zip(&wl.sets)
-            .map(|(s, pts)| {
-                (1.5 * error::estimate_percentile_error(s, pts, 60, &mut rng) + 0.005)
-                    .clamp(0.002, 0.6)
-            })
-            .collect();
+        // Per-owner measured δ_i, padded (probe is a lower bound). The
+        // whole-federation sweep runs on the worker pool, one RNG stream per
+        // dataset, so it measures the same δ_i at every thread count.
+        let deltas: Vec<f64> =
+            error::estimate_percentile_errors(&synopses, &wl.sets, 60, 0xE11 + 1, &opts)
+                .into_iter()
+                .map(|d| (1.5 * d + 0.005).clamp(0.002, 0.6))
+                .collect();
         let measured = deltas.iter().fold(0.0f64, |a, &b| a.max(b));
         let params = PtileBuildParams::default().with_rect_budget(496);
-        let mut idx = PtileThresholdIndex::build_with_deltas(&synopses, Some(&deltas), params);
+        let mut idx =
+            PtileThresholdIndex::build_with_deltas_opts(&synopses, Some(&deltas), params, &opts);
         let slack = idx.slack();
         let queries = ptile_queries(&wl, scale.queries(), 12, idx.margin(), 0xE11 + 2);
         let (mut missed, mut viol, mut exact, mut reported) = (0usize, 0usize, 0usize, 0usize);

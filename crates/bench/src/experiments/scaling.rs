@@ -6,8 +6,11 @@ use super::Scale;
 use crate::table::{fmt_bytes, fmt_duration, Table};
 use crate::timing::{median_duration, time};
 use dds_core::delay::DelayRecorder;
+use dds_core::pool::BuildOptions;
 use dds_core::pref::{PrefBuildParams, PrefIndex};
-use dds_core::ptile::{DynamicPtileIndex, PtileBuildParams, PtileRangeIndex, PtileThresholdIndex};
+use dds_core::ptile::{
+    DynamicPtileIndex, PtileBuildParams, PtileMultiIndex, PtileRangeIndex, PtileThresholdIndex,
+};
 use std::time::Duration;
 
 fn bench_params() -> PtileBuildParams {
@@ -18,46 +21,111 @@ fn bench_params() -> PtileBuildParams {
     PtileBuildParams::default().with_rect_budget(496)
 }
 
-/// E8 — Õ(N) space and preprocessing (Lemmas 4.3, 4.10, 5.3): build time,
-/// lifted-point counts and bytes per structure, per N.
+/// E8 — Õ(N) space and preprocessing (Lemmas 4.3, 4.10, 5.3) plus
+/// worker-pool build scaling: per repository size N the four build paths are
+/// timed serially (`threads = 1`), then the largest N is rebuilt with
+/// threads ∈ {2, 4, 8}. Parallel builds are bit-identical to serial ones,
+/// so the bytes columns double as a determinism check (they must not move
+/// across the thread sweep) and "speedup" is the serial total build time
+/// over this row's total.
 pub fn e8_construction_scaling(scale: Scale) -> Table {
     let mut table = Table::new(
-        "E8 — space & preprocessing vs N (Lemmas 4.3 / 4.10 / 5.3)",
+        "E8 — space & preprocessing vs N and threads (Lemmas 4.3 / 4.10 / 5.3; worker-pool build)",
         &[
             "N",
+            "threads",
             "thr build",
+            "rng build",
+            "pref build",
+            "multi build",
+            "total",
+            "speedup",
             "thr lifted",
             "thr bytes",
-            "rng build",
             "rng bytes",
-            "pref build",
             "pref bytes",
         ],
     );
-    for n in scale.n_sweep() {
-        let wl = mixed_workload(n, 300, 1, 0xE8);
-        let (thr, t_thr) = time(|| PtileThresholdIndex::build(&wl.synopses, bench_params()));
-        let (rng_idx, t_rng) = time(|| PtileRangeIndex::build(&wl.synopses, bench_params()));
-        let ball = ball_workload(n, 200, 2, 0xE8 + 1);
-        let (pref, t_pref) = time(|| {
-            PrefIndex::build(
-                &ball.synopses,
-                5,
-                PrefBuildParams::exact_centralized().with_eps(0.05),
-            )
-        });
-        table.row(vec![
-            n.to_string(),
-            fmt_duration(t_thr),
-            thr.lifted_points().to_string(),
-            fmt_bytes(thr.memory_bytes()),
-            fmt_duration(t_rng),
-            fmt_bytes(rng_idx.memory_bytes()),
-            fmt_duration(t_pref),
-            fmt_bytes(pref.memory_bytes()),
-        ]);
+    let sweep = scale.n_sweep();
+    let n_max = *sweep.iter().max().expect("non-empty N sweep");
+    let mut serial_total_at_max = Duration::ZERO;
+    for n in sweep {
+        let row = e8_build_row(n, &BuildOptions::serial());
+        if n == n_max {
+            serial_total_at_max = row.total;
+        }
+        table.row(row.cells(1.0));
+    }
+    for threads in [2usize, 4, 8] {
+        let row = e8_build_row(n_max, &BuildOptions::with_threads(threads));
+        let speedup = serial_total_at_max.as_secs_f64() / row.total.as_secs_f64().max(1e-12);
+        table.row(row.cells(speedup));
     }
     table
+}
+
+/// One E8 configuration: all four build paths under one pool configuration.
+struct E8Row {
+    n: usize,
+    threads: usize,
+    t_thr: Duration,
+    t_rng: Duration,
+    t_pref: Duration,
+    t_multi: Duration,
+    total: Duration,
+    thr_lifted: usize,
+    thr_bytes: usize,
+    rng_bytes: usize,
+    pref_bytes: usize,
+}
+
+impl E8Row {
+    fn cells(&self, speedup: f64) -> Vec<String> {
+        vec![
+            self.n.to_string(),
+            self.threads.to_string(),
+            fmt_duration(self.t_thr),
+            fmt_duration(self.t_rng),
+            fmt_duration(self.t_pref),
+            fmt_duration(self.t_multi),
+            fmt_duration(self.total),
+            format!("{speedup:.2}x"),
+            self.thr_lifted.to_string(),
+            fmt_bytes(self.thr_bytes),
+            fmt_bytes(self.rng_bytes),
+            fmt_bytes(self.pref_bytes),
+        ]
+    }
+}
+
+fn e8_build_row(n: usize, opts: &BuildOptions) -> E8Row {
+    let wl = mixed_workload(n, 300, 1, 0xE8);
+    let (thr, t_thr) = time(|| PtileThresholdIndex::build_opts(&wl.synopses, bench_params(), opts));
+    let (rng_idx, t_rng) = time(|| PtileRangeIndex::build_opts(&wl.synopses, bench_params(), opts));
+    let (_multi, t_multi) =
+        time(|| PtileMultiIndex::build_opts(&wl.synopses, 2, bench_params(), opts));
+    let ball = ball_workload(n, 200, 2, 0xE8 + 1);
+    let (pref, t_pref) = time(|| {
+        PrefIndex::build_opts(
+            &ball.synopses,
+            5,
+            PrefBuildParams::exact_centralized().with_eps(0.05),
+            opts,
+        )
+    });
+    E8Row {
+        n,
+        threads: opts.threads,
+        t_thr,
+        t_rng,
+        t_pref,
+        t_multi,
+        total: t_thr + t_rng + t_pref + t_multi,
+        thr_lifted: thr.lifted_points(),
+        thr_bytes: thr.memory_bytes(),
+        rng_bytes: rng_idx.memory_bytes(),
+        pref_bytes: pref.memory_bytes(),
+    }
 }
 
 /// E9 — Remark 1: dynamic synopsis insertion/deletion cost vs full rebuild.

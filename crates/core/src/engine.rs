@@ -10,7 +10,9 @@
 //! clauses it unions (both operations preserve the superset-plus-band
 //! guarantee shape, as the appendices note for the homogeneous cases).
 
+use crate::bitset::BitSet;
 use crate::framework::{Interval, LogicalExpr, MeasureFunction, Predicate, Repository};
+use crate::pool::BuildOptions;
 use crate::pref::{PrefBuildParams, PrefIndex};
 use crate::ptile::{PtileBuildParams, PtileRangeIndex};
 use std::collections::hash_map::Entry;
@@ -80,7 +82,9 @@ pub struct MixedQueryEngine {
 
 impl MixedQueryEngine {
     /// Builds the engine over a centralized repository, with Pref support
-    /// for each rank in `ks`.
+    /// for each rank in `ks`, using the default worker pool
+    /// ([`BuildOptions::default`]: all available cores, `DDS_THREADS`
+    /// override). The thread count never affects results.
     ///
     /// # Panics
     /// Panics if the repository is empty or `ks` is empty.
@@ -90,12 +94,37 @@ impl MixedQueryEngine {
         ptile_params: PtileBuildParams,
         pref_params: PrefBuildParams,
     ) -> Self {
+        Self::build_opts(
+            repo,
+            ks,
+            ptile_params,
+            pref_params,
+            &BuildOptions::default(),
+        )
+    }
+
+    /// [`build`](Self::build) with an explicit worker-pool configuration.
+    ///
+    /// # Panics
+    /// Panics if the repository is empty or `ks` is empty.
+    pub fn build_opts(
+        repo: &Repository,
+        ks: &[usize],
+        ptile_params: PtileBuildParams,
+        pref_params: PrefBuildParams,
+        opts: &BuildOptions,
+    ) -> Self {
         assert!(!ks.is_empty(), "need at least one preference rank");
         let synopses = repo.exact_synopses();
-        let ptile = PtileRangeIndex::build(&synopses, ptile_params);
+        let ptile = PtileRangeIndex::build_opts(&synopses, ptile_params, opts);
         let pref = ks
             .iter()
-            .map(|&k| (k, PrefIndex::build(&synopses, k, pref_params.clone())))
+            .map(|&k| {
+                (
+                    k,
+                    PrefIndex::build_opts(&synopses, k, pref_params.clone(), opts),
+                )
+            })
             .collect();
         MixedQueryEngine {
             n_datasets: repo.len(),
@@ -127,14 +156,16 @@ impl MixedQueryEngine {
     /// each touched predicate's band.
     pub fn query(&mut self, expr: &LogicalExpr) -> Result<Vec<usize>, EngineError> {
         let dnf = expr.to_dnf();
-        let mut seen = vec![false; self.n_datasets];
+        let mut seen = BitSet::new(self.n_datasets);
         let mut out = Vec::new();
         // DNF expansion repeats predicates across clauses (e.g. distributing
         // `p ∧ (q ∨ r)` puts `p` in both clauses); memoize each predicate's
-        // hit mask so every distinct predicate queries its index once.
-        let mut memo: HashMap<Vec<u64>, Vec<bool>> = HashMap::new();
+        // hit mask so every distinct predicate queries its index once. Masks
+        // are packed bitsets: clause intersection is a word-wise AND over
+        // 64 datasets at a time.
+        let mut memo: HashMap<Vec<u64>, BitSet> = HashMap::new();
         for clause in dnf {
-            let mut acc: Option<Vec<bool>> = None;
+            let mut acc: Option<BitSet> = None;
             for pred in &clause {
                 let mask = match memo.entry(predicate_key(pred)) {
                     Entry::Occupied(e) => e.into_mut(),
@@ -153,22 +184,24 @@ impl MixedQueryEngine {
                             }
                         };
                         self.index_queries += 1;
-                        let mut mask = vec![false; self.n_datasets];
+                        let mut mask = BitSet::new(self.n_datasets);
                         for j in hits {
-                            mask[j] = true;
+                            mask.insert(j);
                         }
                         e.insert(mask)
                     }
                 };
                 acc = Some(match acc {
                     None => mask.clone(),
-                    Some(prev) => prev.iter().zip(mask).map(|(a, b)| *a && *b).collect(),
+                    Some(mut prev) => {
+                        prev.and_assign(mask);
+                        prev
+                    }
                 });
             }
             if let Some(mask) = acc {
-                for (j, ok) in mask.iter().enumerate() {
-                    if *ok && !seen[j] {
-                        seen[j] = true;
+                for j in mask.iter_ones() {
+                    if seen.insert(j) {
                         out.push(j);
                     }
                 }

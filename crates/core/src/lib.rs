@@ -24,17 +24,22 @@
 //! paper compares against), [`lowerbound`] (the Section 3 reductions,
 //! executable), [`guarantee`] (recall / error-band checkers used by tests
 //! and experiments), [`delay`] (enumeration-delay instrumentation,
-//! Remark 3).
+//! Remark 3), [`pool`] (deterministic worker-pool builds — every index
+//! offers a `*_opts` constructor taking a [`pool::BuildOptions`] whose
+//! thread count never changes results), [`bitset`] (packed `u64` hit masks
+//! for the DNF query loops).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod bitset;
 pub mod delay;
 pub mod engine;
 pub mod extensions;
 pub mod framework;
 pub mod guarantee;
 pub mod lowerbound;
+pub mod pool;
 pub mod pref;
 pub mod ptile;

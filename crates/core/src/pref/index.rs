@@ -10,6 +10,7 @@
 //! answer contains every qualifying dataset and every reported dataset
 //! scores at least `a_θ − 2ε − 2δ` (Lemma 5.2).
 
+use crate::pool::{par_map, BuildOptions};
 use dds_geom::EpsNet;
 use dds_rangetree::SortedScores;
 use dds_synopsis::PrefSynopsis;
@@ -84,11 +85,46 @@ pub struct PrefIndex {
 }
 
 impl PrefIndex {
-    /// Builds the index over one synopsis per dataset (Algorithm 5).
+    /// Builds the index over one synopsis per dataset (Algorithm 5),
+    /// serially.
     ///
     /// # Panics
     /// Panics if `synopses` is empty, dimensions differ, or `k == 0`.
     pub fn build<S: PrefSynopsis>(synopses: &[S], k: usize, params: PrefBuildParams) -> Self {
+        let net = Self::check_and_net(synopses, k, &params);
+        let trees = net
+            .vectors()
+            .iter()
+            .map(|v| Self::direction_tree(synopses, v, k))
+            .collect();
+        Self::assemble(net, k, trees, params, synopses.len())
+    }
+
+    /// Worker-pool variant of [`build`](Self::build): the per-net-direction
+    /// score tables (the `O(ε^{-d+1})` structures `T_v`) are computed on
+    /// `opts.threads` scoped threads. Bit-identical results for every
+    /// thread count.
+    ///
+    /// # Panics
+    /// Panics if `synopses` is empty, dimensions differ, or `k == 0`.
+    pub fn build_opts<S: PrefSynopsis + Sync>(
+        synopses: &[S],
+        k: usize,
+        params: PrefBuildParams,
+        opts: &BuildOptions,
+    ) -> Self {
+        let net = Self::check_and_net(synopses, k, &params);
+        let trees = par_map(opts, net.vectors(), |_, v| {
+            Self::direction_tree(synopses, v, k)
+        });
+        Self::assemble(net, k, trees, params, synopses.len())
+    }
+
+    fn check_and_net<S: PrefSynopsis>(
+        synopses: &[S],
+        k: usize,
+        params: &PrefBuildParams,
+    ) -> EpsNet {
         assert!(!synopses.is_empty(), "repository must be non-empty");
         assert!(k >= 1, "k must be positive");
         let dim = synopses[0].dim();
@@ -96,22 +132,30 @@ impl PrefIndex {
             synopses.iter().all(|s| s.dim() == dim),
             "synopses must share the schema dimension"
         );
-        let net = EpsNet::new(dim, params.eps);
-        let trees = net
-            .vectors()
-            .iter()
-            .map(|v| {
-                let scores: Vec<f64> = synopses.iter().map(|s| s.score(v, k)).collect();
-                SortedScores::build(&scores)
-            })
-            .collect();
+        EpsNet::new(dim, params.eps)
+    }
+
+    /// One net direction's work unit: query every synopsis for
+    /// `γ_v^{(i)} = Score(v, k)` and sort (the "1-d range tree" `T_v`).
+    fn direction_tree<S: PrefSynopsis>(synopses: &[S], v: &[f64], k: usize) -> SortedScores {
+        let scores: Vec<f64> = synopses.iter().map(|s| s.score(v, k)).collect();
+        SortedScores::build(&scores)
+    }
+
+    fn assemble(
+        net: EpsNet,
+        k: usize,
+        trees: Vec<SortedScores>,
+        params: PrefBuildParams,
+        n_datasets: usize,
+    ) -> Self {
         PrefIndex {
             net,
             k,
             trees,
             eps: params.eps,
             delta: params.delta,
-            n_datasets: synopses.len(),
+            n_datasets,
         }
     }
 

@@ -10,6 +10,7 @@
 //! handled by unioning conjunction answers, as in Appendix C.4.
 
 use super::PrefBuildParams;
+use crate::pool::{par_map, BuildOptions};
 use dds_geom::EpsNet;
 use dds_rangetree::{BuildableIndex, KdTree, OrthoIndex, Region};
 use dds_synopsis::PrefSynopsis;
@@ -52,13 +53,47 @@ impl PrefMultiIndex {
             .iter()
             .map(|v| synopses.iter().map(|s| s.score(v, k)).collect())
             .collect();
+        Self::assemble(net, k, m, params, synopses.len(), scores)
+    }
+
+    /// Worker-pool variant of [`build`](Self::build): the per-net-direction
+    /// score rows are computed on `opts.threads` scoped threads.
+    /// Bit-identical results for every thread count.
+    ///
+    /// # Panics
+    /// Panics if `synopses` is empty, `k == 0` or `m == 0`.
+    pub fn build_opts<S: PrefSynopsis + Sync>(
+        synopses: &[S],
+        k: usize,
+        m: usize,
+        params: PrefBuildParams,
+        opts: &BuildOptions,
+    ) -> Self {
+        assert!(!synopses.is_empty(), "repository must be non-empty");
+        assert!(k >= 1 && m >= 1);
+        let dim = synopses[0].dim();
+        let net = EpsNet::new(dim, params.eps);
+        let scores = par_map(opts, net.vectors(), |_, v| {
+            synopses.iter().map(|s| s.score(v, k)).collect()
+        });
+        Self::assemble(net, k, m, params, synopses.len(), scores)
+    }
+
+    fn assemble(
+        net: EpsNet,
+        k: usize,
+        m: usize,
+        params: PrefBuildParams,
+        n_datasets: usize,
+        scores: Vec<Vec<f64>>,
+    ) -> Self {
         PrefMultiIndex {
             net,
             k,
             m,
             eps: params.eps,
             delta: params.delta,
-            n_datasets: synopses.len(),
+            n_datasets,
             scores,
             cache: Mutex::new(HashMap::new()),
         }

@@ -16,12 +16,21 @@
 
 use super::coreset::{build_coreset, rect_weights};
 use super::{PtileBuildParams, PtileRangeIndex};
+use crate::bitset::BitSet;
 use crate::framework::{Interval, LogicalExpr, MeasureFunction, Predicate};
+use crate::pool::{mix_seed, par_map, BuildOptions};
 use dds_geom::Rect;
-use dds_rangetree::{BuildableIndex, KdTree, OrthoIndex, Region};
+use dds_rangetree::{KdTree, OrthoIndex, Region};
 use dds_synopsis::PercentileSynopsis;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Per-dataset build output: the lifted `m`-tuples and the achieved budget.
+struct TuplePart {
+    lifted: Vec<Vec<f64>>,
+    eps_i: f64,
+    c_i: f64,
+}
 
 /// Errors answering logical expressions with the multi-predicate structure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,80 +94,150 @@ impl PtileMultiIndex {
     ) -> Self {
         assert!(!synopses.is_empty(), "repository must be non-empty");
         assert!(m >= 1, "need at least one predicate slot");
-        let dim = synopses[0].dim();
+        let inner = Self::per_slot_params(&params, m);
+        let n = synopses.len();
+        let parts: Vec<TuplePart> = synopses
+            .iter()
+            .enumerate()
+            .map(|(i, syn)| Self::dataset_part(i, syn, m, &params, &inner, n))
+            .collect();
+        let fallback = PtileRangeIndex::build(synopses, params.clone());
+        Self::from_parts(synopses[0].dim(), m, params.delta, parts, fallback, 1)
+    }
+
+    /// Worker-pool variant of [`build`](Self::build): datasets × canonical
+    /// rectangle tuples are enumerated on `opts.threads` scoped threads.
+    /// Bit-identical results for every thread count.
+    ///
+    /// # Panics
+    /// Panics if `synopses` is empty or `m == 0`.
+    pub fn build_opts<S: PercentileSynopsis + Sync>(
+        synopses: &[S],
+        m: usize,
+        params: PtileBuildParams,
+        opts: &BuildOptions,
+    ) -> Self {
+        assert!(!synopses.is_empty(), "repository must be non-empty");
+        assert!(m >= 1, "need at least one predicate slot");
+        let inner = Self::per_slot_params(&params, m);
+        let n = synopses.len();
+        let params_ref = &params;
+        let inner_ref = &inner;
+        let parts = par_map(opts, synopses, |i, syn| {
+            Self::dataset_part(i, syn, m, params_ref, inner_ref, n)
+        });
+        let fallback = PtileRangeIndex::build_opts(synopses, params.clone(), opts);
+        Self::from_parts(
+            synopses[0].dim(),
+            m,
+            params.delta,
+            parts,
+            fallback,
+            opts.threads,
+        )
+    }
+
+    /// The per-dataset rectangle budget re-split as `budget^(1/m)` so the
+    /// `|R_i|^m` tuple blow-up stays within `params.max_rects_per_dataset`.
+    fn per_slot_params(params: &PtileBuildParams, m: usize) -> PtileBuildParams {
         let tuple_budget = params.max_rects_per_dataset.max(1);
         let per_slot_budget = (tuple_budget as f64).powf(1.0 / m as f64).floor().max(1.0) as usize;
-        let inner = PtileBuildParams {
+        PtileBuildParams {
             max_rects_per_dataset: per_slot_budget,
             ..params.clone()
-        };
-        let fallback = PtileRangeIndex::build(synopses, params.clone());
+        }
+    }
 
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let n = synopses.len();
+    /// One dataset's tuple enumeration (Theorem C.8 preprocessing); pure
+    /// function of `(i, synopsis, params)` with a per-dataset RNG stream.
+    fn dataset_part<S: PercentileSynopsis>(
+        i: usize,
+        syn: &S,
+        m: usize,
+        params: &PtileBuildParams,
+        inner: &PtileBuildParams,
+        n: usize,
+    ) -> TuplePart {
+        let dim = syn.dim();
+        let mut rng = StdRng::seed_from_u64(mix_seed(params.seed, i as u64));
+        let cs = build_coreset(syn, inner, n, &mut rng);
+        let eps_i = super::params::effective_eps(cs.eps_i, params.eps_override);
+        let c_i = eps_i + params.delta;
+        let rects = cs.grid.enumerate_rects();
+        let weights = rect_weights(&cs.sample, &rects);
+        // Per-slot building block: (ρ⁻, ρ̂⁻, ρ⁺, ρ̂⁺).
+        let blocks: Vec<(Vec<f64>, f64)> = rects
+            .iter()
+            .zip(&weights)
+            .map(|(rect, &w)| {
+                let hat = cs.grid.one_step_expansion(rect);
+                let mut b = Vec::with_capacity(4 * dim);
+                b.extend_from_slice(rect.lo());
+                b.extend_from_slice(hat.lo());
+                b.extend_from_slice(rect.hi());
+                b.extend_from_slice(hat.hi());
+                (b, w)
+            })
+            .collect();
+        // Odometer over m slots.
+        let mut lifted = Vec::with_capacity(blocks.len().pow(m as u32));
+        let mut idx = vec![0usize; m];
+        loop {
+            let mut coords = Vec::with_capacity(4 * m * dim + 2 * m);
+            for &s in &idx {
+                coords.extend_from_slice(&blocks[s].0);
+            }
+            for &s in &idx {
+                coords.push(blocks[s].1 + c_i);
+                coords.push(blocks[s].1 - c_i);
+            }
+            lifted.push(coords);
+            let mut slot = 0;
+            loop {
+                if slot == m {
+                    break;
+                }
+                idx[slot] += 1;
+                if idx[slot] < blocks.len() {
+                    break;
+                }
+                idx[slot] = 0;
+                slot += 1;
+            }
+            if slot == m {
+                break;
+            }
+        }
+        TuplePart { lifted, eps_i, c_i }
+    }
+
+    /// Deterministic dataset-order merge of the tuple parts.
+    fn from_parts(
+        dim: usize,
+        m: usize,
+        delta: f64,
+        parts: Vec<TuplePart>,
+        fallback: PtileRangeIndex,
+        threads: usize,
+    ) -> Self {
+        let n = parts.len();
         let mut lifted: Vec<Vec<f64>> = Vec::new();
         let mut owner: Vec<u32> = Vec::new();
         let mut eps_max: f64 = 0.0;
         let mut max_combined: f64 = 0.0;
-        for (i, syn) in synopses.iter().enumerate() {
-            let cs = build_coreset(syn, &inner, n, &mut rng);
-            let eps_i = super::params::effective_eps(cs.eps_i, params.eps_override);
-            let c_i = eps_i + params.delta;
-            eps_max = eps_max.max(eps_i);
-            max_combined = max_combined.max(c_i);
-            let rects = cs.grid.enumerate_rects();
-            let weights = rect_weights(&cs.sample, &rects);
-            // Per-slot building block: (ρ⁻, ρ̂⁻, ρ⁺, ρ̂⁺).
-            let blocks: Vec<(Vec<f64>, f64)> = rects
-                .iter()
-                .zip(&weights)
-                .map(|(rect, &w)| {
-                    let hat = cs.grid.one_step_expansion(rect);
-                    let mut b = Vec::with_capacity(4 * dim);
-                    b.extend_from_slice(rect.lo());
-                    b.extend_from_slice(hat.lo());
-                    b.extend_from_slice(rect.hi());
-                    b.extend_from_slice(hat.hi());
-                    (b, w)
-                })
-                .collect();
-            // Odometer over m slots.
-            let mut idx = vec![0usize; m];
-            loop {
-                let mut coords = Vec::with_capacity(4 * m * dim + 2 * m);
-                for &s in &idx {
-                    coords.extend_from_slice(&blocks[s].0);
-                }
-                for &s in &idx {
-                    coords.push(blocks[s].1 + c_i);
-                    coords.push(blocks[s].1 - c_i);
-                }
-                owner.push(i as u32);
-                lifted.push(coords);
-                let mut slot = 0;
-                loop {
-                    if slot == m {
-                        break;
-                    }
-                    idx[slot] += 1;
-                    if idx[slot] < blocks.len() {
-                        break;
-                    }
-                    idx[slot] = 0;
-                    slot += 1;
-                }
-                if slot == m {
-                    break;
-                }
-            }
+        for (i, mut part) in parts.into_iter().enumerate() {
+            eps_max = eps_max.max(part.eps_i);
+            max_combined = max_combined.max(part.c_i);
+            owner.extend(std::iter::repeat_n(i as u32, part.lifted.len()));
+            lifted.append(&mut part.lifted);
         }
-        let tree = KdTree::build(4 * m * dim + 2 * m, lifted);
+        let tree = KdTree::build_par(4 * m * dim + 2 * m, lifted, threads);
         PtileMultiIndex {
             dim,
             m,
             n_datasets: n,
             eps_max,
-            delta: params.delta,
+            delta,
             max_combined,
             tree,
             owner,
@@ -245,34 +324,33 @@ impl PtileMultiIndex {
 
     /// Fallback: intersect single-predicate answers (correct superset with
     /// the same per-predicate bands; used when a widened band reaches 0).
+    /// The clause accumulator is a packed bitset — word-wise AND per
+    /// predicate instead of a byte-wise `Vec<bool>` zip.
     fn query_by_intersection(&mut self, preds: &[(Rect, Interval)]) -> Vec<usize> {
-        let mut acc: Option<Vec<bool>> = None;
+        let mut acc: Option<BitSet> = None;
         for (r, theta) in preds {
-            let hits = self.fallback.query(r, *theta);
-            let mut mask = vec![false; self.n_datasets];
-            for j in hits {
-                mask[j] = true;
+            let mut mask = BitSet::new(self.n_datasets);
+            for j in self.fallback.query(r, *theta) {
+                mask.insert(j);
             }
             acc = Some(match acc {
                 None => mask,
-                Some(prev) => prev.iter().zip(&mask).map(|(a, b)| *a && *b).collect(),
+                Some(mut prev) => {
+                    prev.and_assign(&mask);
+                    prev
+                }
             });
         }
-        acc.map(|mask| {
-            mask.iter()
-                .enumerate()
-                .filter(|(_, &b)| b)
-                .map(|(j, _)| j)
-                .collect()
-        })
-        .unwrap_or_default()
+        acc.map(|mask| mask.iter_ones().collect())
+            .unwrap_or_default()
     }
 
     /// Answers an arbitrary logical expression over percentile predicates:
-    /// DNF expansion, one conjunction query per clause, union of results.
+    /// DNF expansion, one conjunction query per clause, union of results
+    /// (cross-clause dedup through a packed bitset).
     pub fn query_expr(&mut self, expr: &LogicalExpr) -> Result<Vec<usize>, MultiQueryError> {
         let dnf = expr.to_dnf();
-        let mut seen = vec![false; self.n_datasets];
+        let mut seen = BitSet::new(self.n_datasets);
         let mut out = Vec::new();
         for clause in dnf {
             if clause.len() > self.m {
@@ -296,8 +374,7 @@ impl PtileMultiIndex {
                 })
                 .collect::<Result<_, _>>()?;
             for j in self.query(&preds) {
-                if !seen[j] {
-                    seen[j] = true;
+                if seen.insert(j) {
                     out.push(j);
                 }
             }

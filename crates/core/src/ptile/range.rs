@@ -34,11 +34,24 @@
 use super::coreset::{build_coreset, rect_weights};
 use super::PtileBuildParams;
 use crate::framework::Interval;
+use crate::pool::{mix_seed, par_map, BuildOptions};
 use dds_geom::Rect;
-use dds_rangetree::{BuildableIndex, KdTree, OrthoIndex, Region};
+use dds_rangetree::{KdTree, OrthoIndex, Region};
 use dds_synopsis::PercentileSynopsis;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Per-dataset build output: the lifted pair points, the per-dimension
+/// empty-slab triples and the achieved budget. Computed independently per
+/// dataset (own RNG stream), so datasets can build on worker threads in any
+/// order and merge back deterministically.
+struct RangePart {
+    lifted: Vec<Vec<f64>>,
+    /// `slabs[h]` = `(lo, hi, ε_i + δ_i)` triples for dimension `h`.
+    slabs: Vec<Vec<Vec<f64>>>,
+    eps_i: f64,
+    delta_i: f64,
+}
 
 /// Approximate percentile-range index (Theorem 4.11).
 ///
@@ -81,7 +94,7 @@ pub struct PtileRangeIndex {
 
 impl PtileRangeIndex {
     /// Builds the index (Algorithm 3 with one-step-expansion pairs) with a
-    /// uniform synopsis error bound `params.delta`.
+    /// uniform synopsis error bound `params.delta`, serially.
     ///
     /// # Panics
     /// Panics if `synopses` is empty or dimensions are inconsistent.
@@ -89,8 +102,19 @@ impl PtileRangeIndex {
         Self::build_with_deltas(synopses, None, params)
     }
 
+    /// Worker-pool variant of [`build`](Self::build): per-dataset work units
+    /// run on `opts.threads` scoped threads. Bit-identical results for every
+    /// thread count.
+    pub fn build_opts<S: PercentileSynopsis + Sync>(
+        synopses: &[S],
+        params: PtileBuildParams,
+        opts: &BuildOptions,
+    ) -> Self {
+        Self::build_with_deltas_opts(synopses, None, params, opts)
+    }
+
     /// Builds the index with per-dataset synopsis error bounds
-    /// (`deltas[i] = δ_i`, Remark 2 with known budgets).
+    /// (`deltas[i] = δ_i`, Remark 2 with known budgets), serially.
     ///
     /// # Panics
     /// Panics if `synopses` is empty, dimensions are inconsistent, or
@@ -100,6 +124,33 @@ impl PtileRangeIndex {
         deltas: Option<&[f64]>,
         params: PtileBuildParams,
     ) -> Self {
+        Self::check_build_inputs(synopses, deltas);
+        let n = synopses.len();
+        let parts: Vec<RangePart> = synopses
+            .iter()
+            .enumerate()
+            .map(|(i, syn)| Self::dataset_part(i, syn, deltas, &params, n))
+            .collect();
+        Self::from_parts(synopses[0].dim(), parts, 1)
+    }
+
+    /// Worker-pool variant of [`build_with_deltas`](Self::build_with_deltas).
+    pub fn build_with_deltas_opts<S: PercentileSynopsis + Sync>(
+        synopses: &[S],
+        deltas: Option<&[f64]>,
+        params: PtileBuildParams,
+        opts: &BuildOptions,
+    ) -> Self {
+        Self::check_build_inputs(synopses, deltas);
+        let n = synopses.len();
+        let params = &params;
+        let parts = par_map(opts, synopses, |i, syn| {
+            Self::dataset_part(i, syn, deltas, params, n)
+        });
+        Self::from_parts(synopses[0].dim(), parts, opts.threads)
+    }
+
+    fn check_build_inputs<S: PercentileSynopsis>(synopses: &[S], deltas: Option<&[f64]>) {
         assert!(!synopses.is_empty(), "repository must be non-empty");
         let dim = synopses[0].dim();
         assert!(
@@ -109,8 +160,57 @@ impl PtileRangeIndex {
         if let Some(d) = deltas {
             assert_eq!(d.len(), synopses.len(), "one delta per synopsis");
         }
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let n = synopses.len();
+    }
+
+    /// One dataset's build work unit (Algorithm 3 lines 3–7): pure function
+    /// of `(i, synopsis, params)` — its RNG is seeded per dataset, so the
+    /// unit computes the same part on any thread in any order.
+    fn dataset_part<S: PercentileSynopsis>(
+        i: usize,
+        syn: &S,
+        deltas: Option<&[f64]>,
+        params: &PtileBuildParams,
+        n: usize,
+    ) -> RangePart {
+        let dim = syn.dim();
+        let mut rng = StdRng::seed_from_u64(mix_seed(params.seed, i as u64));
+        let cs = build_coreset(syn, params, n, &mut rng);
+        let eps_i = super::params::effective_eps(cs.eps_i, params.eps_override);
+        let delta_i = deltas.map_or(params.delta, |d| d[i]);
+        let c_i = eps_i + delta_i;
+        let rects = cs.grid.enumerate_rects();
+        let weights = rect_weights(&cs.sample, &rects);
+        let mut lifted = Vec::with_capacity(rects.len());
+        for (rect, w) in rects.iter().zip(weights) {
+            let hat = cs.grid.one_step_expansion(rect);
+            let mut coords = Vec::with_capacity(4 * dim + 2);
+            coords.extend_from_slice(rect.lo());
+            coords.extend_from_slice(hat.lo());
+            coords.extend_from_slice(rect.hi());
+            coords.extend_from_slice(hat.hi());
+            coords.push(w + c_i);
+            coords.push(w - c_i);
+            lifted.push(coords);
+        }
+        let mut slabs = vec![Vec::new(); dim];
+        for (h, slabs_h) in slabs.iter_mut().enumerate() {
+            for (lo, hi) in cs.grid.empty_slabs(h) {
+                slabs_h.push(vec![lo, hi, c_i]);
+            }
+        }
+        RangePart {
+            lifted,
+            slabs,
+            eps_i,
+            delta_i,
+        }
+    }
+
+    /// Deterministic merge: parts are concatenated in dataset order, so the
+    /// lifted array, owner table and aux structures match the serial build
+    /// exactly regardless of which worker produced which part.
+    fn from_parts(dim: usize, parts: Vec<RangePart>, threads: usize) -> Self {
+        let n = parts.len();
         let mut lifted: Vec<Vec<f64>> = Vec::new();
         let mut owner: Vec<u32> = Vec::new();
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -119,40 +219,22 @@ impl PtileRangeIndex {
         let mut combined: Vec<f64> = Vec::with_capacity(n);
         let mut eps_max: f64 = 0.0;
         let mut delta_max: f64 = 0.0;
-        for (i, syn) in synopses.iter().enumerate() {
-            let cs = build_coreset(syn, &params, n, &mut rng);
-            let eps_i = super::params::effective_eps(cs.eps_i, params.eps_override);
-            let delta_i = deltas.map_or(params.delta, |d| d[i]);
-            let c_i = eps_i + delta_i;
-            eps_max = eps_max.max(eps_i);
-            delta_max = delta_max.max(delta_i);
-            combined.push(c_i);
-            let rects = cs.grid.enumerate_rects();
-            let weights = rect_weights(&cs.sample, &rects);
-            for (rect, w) in rects.iter().zip(weights) {
-                let hat = cs.grid.one_step_expansion(rect);
-                let mut coords = Vec::with_capacity(4 * dim + 2);
-                coords.extend_from_slice(rect.lo());
-                coords.extend_from_slice(hat.lo());
-                coords.extend_from_slice(rect.hi());
-                coords.extend_from_slice(hat.hi());
-                coords.push(w + c_i);
-                coords.push(w - c_i);
-                groups[i].push(lifted.len());
-                owner.push(i as u32);
-                lifted.push(coords);
-            }
-            for h in 0..dim {
-                for (lo, hi) in cs.grid.empty_slabs(h) {
-                    aux_points[h].push(vec![lo, hi, c_i]);
-                    aux_owner[h].push(i as u32);
-                }
+        for (i, mut part) in parts.into_iter().enumerate() {
+            eps_max = eps_max.max(part.eps_i);
+            delta_max = delta_max.max(part.delta_i);
+            combined.push(part.eps_i + part.delta_i);
+            groups[i].extend(lifted.len()..lifted.len() + part.lifted.len());
+            owner.extend(std::iter::repeat_n(i as u32, part.lifted.len()));
+            lifted.append(&mut part.lifted);
+            for (h, mut slabs_h) in part.slabs.drain(..).enumerate() {
+                aux_owner[h].extend(std::iter::repeat_n(i as u32, slabs_h.len()));
+                aux_points[h].append(&mut slabs_h);
             }
         }
-        let tree = KdTree::build(4 * dim + 2, lifted);
+        let tree = KdTree::build_par(4 * dim + 2, lifted, threads);
         let aux = aux_points
             .into_iter()
-            .map(|pts| KdTree::build(3, pts))
+            .map(|pts| KdTree::build_par(3, pts, threads))
             .collect();
         let max_combined = combined.iter().fold(0.0f64, |a, &b| a.max(b));
         PtileRangeIndex {

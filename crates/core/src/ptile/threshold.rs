@@ -23,11 +23,20 @@
 
 use super::coreset::{build_coreset, rect_weights};
 use super::PtileBuildParams;
+use crate::pool::{mix_seed, par_map, BuildOptions};
 use dds_geom::Rect;
-use dds_rangetree::{BuildableIndex, DeletableIndex, KdTree, OrthoIndex, Region, SortedScores};
+use dds_rangetree::{DeletableIndex, KdTree, OrthoIndex, Region, SortedScores};
 use dds_synopsis::PercentileSynopsis;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Per-dataset build output of Algorithm 1 (see `RangePart` in `range.rs`
+/// for the merging discipline).
+struct ThresholdPart {
+    lifted: Vec<Vec<f64>>,
+    eps_i: f64,
+    delta_i: f64,
+}
 
 /// Approximate percentile-threshold index (Theorem 4.4).
 #[derive(Clone, Debug)]
@@ -50,7 +59,7 @@ pub struct PtileThresholdIndex {
 
 impl PtileThresholdIndex {
     /// Builds the index with a uniform synopsis error bound `params.delta`
-    /// (Algorithm 1).
+    /// (Algorithm 1), serially.
     ///
     /// # Panics
     /// Panics if `synopses` is empty or dimensions are inconsistent.
@@ -58,8 +67,19 @@ impl PtileThresholdIndex {
         Self::build_with_deltas(synopses, None, params)
     }
 
+    /// Worker-pool variant of [`build`](Self::build): per-dataset work units
+    /// run on `opts.threads` scoped threads. Bit-identical results for every
+    /// thread count.
+    pub fn build_opts<S: PercentileSynopsis + Sync>(
+        synopses: &[S],
+        params: PtileBuildParams,
+        opts: &BuildOptions,
+    ) -> Self {
+        Self::build_with_deltas_opts(synopses, None, params, opts)
+    }
+
     /// Builds the index with *per-dataset* synopsis error bounds
-    /// (`deltas[i] = δ_i`, Remark 2 with known budgets).
+    /// (`deltas[i] = δ_i`, Remark 2 with known budgets), serially.
     ///
     /// # Panics
     /// Panics if `synopses` is empty, dimensions are inconsistent, or
@@ -69,6 +89,33 @@ impl PtileThresholdIndex {
         deltas: Option<&[f64]>,
         params: PtileBuildParams,
     ) -> Self {
+        Self::check_build_inputs(synopses, deltas);
+        let n = synopses.len();
+        let parts: Vec<ThresholdPart> = synopses
+            .iter()
+            .enumerate()
+            .map(|(i, syn)| Self::dataset_part(i, syn, deltas, &params, n))
+            .collect();
+        Self::from_parts(synopses[0].dim(), parts, 1)
+    }
+
+    /// Worker-pool variant of [`build_with_deltas`](Self::build_with_deltas).
+    pub fn build_with_deltas_opts<S: PercentileSynopsis + Sync>(
+        synopses: &[S],
+        deltas: Option<&[f64]>,
+        params: PtileBuildParams,
+        opts: &BuildOptions,
+    ) -> Self {
+        Self::check_build_inputs(synopses, deltas);
+        let n = synopses.len();
+        let params = &params;
+        let parts = par_map(opts, synopses, |i, syn| {
+            Self::dataset_part(i, syn, deltas, params, n)
+        });
+        Self::from_parts(synopses[0].dim(), parts, opts.threads)
+    }
+
+    fn check_build_inputs<S: PercentileSynopsis>(synopses: &[S], deltas: Option<&[f64]>) {
         assert!(!synopses.is_empty(), "repository must be non-empty");
         let dim = synopses[0].dim();
         assert!(
@@ -78,34 +125,57 @@ impl PtileThresholdIndex {
         if let Some(d) = deltas {
             assert_eq!(d.len(), synopses.len(), "one delta per synopsis");
         }
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let n = synopses.len();
+    }
+
+    /// One dataset's Algorithm-1 work unit; pure function of
+    /// `(i, synopsis, params)` with a per-dataset RNG stream.
+    fn dataset_part<S: PercentileSynopsis>(
+        i: usize,
+        syn: &S,
+        deltas: Option<&[f64]>,
+        params: &PtileBuildParams,
+        n: usize,
+    ) -> ThresholdPart {
+        let dim = syn.dim();
+        let mut rng = StdRng::seed_from_u64(mix_seed(params.seed, i as u64));
+        let cs = build_coreset(syn, params, n, &mut rng);
+        let eps_i = super::params::effective_eps(cs.eps_i, params.eps_override);
+        let delta_i = deltas.map_or(params.delta, |d| d[i]);
+        let rects = cs.grid.enumerate_rects();
+        let weights = rect_weights(&cs.sample, &rects);
+        let mut lifted = Vec::with_capacity(rects.len());
+        for (rect, w) in rects.iter().zip(weights) {
+            let mut coords = Vec::with_capacity(2 * dim + 1);
+            coords.extend_from_slice(rect.lo());
+            coords.extend_from_slice(rect.hi());
+            coords.push(w + eps_i + delta_i);
+            lifted.push(coords);
+        }
+        ThresholdPart {
+            lifted,
+            eps_i,
+            delta_i,
+        }
+    }
+
+    /// Deterministic dataset-order merge (see `RangePart`).
+    fn from_parts(dim: usize, parts: Vec<ThresholdPart>, threads: usize) -> Self {
+        let n = parts.len();
         let mut lifted: Vec<Vec<f64>> = Vec::new();
         let mut owner: Vec<u32> = Vec::new();
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut combined: Vec<f64> = Vec::with_capacity(n);
         let mut eps_max: f64 = 0.0;
         let mut delta_max: f64 = 0.0;
-        for (i, syn) in synopses.iter().enumerate() {
-            let cs = build_coreset(syn, &params, n, &mut rng);
-            let eps_i = super::params::effective_eps(cs.eps_i, params.eps_override);
-            let delta_i = deltas.map_or(params.delta, |d| d[i]);
-            eps_max = eps_max.max(eps_i);
-            delta_max = delta_max.max(delta_i);
-            combined.push(eps_i + delta_i);
-            let rects = cs.grid.enumerate_rects();
-            let weights = rect_weights(&cs.sample, &rects);
-            for (rect, w) in rects.iter().zip(weights) {
-                let mut coords = Vec::with_capacity(2 * dim + 1);
-                coords.extend_from_slice(rect.lo());
-                coords.extend_from_slice(rect.hi());
-                coords.push(w + eps_i + delta_i);
-                groups[i].push(lifted.len());
-                owner.push(i as u32);
-                lifted.push(coords);
-            }
+        for (i, mut part) in parts.into_iter().enumerate() {
+            eps_max = eps_max.max(part.eps_i);
+            delta_max = delta_max.max(part.delta_i);
+            combined.push(part.eps_i + part.delta_i);
+            groups[i].extend(lifted.len()..lifted.len() + part.lifted.len());
+            owner.extend(std::iter::repeat_n(i as u32, part.lifted.len()));
+            lifted.append(&mut part.lifted);
         }
-        let tree = KdTree::build(2 * dim + 1, lifted);
+        let tree = KdTree::build_par(2 * dim + 1, lifted, threads);
         let degenerate = SortedScores::build(&combined);
         PtileThresholdIndex {
             dim,

@@ -14,6 +14,9 @@ use crate::{BuildableIndex, DeletableIndex, OrthoIndex, Region};
 
 const LEAF_SIZE: usize = 8;
 const NONE: u32 = u32::MAX;
+/// Subtrees smaller than this are built on the current thread: below a few
+/// thousand points the spawn/join cost exceeds the partitioning work.
+const PAR_BUILD_THRESHOLD: usize = 4096;
 
 #[derive(Clone, Debug)]
 struct Node {
@@ -65,6 +68,7 @@ impl KdTree {
         offset: usize,
         parent: u32,
         dim: usize,
+        threads: usize,
     ) -> u32 {
         debug_assert!(!perm.is_empty());
         // Bounding box of the subtree.
@@ -78,17 +82,18 @@ impl KdTree {
             }
         }
         let ni = nodes.len() as u32;
+        let n_points = perm.len();
         nodes.push(Node {
             lo: lo.clone().into_boxed_slice(),
             hi: hi.clone().into_boxed_slice(),
             start: offset as u32,
-            end: (offset + perm.len()) as u32,
+            end: (offset + n_points) as u32,
             left: NONE,
             right: NONE,
             parent,
-            alive: perm.len() as u32,
+            alive: n_points as u32,
         });
-        if perm.len() <= LEAF_SIZE {
+        if n_points <= LEAF_SIZE {
             return ni;
         }
         // Split on the widest axis at the median. NaN-free by construction
@@ -96,16 +101,60 @@ impl KdTree {
         let axis = (0..dim)
             .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
             .expect("dim >= 1");
-        let mid = perm.len() / 2;
+        let mid = n_points / 2;
         perm.select_nth_unstable_by(mid, |&a, &b| {
             points[a as usize][axis].total_cmp(&points[b as usize][axis])
         });
         let (left_perm, right_perm) = perm.split_at_mut(mid);
-        let l = Self::build_rec(nodes, points, left_perm, offset, ni, dim);
-        let r = Self::build_rec(nodes, points, right_perm, offset + mid, ni, dim);
+        if threads >= 2 && n_points >= PAR_BUILD_THRESHOLD {
+            // Build the left subtree on a scoped worker and the right on the
+            // current thread, splitting the thread budget. Each subtree is
+            // built into a fresh node arena with local indices and spliced
+            // back in serial DFS-preorder position, so the resulting node
+            // array is bit-identical to the single-threaded build.
+            let lt = threads / 2;
+            let rt = threads - lt;
+            let (left_nodes, right_nodes) = std::thread::scope(|s| {
+                let handle = s.spawn(move || {
+                    let mut ln = Vec::new();
+                    Self::build_rec(&mut ln, points, left_perm, offset, NONE, dim, lt);
+                    ln
+                });
+                let mut rn = Vec::new();
+                Self::build_rec(&mut rn, points, right_perm, offset + mid, NONE, dim, rt);
+                (handle.join().expect("kd-tree build worker panicked"), rn)
+            });
+            let l = Self::splice_subtree(nodes, left_nodes, ni);
+            let r = Self::splice_subtree(nodes, right_nodes, ni);
+            nodes[ni as usize].left = l;
+            nodes[ni as usize].right = r;
+            return ni;
+        }
+        let l = Self::build_rec(nodes, points, left_perm, offset, ni, dim, threads);
+        let r = Self::build_rec(nodes, points, right_perm, offset + mid, ni, dim, threads);
         nodes[ni as usize].left = l;
         nodes[ni as usize].right = r;
         ni
+    }
+
+    /// Appends a subtree arena (indices local, root at 0 with parent
+    /// `NONE`) to `nodes`, rebasing node links and attaching the root to
+    /// `parent`. Returns the root's absolute index.
+    fn splice_subtree(nodes: &mut Vec<Node>, subtree: Vec<Node>, parent: u32) -> u32 {
+        let base = nodes.len() as u32;
+        nodes.extend(subtree.into_iter().map(|mut node| {
+            node.parent = if node.parent == NONE {
+                parent
+            } else {
+                node.parent + base
+            };
+            if node.left != NONE {
+                node.left += base;
+                node.right += base;
+            }
+            node
+        }));
+        base
     }
 
     fn report_rec(&self, ni: u32, region: &Region, out: &mut Vec<usize>) {
@@ -212,8 +261,13 @@ impl KdTree {
     }
 }
 
-impl BuildableIndex for KdTree {
-    fn build(dim: usize, points: Vec<Vec<f64>>) -> Self {
+impl KdTree {
+    /// Builds the tree with up to `threads` scoped worker threads splitting
+    /// the subtree recursion. The node array, point order and every query
+    /// answer are **bit-identical** to [`BuildableIndex::build`] regardless
+    /// of `threads` (the parallel path splices subtrees back in serial
+    /// DFS-preorder position).
+    pub fn build_par(dim: usize, points: Vec<Vec<f64>>, threads: usize) -> Self {
         assert!(dim >= 1, "kd-tree requires dim >= 1");
         let n = points.len();
         assert!(n < u32::MAX as usize, "too many points for u32 ids");
@@ -235,7 +289,7 @@ impl BuildableIndex for KdTree {
         }
         let mut perm: Vec<u32> = (0..n as u32).collect();
         let mut nodes = Vec::with_capacity(2 * n / LEAF_SIZE + 1);
-        Self::build_rec(&mut nodes, &points, &mut perm, 0, NONE, dim);
+        Self::build_rec(&mut nodes, &points, &mut perm, 0, NONE, dim, threads.max(1));
         // Materialize tree order.
         let mut coords = Vec::with_capacity(n * dim);
         let mut ids = Vec::with_capacity(n);
@@ -266,6 +320,12 @@ impl BuildableIndex for KdTree {
             nodes,
             n_alive: n,
         }
+    }
+}
+
+impl BuildableIndex for KdTree {
+    fn build(dim: usize, points: Vec<Vec<f64>>) -> Self {
+        Self::build_par(dim, points, 1)
     }
 }
 
@@ -461,6 +521,42 @@ mod tests {
         let mut out = vec![];
         t.report(&strict, &mut out);
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        // Enough points to cross PAR_BUILD_THRESHOLD several levels deep.
+        let n = 20_000;
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x = (i as f64 * 0.7371) % 97.0;
+                let y = (i as f64 * 1.3113) % 53.0;
+                vec![x, y, (x * y) % 11.0]
+            })
+            .collect();
+        let serial = KdTree::build(3, pts.clone());
+        for threads in [2, 3, 8] {
+            let par = KdTree::build_par(3, pts.clone(), threads);
+            assert_eq!(par.ids, serial.ids, "threads = {threads}");
+            assert_eq!(par.coords, serial.coords, "threads = {threads}");
+            assert_eq!(par.nodes.len(), serial.nodes.len());
+            for (a, b) in par.nodes.iter().zip(&serial.nodes) {
+                assert_eq!(a.lo, b.lo);
+                assert_eq!(a.hi, b.hi);
+                assert_eq!(
+                    (a.start, a.end, a.left, a.right, a.parent, a.alive),
+                    (b.start, b.end, b.left, b.right, b.parent, b.alive)
+                );
+            }
+            let region = Region::all(3)
+                .with_lo(0, 30.0, false)
+                .with_hi(1, 20.0, true);
+            let mut got = vec![];
+            let mut want = vec![];
+            par.report(&region, &mut got);
+            serial.report(&region, &mut want);
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

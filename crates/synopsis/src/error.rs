@@ -9,7 +9,9 @@
 use crate::exact::ExactSynopsis;
 use crate::{PercentileSynopsis, PrefSynopsis};
 use dds_geom::{Point, Rect};
-use rand::{Rng, RngCore};
+use dds_pool::{mix_seed, par_map, BuildOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Draws a random axis-parallel rectangle whose corners are data points
 /// (plus jitter), a standard adversarial family for percentile probes.
@@ -50,6 +52,32 @@ pub fn estimate_percentile_error<S: PercentileSynopsis + ?Sized>(
         worst = worst.max((exact - approx).abs());
     }
     worst
+}
+
+/// Measures every synopsis of a federation against its raw dataset — the
+/// per-dataset `δ_i` sweep of the federated setting — on a worker pool.
+///
+/// Dataset `i` probes `trials` rectangles drawn from its own RNG stream
+/// (seeded `mix_seed(seed, i)`), so the result is independent of the thread
+/// count and of the order in which workers claim datasets; `opts.threads`
+/// controls the pool ([`BuildOptions::default`] uses every core, honoring
+/// `DDS_THREADS`).
+///
+/// # Panics
+/// Panics if `synopses` and `datas` have different lengths or any dataset
+/// is empty.
+pub fn estimate_percentile_errors<S: PercentileSynopsis + Sync>(
+    synopses: &[S],
+    datas: &[Vec<Point>],
+    trials: usize,
+    seed: u64,
+    opts: &BuildOptions,
+) -> Vec<f64> {
+    assert_eq!(synopses.len(), datas.len(), "one raw dataset per synopsis");
+    par_map(opts, synopses, |i, syn| {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, i as u64));
+        estimate_percentile_error(syn, &datas[i], trials, &mut rng)
+    })
 }
 
 /// Estimates `Err_{S_P}(F_k^d) = max_v |ω_k(P, v) − Score(v, k)|` by probing
@@ -120,6 +148,33 @@ mod tests {
             e_fine < e_coarse,
             "fine {e_fine} should beat coarse {e_coarse}"
         );
+    }
+
+    #[test]
+    fn batch_sweep_is_thread_count_independent() {
+        let datas: Vec<Vec<Point>> = (0..6).map(|i| uniform_square(400, 10 + i)).collect();
+        let synopses: Vec<GridHistogram> = datas
+            .iter()
+            .map(|d| GridHistogram::from_points(d, 8))
+            .collect();
+        let serial =
+            estimate_percentile_errors(&synopses, &datas, 40, 0xD5, &BuildOptions::serial());
+        assert_eq!(serial.len(), 6);
+        assert!(serial.iter().all(|&d| d > 0.0));
+        for threads in [2, 3, 8] {
+            let par = estimate_percentile_errors(
+                &synopses,
+                &datas,
+                40,
+                0xD5,
+                &BuildOptions::with_threads(threads),
+            );
+            assert_eq!(
+                par.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                serial.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

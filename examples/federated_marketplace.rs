@@ -11,6 +11,7 @@
 use dds_core::baseline::SynopsisScanPtile;
 use dds_core::framework::{Interval, Repository};
 use dds_core::guarantee::check_ptile;
+use dds_core::pool::BuildOptions;
 use dds_core::ptile::{PtileBuildParams, PtileRangeIndex};
 use dds_geom::Point;
 use dds_synopsis::{
@@ -29,12 +30,13 @@ fn main() {
     let repo = Repository::from_point_sets(sets.clone());
     let mut rng = StdRng::seed_from_u64(100);
 
-    // Every data owner publishes a synopsis of their choice.
+    // Every data owner publishes a synopsis of their choice. (`+ Sync` so
+    // the marketplace can sweep and index them on the worker pool.)
     println!("data owners publish synopses (no raw data leaves the owner):");
-    let synopses: Vec<Box<dyn PercentileSynopsis>> = sets
+    let synopses: Vec<Box<dyn PercentileSynopsis + Sync>> = sets
         .iter()
         .enumerate()
-        .map(|(i, pts)| -> Box<dyn PercentileSynopsis> {
+        .map(|(i, pts)| -> Box<dyn PercentileSynopsis + Sync> {
             match i % 3 {
                 0 => Box::new(GridHistogram::from_points(pts, 128)),
                 1 => Box::new(GaussianMixtureSynopsis::fit(pts, 8, 12, &mut rng)),
@@ -47,15 +49,14 @@ fn main() {
 
     // The marketplace measures δ per owner (Remark 2 with known budgets):
     // a coarse mixture synopsis gets a wide personal band, a fine histogram
-    // a tight one — nobody pays for the worst publisher.
+    // a tight one — nobody pays for the worst publisher. The whole-federation
+    // sweep fans out over the worker pool (DDS_THREADS / all cores), one RNG
+    // stream per owner — same δ_i at every thread count.
+    let opts = BuildOptions::default();
     let t0 = Instant::now();
-    let deltas: Vec<f64> = synopses
-        .iter()
-        .zip(&sets)
-        .map(|(syn, pts)| {
-            (1.5 * error::estimate_percentile_error(syn, pts, 120, &mut rng) + 0.01)
-                .clamp(0.01, 0.5)
-        })
+    let deltas: Vec<f64> = error::estimate_percentile_errors(&synopses, &sets, 120, 101, &opts)
+        .into_iter()
+        .map(|d| (1.5 * d + 0.01).clamp(0.01, 0.5))
         .collect();
     let delta_max = deltas.iter().fold(0.0f64, |a, &b| a.max(b));
     let delta_med = {
@@ -79,7 +80,8 @@ fn main() {
     let params = PtileBuildParams::default()
         .with_rect_budget(8192)
         .with_empirical_eps(0.12);
-    let mut index = PtileRangeIndex::build_with_deltas(&synopses, Some(&deltas), params);
+    let mut index =
+        PtileRangeIndex::build_with_deltas_opts(&synopses, Some(&deltas), params, &opts);
     println!(
         "federated index: {} lifted points, eps = {:.3}, band = ±{:.3}, built in {:.1?}\n",
         index.lifted_points(),

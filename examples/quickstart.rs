@@ -25,11 +25,17 @@ fn main() {
         repo.total_points()
     );
 
+    // Builds run on a scoped worker pool; the default resolves DDS_THREADS
+    // and falls back to all available cores. Any thread count produces
+    // bit-identical indexes, so this is purely a build-latency knob.
+    let opts = BuildOptions::default();
+    println!("building with {} worker thread(s)\n", opts.threads);
+
     // ---- Ptile: threshold predicate -------------------------------------
     // "Which datasets have at least 20% of their points in [3, 8]?"
     let synopses = repo.exact_synopses();
     let mut threshold =
-        PtileThresholdIndex::build(&synopses, PtileBuildParams::exact_centralized());
+        PtileThresholdIndex::build_opts(&synopses, PtileBuildParams::exact_centralized(), &opts);
     let region = Rect::interval(3.0, 8.0);
     let hits = threshold.query(&region, 0.2);
     println!("Ptile threshold  M_[3,8] >= 0.20:");
@@ -43,7 +49,8 @@ fn main() {
 
     // ---- Ptile: range predicate ------------------------------------------
     // "…between 20% and 40%?" — needs the maximal-rectangle structure.
-    let mut range = PtileRangeIndex::build(&synopses, PtileBuildParams::exact_centralized());
+    let mut range =
+        PtileRangeIndex::build_opts(&synopses, PtileBuildParams::exact_centralized(), &opts);
     let hits = range.query(&region, Interval::new(0.2, 0.4));
     println!("\nPtile range  M_[3,8] in [0.20, 0.40]:");
     for j in &hits {
@@ -56,7 +63,7 @@ fn main() {
 
     // ---- Pref: top-k preference threshold --------------------------------
     // "Which datasets have at least 2 points scoring >= 6.0 along v = (1)?"
-    let pref = PrefIndex::build(&synopses, 2, PrefBuildParams::exact_centralized());
+    let pref = PrefIndex::build_opts(&synopses, 2, PrefBuildParams::exact_centralized(), &opts);
     let hits = pref.query(&[1.0], 6.0);
     println!("\nPref  omega_2(P, v=[1]) >= 6.0:");
     for j in &hits {

@@ -41,6 +41,15 @@
 //! hits.sort_unstable();
 //! assert_eq!(hits, vec![0, 1]);
 //! ```
+//!
+//! ## Threading
+//!
+//! Index construction runs on a scoped std-thread worker pool. Every index
+//! offers a `*_opts` constructor taking a [`prelude::BuildOptions`] (thread
+//! count; the default resolves `DDS_THREADS` and falls back to all available
+//! cores), and `MixedQueryEngine::build` uses the default pool implicitly.
+//! The thread count **never** changes results: parallel builds are
+//! bit-identical to serial ones for every index family.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -52,10 +61,12 @@ pub use dds_workload as workload;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use dds_core::bitset::BitSet;
     pub use dds_core::engine::MixedQueryEngine;
     pub use dds_core::framework::{
         Dataset, Interval, LogicalExpr, MeasureFunction, Predicate, Repository,
     };
+    pub use dds_core::pool::BuildOptions;
     pub use dds_core::pref::{PrefBuildParams, PrefIndex, PrefMultiIndex};
     pub use dds_core::ptile::{
         ExactCPtile1D, PtileBuildParams, PtileMultiIndex, PtileRangeIndex, PtileThresholdIndex,
