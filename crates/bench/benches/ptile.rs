@@ -16,7 +16,7 @@ fn bench_threshold_query(c: &mut Criterion) {
     group.sample_size(20);
     for n in [1000usize, 4000] {
         let wl = clustered_workload(n, 300, 1, 0xBE);
-        let mut idx = PtileThresholdIndex::build(&wl.synopses, params());
+        let idx = PtileThresholdIndex::build(&wl.synopses, params());
         let queries = ptile_queries(&wl, 8, 10, idx.margin(), 0xBE + 1);
         group.bench_with_input(BenchmarkId::new("index", n), &n, |b, _| {
             let mut i = 0;
@@ -45,7 +45,7 @@ fn bench_range_query(c: &mut Criterion) {
     group.sample_size(20);
     for n in [1000usize, 4000] {
         let wl = clustered_workload(n, 300, 1, 0xBF);
-        let mut idx = PtileRangeIndex::build(&wl.synopses, params());
+        let idx = PtileRangeIndex::build(&wl.synopses, params());
         let queries = ptile_queries(&wl, 8, 10, idx.margin(), 0xBF + 1);
         group.bench_with_input(BenchmarkId::new("index", n), &n, |b, _| {
             let mut i = 0;
@@ -67,7 +67,7 @@ fn bench_multi_query(c: &mut Criterion) {
     let p = PtileBuildParams::default()
         .with_rect_budget(4096)
         .with_empirical_eps(0.2);
-    let mut idx = PtileMultiIndex::build(&wl.synopses, 2, p);
+    let idx = PtileMultiIndex::build(&wl.synopses, 2, p);
     let queries = ptile_queries(&wl, 8, 15, idx.margin(), 0xC0 + 1);
     group.bench_function("conjunction", |b| {
         let mut i = 0;

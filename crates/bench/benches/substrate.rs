@@ -1,12 +1,16 @@
 //! Criterion micro-benchmarks for the substrates: orthogonal search
 //! backends (A2 companion), dynamic updates (E9), the exact 1-d
-//! structure (E4) and the worker pool behind the parallel builds.
+//! structure (E4), the worker pool behind the parallel builds, and the
+//! batch query API (E12 companion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dds_bench::experiments::setup::{clustered_workload, mixed_workload};
-use dds_core::framework::{Interval, Repository};
+use dds_bench::experiments::setup::{clustered_workload, mixed_workload, ptile_queries};
+use dds_core::engine::MixedQueryEngine;
+use dds_core::framework::{Interval, LogicalExpr, Predicate, Repository};
 use dds_core::pool::{mix_seed, par_map, BuildOptions};
+use dds_core::pref::PrefBuildParams;
 use dds_core::ptile::{DynamicPtileIndex, ExactCPtile1D, PtileBuildParams};
+use dds_core::scratch::QueryScratch;
 use dds_rangetree::{BruteForce, BuildableIndex, KdTree, OrthoIndex, RangeTree, Region};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -121,11 +125,60 @@ fn bench_pool(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_query");
+    group.sample_size(10);
+    let wl = mixed_workload(1000, 300, 1, 0xB12);
+    let repo = Repository::from_point_sets(wl.sets.clone());
+    let engine = MixedQueryEngine::build(
+        &repo,
+        &[1],
+        PtileBuildParams::default().with_rect_budget(496),
+        PrefBuildParams::exact_centralized().with_eps(0.05),
+    );
+    let qs = ptile_queries(&wl, 16, 10, engine.ptile_slack() / 2.0, 0xB12 + 1);
+    let exprs: Vec<LogicalExpr> = (0..128)
+        .map(|i| {
+            let q = &qs[i % qs.len()];
+            LogicalExpr::Or(vec![
+                LogicalExpr::And(vec![
+                    LogicalExpr::Pred(Predicate::percentile(q.rect.clone(), q.theta)),
+                    LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0], 1, 40.0)),
+                ]),
+                LogicalExpr::Pred(Predicate::percentile_at_least(q.rect.clone(), q.a)),
+            ])
+        })
+        .collect();
+    // Baseline: the naive sequential loop (fresh scratch per query).
+    group.bench_function("sequential_fresh_scratch", |b| {
+        b.iter(|| exprs.iter().map(|e| engine.query(e)).collect::<Vec<_>>())
+    });
+    // Sequential loop with one reused scratch (allocation-free inner state).
+    group.bench_function("sequential_reused_scratch", |b| {
+        b.iter(|| {
+            let mut scratch = QueryScratch::new();
+            exprs
+                .iter()
+                .map(|e| engine.query_with(e, &mut scratch))
+                .collect::<Vec<_>>()
+        })
+    });
+    // The batch API: shared mask cache + per-worker scratch over the pool.
+    for threads in [1usize, 2, 4, 8] {
+        let opts = BuildOptions::with_threads(threads);
+        group.bench_function(BenchmarkId::new("query_batch_threads", threads), |b| {
+            b.iter(|| engine.query_batch_opts(&exprs, &opts))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_backends,
     bench_dynamic_insert,
     bench_exact1d,
-    bench_pool
+    bench_pool,
+    bench_batch_query
 );
 criterion_main!(benches);

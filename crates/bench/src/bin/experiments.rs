@@ -8,10 +8,44 @@
 //! ```
 
 use dds_bench::experiments::{
-    ablations, exact, federated, lowerbound, pref, ptile, scaling, Scale,
+    ablations, batch, exact, federated, lowerbound, pref, ptile, scaling, Scale,
 };
 use dds_bench::Table;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::Ordering;
 use std::time::Instant;
+
+/// Counting global allocator: feeds `dds_bench::alloc::ALLOCATIONS` so E12
+/// can report measured allocations per query. Lives in the binary because
+/// the library crate forbids `unsafe`; the counter itself is a relaxed
+/// atomic add, cheap enough to leave on for the whole run.
+struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; only adds a relaxed counter
+// increment on the allocation paths.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        dds_bench::alloc::ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        dds_bench::alloc::ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        dds_bench::alloc::ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 type Experiment = (&'static str, &'static str, fn(Scale) -> Table);
 
@@ -65,8 +99,13 @@ const EXPERIMENTS: &[Experiment] = &[
     ),
     (
         "--e12",
+        "Batch query throughput (worker pool)",
+        batch::e12_batch_query_throughput,
+    ),
+    (
+        "--e13",
         "Set-intersection reduction (Thm 3.4)",
-        lowerbound::e12_set_intersection,
+        lowerbound::e13_set_intersection,
     ),
     (
         "--a1",
@@ -92,6 +131,7 @@ const EXPERIMENTS: &[Experiment] = &[
 ];
 
 fn main() {
+    dds_bench::alloc::mark_installed();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let quick = smoke || args.iter().any(|a| a == "--quick");

@@ -213,7 +213,7 @@ pub fn a4_eps_budget(scale: Scale) -> Table {
     let queries = ptile_queries(&wl, scale.queries(), 10, 0.3, 0xA4 + 1);
     for budget in [28usize, 120, 496, 2016, 8128] {
         let params = PtileBuildParams::default().with_rect_budget(budget);
-        let (mut idx, _build) = time(|| PtileThresholdIndex::build(&wl.synopses, params));
+        let (idx, _build) = time(|| PtileThresholdIndex::build(&wl.synopses, params));
         let mut t_q = Vec::new();
         let (mut exact, mut reported) = (0usize, 0usize);
         for q in &queries {
@@ -309,7 +309,7 @@ pub fn a5_synopsis_families(scale: Scale) -> Table {
         let measured = deltas.iter().fold(0.0f64, |a, &b| a.max(b));
         let bytes = synopses.iter().map(|s| s.memory_bytes()).sum::<usize>() / n;
         let params = PtileBuildParams::default().with_rect_budget(496);
-        let mut idx = PtileThresholdIndex::build_with_deltas(&synopses, Some(&deltas), params);
+        let idx = PtileThresholdIndex::build_with_deltas(&synopses, Some(&deltas), params);
         let (mut missed, mut exact, mut reported) = (0usize, 0usize, 0usize);
         for q in &queries {
             let hits = idx.query(&q.rect, q.a);

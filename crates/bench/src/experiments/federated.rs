@@ -45,7 +45,7 @@ pub fn e11_federated_delta_sweep(scale: Scale) -> Table {
                 .collect();
         let measured = deltas.iter().fold(0.0f64, |a, &b| a.max(b));
         let params = PtileBuildParams::default().with_rect_budget(496);
-        let mut idx =
+        let idx =
             PtileThresholdIndex::build_with_deltas_opts(&synopses, Some(&deltas), params, &opts);
         let slack = idx.slack();
         let queries = ptile_queries(&wl, scale.queries(), 12, idx.margin(), 0xE11 + 2);

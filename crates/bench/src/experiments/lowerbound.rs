@@ -1,4 +1,6 @@
-//! E12 — the Section 3.1 / Figure 4 reduction, executed at scale.
+//! E13 — the Section 3.1 / Figure 4 reduction, executed at scale.
+//! (Renumbered from E12 when the batch-query-throughput experiment took
+//! that slot.)
 
 use super::Scale;
 use crate::table::{fmt_duration, Table};
@@ -6,11 +8,11 @@ use crate::timing::{median_duration, time};
 use dds_core::lowerbound::SetIntersectionCPtile;
 use dds_workload::UniformSetInstance;
 
-/// E12 — set intersection through the CPtile oracle: exactness and query
+/// E13 — set intersection through the CPtile oracle: exactness and query
 /// cost of the reduction (Theorem 3.4's construction).
-pub fn e12_set_intersection(scale: Scale) -> Table {
+pub fn e13_set_intersection(scale: Scale) -> Table {
     let mut table = Table::new(
-        "E12 — set intersection ↔ CPtile reduction (Fig. 4 / Thm 3.4)",
+        "E13 — set intersection ↔ CPtile reduction (Fig. 4 / Thm 3.4)",
         &[
             "g",
             "universe",
@@ -29,7 +31,7 @@ pub fn e12_set_intersection(scale: Scale) -> Table {
     };
     for (g, universe, repl) in configs {
         let inst = UniformSetInstance::generate(g, universe, repl, 0xE12);
-        let (mut red, build) = time(|| SetIntersectionCPtile::build(&inst.sets, inst.universe));
+        let (red, build) = time(|| SetIntersectionCPtile::build(&inst.sets, inst.universe));
         let mut t_oracle = Vec::new();
         let mut t_brute = Vec::new();
         let mut mismatches = 0usize;

@@ -1,6 +1,7 @@
 //! The experiment implementations (DESIGN.md §5).
 
 pub mod ablations;
+pub mod batch;
 pub mod exact;
 pub mod federated;
 pub mod lowerbound;

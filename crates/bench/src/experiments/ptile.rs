@@ -38,7 +38,7 @@ pub fn e1_threshold_query_scaling(scale: Scale) -> Table {
     );
     for n in scale.n_sweep() {
         let wl = clustered_workload(n, 400, 1, 0xE1);
-        let (mut idx, build) = time(|| PtileThresholdIndex::build(&wl.synopses, bench_params()));
+        let (idx, build) = time(|| PtileThresholdIndex::build(&wl.synopses, bench_params()));
         let queries = ptile_queries(&wl, scale.queries(), 10, idx.margin(), 0xE1 + 1);
         let repo = Repository::from_point_sets(wl.sets.clone());
         let scan = LinearScanPtile::build(&repo);
@@ -92,7 +92,7 @@ pub fn e2_threshold_guarantees(scale: Scale) -> Table {
     for (n, d) in [(2000usize, 1usize), (1000, 2)] {
         let n = if scale.quick { n / 4 } else { n };
         let wl = mixed_workload(n, 400, d, 0xE2);
-        let mut idx = PtileThresholdIndex::build(&wl.synopses, bench_params());
+        let idx = PtileThresholdIndex::build(&wl.synopses, bench_params());
         let queries = ptile_queries(&wl, scale.queries(), 12, idx.margin(), 0xE2 + 1);
         let slack = idx.slack();
         let mut missed = 0usize;
@@ -137,7 +137,7 @@ pub fn e3_range_queries(scale: Scale) -> Table {
     );
     for n in scale.n_sweep() {
         let wl = clustered_workload(n, 400, 1, 0xE3);
-        let (mut idx, build) = time(|| PtileRangeIndex::build(&wl.synopses, bench_params()));
+        let (idx, build) = time(|| PtileRangeIndex::build(&wl.synopses, bench_params()));
         let queries = ptile_queries(&wl, scale.queries(), 10, idx.margin(), 0xE3 + 1);
         let repo = Repository::from_point_sets(wl.sets.clone());
         let scan = LinearScanPtile::build(&repo);
@@ -193,7 +193,7 @@ pub fn e5_multi_predicates(scale: Scale) -> Table {
         let params = PtileBuildParams::default()
             .with_rect_budget(4096) // per-slot budget 64 after the m-th root
             .with_empirical_eps(0.2);
-        let (mut idx, build) = time(|| PtileMultiIndex::build(&wl.synopses, 2, params));
+        let (idx, build) = time(|| PtileMultiIndex::build(&wl.synopses, 2, params));
         let qs = ptile_queries(&wl, scale.queries(), 20, idx.margin(), 0xE5 + 1);
         let slack = idx.slack();
         let mut t_idx = Vec::new();

@@ -191,7 +191,7 @@ pub fn e10_delay(scale: Scale) -> Table {
     );
     for n in scale.n_sweep() {
         let wl = mixed_workload(n, 200, 1, 0xE10);
-        let mut idx = PtileThresholdIndex::build(&wl.synopses, bench_params());
+        let idx = PtileThresholdIndex::build(&wl.synopses, bench_params());
         // A broad query with a large output: every gap is one "delay".
         let rect = dds_geom::Rect::interval(10.0, 90.0);
         let mut rec = DelayRecorder::new();

@@ -10,7 +10,7 @@
 //! clauses through one.
 
 /// A fixed-capacity set of dataset indexes packed into `u64` words.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BitSet {
     words: Vec<u64>,
     len: usize,
@@ -33,6 +33,34 @@ impl BitSet {
     /// `true` iff no index is set.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears every bit, keeping the universe and the word buffer.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Re-targets the set to the universe `0..len` and clears it, reusing
+    /// the word buffer (no allocation once it has grown to `len` words).
+    /// Query scratch resets its bitsets with this per query.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Sets every index of the universe (tail bits of the last word stay
+    /// clear, so [`iter_ones`](Self::iter_ones) and
+    /// [`count_ones`](Self::count_ones) remain exact). Used to seed clause
+    /// intersection accumulators.
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
     }
 
     /// Inserts `i`, returning `true` iff it was not already present.
@@ -139,6 +167,26 @@ mod tests {
                 .filter(|i| i % 2 == 0 || i % 3 == 0)
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn reset_and_set_all_respect_the_universe() {
+        let mut s = BitSet::new(130);
+        s.insert(129);
+        s.reset(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.is_empty(), "reset clears old bits");
+        s.set_all();
+        assert_eq!(s.count_ones(), 70);
+        assert_eq!(s.iter_ones().last(), Some(69), "tail bits stay clear");
+        // Word-aligned universe: set_all fills whole words.
+        s.reset(128);
+        s.set_all();
+        assert_eq!(s.count_ones(), 128);
+        // Growing again reuses / extends the buffer without stale bits.
+        s.reset(200);
+        assert!(s.is_empty());
+        assert!(s.insert(199));
     }
 
     #[test]

@@ -12,11 +12,13 @@
 
 use crate::bitset::BitSet;
 use crate::framework::{Interval, LogicalExpr, MeasureFunction, Predicate, Repository};
-use crate::pool::BuildOptions;
+use crate::pool::{par_map_with, BuildOptions};
 use crate::pref::{PrefBuildParams, PrefIndex};
 use crate::ptile::{PtileBuildParams, PtileRangeIndex};
-use std::collections::hash_map::Entry;
+use crate::scratch::QueryScratch;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Bit-exact hash key for a predicate, so identical predicates appearing in
 /// several DNF clauses share one index query per [`MixedQueryEngine::query`]
@@ -67,8 +69,22 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Shared read-mostly predicate-mask cache for a batch of queries: distinct
+/// predicates repeated *across* the expressions of one
+/// [`MixedQueryEngine::query_batch`] call query their index once, whichever
+/// worker thread gets there first. The map only hands out per-key cells
+/// (cheap, short lock holds); the expensive index query runs inside the
+/// cell's `OnceLock`, so *distinct* predicates compute concurrently while
+/// each predicate still computes exactly once.
+type MaskCell = Arc<std::sync::OnceLock<Result<Arc<BitSet>, EngineError>>>;
+type MaskCache = RwLock<HashMap<Vec<u64>, MaskCell>>;
+
 /// A combined index answering logical expressions that mix percentile and
 /// top-k preference predicates over one repository.
+///
+/// All query paths take `&self`: one engine can serve concurrent readers
+/// (e.g. behind an `Arc`), and [`query_batch`](Self::query_batch) fans a
+/// slice of expressions out over the worker pool.
 #[derive(Debug)]
 pub struct MixedQueryEngine {
     n_datasets: usize,
@@ -77,7 +93,8 @@ pub struct MixedQueryEngine {
     pref: HashMap<usize, PrefIndex>,
     /// Underlying index queries issued over the engine's lifetime (after
     /// per-call memoization; distinct from the number of DNF literals seen).
-    index_queries: u64,
+    /// Atomic so the instrumentation survives concurrent `&self` queries.
+    index_queries: AtomicU64,
 }
 
 impl MixedQueryEngine {
@@ -130,15 +147,17 @@ impl MixedQueryEngine {
             n_datasets: repo.len(),
             ptile,
             pref,
-            index_queries: 0,
+            index_queries: AtomicU64::new(0),
         }
     }
 
     /// Total underlying index queries issued so far. DNF expansion can
     /// repeat one predicate in many clauses; this counts post-memoization
-    /// queries, so it measures real index work.
+    /// queries, so it measures real index work. In a batch call the shared
+    /// mask cache dedups across expressions too, so the counter advances by
+    /// the number of *distinct* predicates in the batch.
     pub fn index_queries(&self) -> u64 {
-        self.index_queries
+        self.index_queries.load(Ordering::Relaxed)
     }
 
     /// The Ptile guarantee band.
@@ -154,60 +173,165 @@ impl MixedQueryEngine {
     /// Answers a logical expression over percentile and preference
     /// predicates: a superset of `q_Π(P)`, every reported dataset within
     /// each touched predicate's band.
-    pub fn query(&mut self, expr: &LogicalExpr) -> Result<Vec<usize>, EngineError> {
+    ///
+    /// Read-only: the engine can be shared (`&self`, e.g. behind an `Arc`)
+    /// across query threads. Allocates a fresh [`QueryScratch`] per call;
+    /// query loops should prefer [`query_with`](Self::query_with).
+    pub fn query(&self, expr: &LogicalExpr) -> Result<Vec<usize>, EngineError> {
+        self.query_with(expr, &mut QueryScratch::new())
+    }
+
+    /// [`query`](Self::query) with caller-provided scratch: identical
+    /// answers; the reported flags, DNF accumulators, predicate-mask memo
+    /// table and the lifted orthant buffers are all reused across calls.
+    pub fn query_with(
+        &self,
+        expr: &LogicalExpr,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<usize>, EngineError> {
+        self.query_inner(expr, scratch, None)
+    }
+
+    /// Answers a slice of expressions with the default worker pool
+    /// ([`BuildOptions::default`]: all available cores, `DDS_THREADS`
+    /// override): per-worker reusable scratch, plus a shared read-mostly
+    /// predicate-mask cache so predicates repeated across the batch query
+    /// their underlying index once.
+    ///
+    /// Results come back in input order and are **bit-identical** to calling
+    /// [`query`](Self::query) on each expression sequentially, for every
+    /// thread count (pinned by `tests/batch_equivalence.rs`).
+    pub fn query_batch(&self, exprs: &[LogicalExpr]) -> Vec<Result<Vec<usize>, EngineError>> {
+        self.query_batch_opts(exprs, &BuildOptions::default())
+    }
+
+    /// [`query_batch`](Self::query_batch) with an explicit worker-pool
+    /// configuration.
+    pub fn query_batch_opts(
+        &self,
+        exprs: &[LogicalExpr],
+        opts: &BuildOptions,
+    ) -> Vec<Result<Vec<usize>, EngineError>> {
+        let cache: MaskCache = RwLock::new(HashMap::new());
+        par_map_with(opts, exprs, QueryScratch::new, |scratch, _, expr| {
+            self.query_inner(expr, scratch, Some(&cache))
+        })
+    }
+
+    /// The DNF evaluation loop behind every query path. DNF expansion
+    /// repeats predicates across clauses (e.g. distributing `p ∧ (q ∨ r)`
+    /// puts `p` in both clauses); each distinct predicate's hit mask is
+    /// computed once per call (scratch memo) or once per batch (shared
+    /// cache). Masks are packed bitsets: clause intersection is a word-wise
+    /// AND over 64 datasets at a time.
+    fn query_inner(
+        &self,
+        expr: &LogicalExpr,
+        scratch: &mut QueryScratch,
+        cache: Option<&MaskCache>,
+    ) -> Result<Vec<usize>, EngineError> {
+        let n = self.n_datasets;
         let dnf = expr.to_dnf();
-        let mut seen = BitSet::new(self.n_datasets);
         let mut out = Vec::new();
-        // DNF expansion repeats predicates across clauses (e.g. distributing
-        // `p ∧ (q ∨ r)` puts `p` in both clauses); memoize each predicate's
-        // hit mask so every distinct predicate queries its index once. Masks
-        // are packed bitsets: clause intersection is a word-wise AND over
-        // 64 datasets at a time.
-        let mut memo: HashMap<Vec<u64>, BitSet> = HashMap::new();
-        for clause in dnf {
-            let mut acc: Option<BitSet> = None;
-            for pred in &clause {
-                let mask = match memo.entry(predicate_key(pred)) {
-                    Entry::Occupied(e) => e.into_mut(),
-                    Entry::Vacant(e) => {
-                        let hits = match &pred.measure {
-                            MeasureFunction::Percentile(r) => {
-                                let theta = Interval::new(
-                                    pred.theta.lo.max(0.0),
-                                    pred.theta.hi.min(1.0).max(pred.theta.lo.max(0.0)),
-                                );
-                                self.ptile.query(r, theta)
-                            }
-                            MeasureFunction::TopK { v, k } => {
-                                let idx = self.pref.get(k).ok_or(EngineError::MissingRank(*k))?;
-                                idx.query(v, pred.theta.lo)
-                            }
-                        };
-                        self.index_queries += 1;
-                        let mut mask = BitSet::new(self.n_datasets);
-                        for j in hits {
-                            mask.insert(j);
-                        }
-                        e.insert(mask)
-                    }
-                };
-                acc = Some(match acc {
-                    None => mask.clone(),
-                    Some(mut prev) => {
-                        prev.and_assign(mask);
-                        prev
-                    }
-                });
+        // The memo, dedup set and accumulator move out of the scratch while
+        // the leaf queries (which borrow the scratch for their own buffers)
+        // run, and move back afterwards so their capacity is kept.
+        let mut memo = std::mem::take(&mut scratch.memo);
+        memo.clear();
+        let mut seen = std::mem::take(&mut scratch.seen);
+        seen.reset(n);
+        let mut acc = std::mem::take(&mut scratch.acc);
+        let mut result = Ok(());
+        'clauses: for clause in dnf {
+            if clause.is_empty() {
+                continue;
             }
-            if let Some(mask) = acc {
-                for j in mask.iter_ones() {
-                    if seen.insert(j) {
-                        out.push(j);
-                    }
+            acc.reset(n);
+            acc.set_all();
+            for pred in &clause {
+                let key = predicate_key(pred);
+                let mask = match memo.get(&key) {
+                    Some(m) => Arc::clone(m),
+                    None => match self.predicate_mask(pred, &key, scratch, cache) {
+                        Ok(m) => {
+                            memo.insert(key, Arc::clone(&m));
+                            m
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break 'clauses;
+                        }
+                    },
+                };
+                acc.and_assign(&mask);
+            }
+            for j in acc.iter_ones() {
+                if seen.insert(j) {
+                    out.push(j);
                 }
             }
         }
-        Ok(out)
+        scratch.memo = memo;
+        scratch.seen = seen;
+        scratch.acc = acc;
+        result.map(|()| out)
+    }
+
+    /// One predicate's hit mask: shared-cache lookup (batch mode), then
+    /// compute against the underlying index. The map locks are only held to
+    /// fetch/insert the per-key cell; the compute runs inside the cell's
+    /// `OnceLock::get_or_init`, which guarantees exactly one execution per
+    /// distinct predicate (racing workers block on that cell only) — so
+    /// [`index_queries`](Self::index_queries) stays deterministic and
+    /// distinct predicates never serialize behind each other.
+    fn predicate_mask(
+        &self,
+        pred: &Predicate,
+        key: &[u64],
+        scratch: &mut QueryScratch,
+        cache: Option<&MaskCache>,
+    ) -> Result<Arc<BitSet>, EngineError> {
+        let Some(cache) = cache else {
+            return self.compute_mask(pred, scratch);
+        };
+        let cell: MaskCell = {
+            let read = cache.read().expect("mask cache poisoned");
+            read.get(key).cloned()
+        }
+        .unwrap_or_else(|| {
+            let mut write = cache.write().expect("mask cache poisoned");
+            Arc::clone(write.entry(key.to_vec()).or_default())
+        });
+        cell.get_or_init(|| self.compute_mask(pred, scratch))
+            .clone()
+    }
+
+    /// Queries the underlying index for one predicate and packs the hits.
+    fn compute_mask(
+        &self,
+        pred: &Predicate,
+        scratch: &mut QueryScratch,
+    ) -> Result<Arc<BitSet>, EngineError> {
+        let mut mask = BitSet::new(self.n_datasets);
+        match &pred.measure {
+            MeasureFunction::Percentile(r) => {
+                let theta = Interval::new(
+                    pred.theta.lo.max(0.0),
+                    pred.theta.hi.min(1.0).max(pred.theta.lo.max(0.0)),
+                );
+                self.ptile.query_cb_with(r, theta, scratch, &mut |j| {
+                    mask.insert(j);
+                });
+            }
+            MeasureFunction::TopK { v, k } => {
+                let idx = self.pref.get(k).ok_or(EngineError::MissingRank(*k))?;
+                idx.query_cb(v, pred.theta.lo, &mut |j| {
+                    mask.insert(j);
+                });
+            }
+        }
+        self.index_queries.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(mask))
     }
 }
 
@@ -252,7 +376,7 @@ mod tests {
     fn mixed_conjunction() {
         // Mass ≥ 0.5 in A AND top-1 score ≥ 0.5 → only ds0 and ds1 have the
         // mass; only ds0 clears the score.
-        let mut e = engine();
+        let e = engine();
         let expr = LogicalExpr::And(vec![
             LogicalExpr::Pred(Predicate::percentile_at_least(region_a(), 0.5)),
             LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0, 0.0], 1, 0.5)),
@@ -272,7 +396,7 @@ mod tests {
     #[test]
     fn mixed_disjunction() {
         // Mass ≥ 0.9 in B OR top-1 score ≥ 0.8: ds2 (both), ds0 (score).
-        let mut e = engine();
+        let e = engine();
         let expr = LogicalExpr::Or(vec![
             LogicalExpr::Pred(Predicate::percentile_at_least(region_b(), 0.9)),
             LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0, 0.0], 1, 0.8)),
@@ -287,7 +411,7 @@ mod tests {
 
     #[test]
     fn missing_rank_is_reported() {
-        let mut e = engine();
+        let e = engine();
         let expr = LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0, 0.0], 7, 0.1));
         assert_eq!(e.query(&expr), Err(EngineError::MissingRank(7)));
     }
@@ -296,7 +420,7 @@ mod tests {
     fn repeated_predicates_query_indexes_once() {
         // `(a ∧ s) ∨ (b ∧ s)`: DNF expansion mentions the score predicate
         // in both clauses, but it must hit the Pref index only once.
-        let mut e = engine();
+        let e = engine();
         let score = Predicate::topk_at_least(vec![1.0, 0.0], 1, 0.5);
         let expr = LogicalExpr::Or(vec![
             LogicalExpr::And(vec![
@@ -329,7 +453,7 @@ mod tests {
 
     #[test]
     fn no_duplicates_across_clauses() {
-        let mut e = engine();
+        let e = engine();
         let p = Predicate::percentile_at_least(region_a(), 0.5);
         let expr = LogicalExpr::Or(vec![LogicalExpr::Pred(p.clone()), LogicalExpr::Pred(p)]);
         let hits = e.query(&expr).unwrap();

@@ -24,10 +24,12 @@
 //! paper compares against), [`lowerbound`] (the Section 3 reductions,
 //! executable), [`guarantee`] (recall / error-band checkers used by tests
 //! and experiments), [`delay`] (enumeration-delay instrumentation,
-//! Remark 3), [`pool`] (deterministic worker-pool builds — every index
-//! offers a `*_opts` constructor taking a [`pool::BuildOptions`] whose
-//! thread count never changes results), [`bitset`] (packed `u64` hit masks
-//! for the DNF query loops).
+//! Remark 3), [`pool`] (deterministic worker-pool builds *and* batch
+//! queries — every index offers a `*_opts` constructor taking a
+//! [`pool::BuildOptions`] whose thread count never changes results),
+//! [`bitset`] (packed `u64` hit masks for the DNF query loops), [`scratch`]
+//! (reusable per-query state behind the `&self` query paths and the
+//! `query_batch` APIs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,3 +45,4 @@ pub mod lowerbound;
 pub mod pool;
 pub mod pref;
 pub mod ptile;
+pub mod scratch;

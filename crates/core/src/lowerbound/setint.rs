@@ -102,7 +102,7 @@ impl SetIntersectionCPtile {
     ///
     /// # Panics
     /// Panics if `i` or `j` is out of range.
-    pub fn intersect(&mut self, i: usize, j: usize) -> Vec<u64> {
+    pub fn intersect(&self, i: usize, j: usize) -> Vec<u64> {
         assert!(i < self.g && j < self.g, "set index out of range");
         let rect = self.query_rect(i, j);
         let a_theta = 1.5 / self.points_per_dataset as f64;
@@ -168,7 +168,7 @@ mod tests {
             }
         }
         assert!(counts.iter().all(|&c| c == 3));
-        let mut red = SetIntersectionCPtile::build(&sets, 5);
+        let red = SetIntersectionCPtile::build(&sets, 5);
         for i in 0..sets.len() {
             for j in 0..sets.len() {
                 let got = red.intersect(i, j);

@@ -17,4 +17,4 @@
 //! `tests/parallel_equivalence.rs` — and [`BuildOptions::default`] can
 //! safely use all available cores (`DDS_THREADS` overrides).
 
-pub use dds_pool::{mix_seed, par_map, BuildOptions};
+pub use dds_pool::{mix_seed, par_map, par_map_with, BuildOptions};

@@ -219,6 +219,26 @@ impl PrefIndex {
             f(j);
         }
     }
+
+    /// Batch variant of [`query`](Self::query): answers every `(u, a_θ)`
+    /// pair with the default worker pool ([`BuildOptions::default`]: all
+    /// available cores, `DDS_THREADS` override). Results come back in input
+    /// order and are **bit-identical** to sequential one-at-a-time queries,
+    /// for every thread count — the index is read-only, so threads share it
+    /// without coordination.
+    pub fn query_batch(&self, queries: &[(Vec<f64>, f64)]) -> Vec<Vec<usize>> {
+        self.query_batch_opts(queries, &BuildOptions::default())
+    }
+
+    /// [`query_batch`](Self::query_batch) with an explicit worker-pool
+    /// configuration.
+    pub fn query_batch_opts(
+        &self,
+        queries: &[(Vec<f64>, f64)],
+        opts: &BuildOptions,
+    ) -> Vec<Vec<usize>> {
+        par_map(opts, queries, |_, (u, a)| self.query(u, *a))
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 use super::coreset::{build_coreset, rect_weights};
 use super::PtileBuildParams;
 use crate::framework::Interval;
+use crate::pool::{mix_seed, par_map, BuildOptions};
 use dds_geom::Rect;
 use dds_rangetree::{GlobalId, KdTree, LogStructured, Region};
 use dds_synopsis::PercentileSynopsis;
@@ -59,14 +60,24 @@ pub struct DynamicPtileIndex {
     eps_max: f64,
     next_handle: SynopsisHandle,
     n_alive: usize,
-    rng: StdRng,
+}
+
+/// One synopsis' insertion payload: the lifted pair points, the empty-slab
+/// triples per dimension and the achieved sampling error. A pure function
+/// of `(handle, budget_n, synopsis, params)` — per-handle RNG streams via
+/// [`mix_seed`]`(seed, handle)` — so batches can be computed on worker
+/// threads in any order and applied in handle order, bit-identical to
+/// serial one-at-a-time insertion.
+struct DynPart {
+    batch: Vec<Vec<f64>>,
+    slabs: Vec<Vec<Vec<f64>>>,
+    eps_i: f64,
 }
 
 impl DynamicPtileIndex {
     /// Creates an empty dynamic index for `dim`-dimensional datasets.
     pub fn new(dim: usize, params: PtileBuildParams) -> Self {
         assert!(dim >= 1);
-        let rng = StdRng::seed_from_u64(params.seed);
         DynamicPtileIndex {
             dim,
             main: LogStructured::new(4 * dim + 2),
@@ -79,7 +90,6 @@ impl DynamicPtileIndex {
             next_handle: 0,
             n_alive: 0,
             params,
-            rng,
         }
     }
 
@@ -110,21 +120,63 @@ impl DynamicPtileIndex {
 
     /// Inserts a synopsis; `Õ(1)` amortized per lifted point. The sampling
     /// budget is split as if the repository held `max(N, 16)` datasets.
+    ///
+    /// Sampling draws from a per-handle RNG stream
+    /// ([`mix_seed`]`(params.seed, handle)`), not a shared sequential
+    /// generator, so an insertion's content depends only on `(handle, N)` —
+    /// the property that lets [`insert_batch`](Self::insert_batch) compute
+    /// payloads on worker threads and stay bit-identical to serial inserts.
     pub fn insert_synopsis<S: PercentileSynopsis>(&mut self, synopsis: &S) -> SynopsisHandle {
-        assert_eq!(synopsis.dim(), self.dim, "synopsis dimension mismatch");
         let handle = self.next_handle;
-        self.next_handle += 1;
         let budget_n = (self.n_alive + 1).max(16);
-        let cs = build_coreset(synopsis, &self.params, budget_n, &mut self.rng);
-        let eps_i = super::params::effective_eps(cs.eps_i, self.params.eps_override);
-        let c_i = eps_i + self.params.delta;
-        self.eps_max = self.eps_max.max(eps_i);
+        let part = Self::dataset_part(&self.params, self.dim, handle, budget_n, synopsis);
+        self.apply_part(part)
+    }
+
+    /// Bulk insertion on the worker pool: the per-synopsis payloads
+    /// (coreset sampling, canonical-rectangle pair enumeration, empty
+    /// slabs) are computed on `opts.threads` scoped threads and applied in
+    /// handle order. The resulting structure — handles, bucket contents,
+    /// query answers, quoted `eps()` — is **bit-identical** to calling
+    /// [`insert_synopsis`](Self::insert_synopsis) once per synopsis in
+    /// order, for every thread count.
+    pub fn insert_batch<S: PercentileSynopsis + Sync>(
+        &mut self,
+        synopses: &[S],
+        opts: &BuildOptions,
+    ) -> Vec<SynopsisHandle> {
+        let base_handle = self.next_handle;
+        let base_alive = self.n_alive;
+        let params = &self.params;
+        let dim = self.dim;
+        let parts = par_map(opts, synopses, |j, syn| {
+            // The j-th unit sees the budget the serial loop would have used
+            // at its turn: N grows by one per preceding insertion.
+            let budget_n = (base_alive + j + 1).max(16);
+            Self::dataset_part(params, dim, base_handle + j as u64, budget_n, syn)
+        });
+        parts.into_iter().map(|p| self.apply_part(p)).collect()
+    }
+
+    /// One synopsis' insertion payload (pure; runs on any worker thread).
+    fn dataset_part<S: PercentileSynopsis>(
+        params: &PtileBuildParams,
+        dim: usize,
+        handle: SynopsisHandle,
+        budget_n: usize,
+        synopsis: &S,
+    ) -> DynPart {
+        assert_eq!(synopsis.dim(), dim, "synopsis dimension mismatch");
+        let mut rng = StdRng::seed_from_u64(mix_seed(params.seed, handle));
+        let cs = build_coreset(synopsis, params, budget_n, &mut rng);
+        let eps_i = super::params::effective_eps(cs.eps_i, params.eps_override);
+        let c_i = eps_i + params.delta;
         let rects = cs.grid.enumerate_rects();
         let weights = rect_weights(&cs.sample, &rects);
         let mut batch: Vec<Vec<f64>> = Vec::with_capacity(rects.len());
         for (rect, w) in rects.iter().zip(weights) {
             let hat = cs.grid.one_step_expansion(rect);
-            let mut coords = Vec::with_capacity(4 * self.dim + 2);
+            let mut coords = Vec::with_capacity(4 * dim + 2);
             coords.extend_from_slice(rect.lo());
             coords.extend_from_slice(hat.lo());
             coords.extend_from_slice(rect.hi());
@@ -133,18 +185,34 @@ impl DynamicPtileIndex {
             coords.push(w - c_i);
             batch.push(coords);
         }
-        let gids = self.main.insert_batch(batch);
+        let slabs = (0..dim)
+            .map(|h| {
+                cs.grid
+                    .empty_slabs(h)
+                    .into_iter()
+                    .map(|(lo, hi)| vec![lo, hi, c_i])
+                    .collect()
+            })
+            .collect();
+        DynPart {
+            batch,
+            slabs,
+            eps_i,
+        }
+    }
+
+    /// Applies one payload to the log-structured buckets (serial, in handle
+    /// order — this is where the structure actually mutates).
+    fn apply_part(&mut self, part: DynPart) -> SynopsisHandle {
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.eps_max = self.eps_max.max(part.eps_i);
+        let gids = self.main.insert_batch(part.batch);
         for &g in &gids {
             self.owner_main.insert(g, handle);
         }
         self.groups_main.insert(handle, gids);
-        for h in 0..self.dim {
-            let slabs: Vec<Vec<f64>> = cs
-                .grid
-                .empty_slabs(h)
-                .into_iter()
-                .map(|(lo, hi)| vec![lo, hi, c_i])
-                .collect();
+        for (h, slabs) in part.slabs.into_iter().enumerate() {
             let gids = self.aux[h].insert_batch(slabs);
             for &g in &gids {
                 self.owner_aux[h].insert(g, handle);
@@ -177,8 +245,9 @@ impl DynamicPtileIndex {
     }
 
     /// Answers `Π = Pred_{M_R, θ}` over the live synopses; same guarantees
-    /// as the static range index.
-    pub fn query(&mut self, r: &Rect, theta: Interval) -> Vec<SynopsisHandle> {
+    /// as the static range index. Read-only (`&self`): concurrent queries
+    /// may run against one index between mutations.
+    pub fn query(&self, r: &Rect, theta: Interval) -> Vec<SynopsisHandle> {
         assert_eq!(r.dim(), self.dim, "query rectangle dimension mismatch");
         let d = self.dim;
         let mut region = Region::all(4 * d + 2);

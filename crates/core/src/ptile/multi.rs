@@ -18,7 +18,8 @@ use super::coreset::{build_coreset, rect_weights};
 use super::{PtileBuildParams, PtileRangeIndex};
 use crate::bitset::BitSet;
 use crate::framework::{Interval, LogicalExpr, MeasureFunction, Predicate};
-use crate::pool::{mix_seed, par_map, BuildOptions};
+use crate::pool::{mix_seed, par_map, par_map_with, BuildOptions};
+use crate::scratch::QueryScratch;
 use dds_geom::Rect;
 use dds_rangetree::{KdTree, OrthoIndex, Region};
 use dds_synopsis::PercentileSynopsis;
@@ -289,9 +290,22 @@ impl PtileMultiIndex {
 
     /// Answers a conjunction of up to `m` percentile range predicates.
     ///
+    /// Read-only: the index can be shared (`&self`, e.g. behind an `Arc`)
+    /// across query threads. Allocates a fresh [`QueryScratch`] per call;
+    /// query loops should prefer [`query_with`](Self::query_with).
+    ///
     /// # Panics
     /// Panics if `preds` is empty or longer than `m`.
-    pub fn query(&mut self, preds: &[(Rect, Interval)]) -> Vec<usize> {
+    pub fn query(&self, preds: &[(Rect, Interval)]) -> Vec<usize> {
+        self.query_with(preds, &mut QueryScratch::new())
+    }
+
+    /// [`query`](Self::query) with caller-provided scratch: identical
+    /// answers, no per-query buffer allocations on the tuple path.
+    ///
+    /// # Panics
+    /// Panics if `preds` is empty or longer than `m`.
+    pub fn query_with(&self, preds: &[(Rect, Interval)], scratch: &mut QueryScratch) -> Vec<usize> {
         assert!(
             !preds.is_empty() && preds.len() <= self.m,
             "conjunction arity must be in 1..={}",
@@ -300,21 +314,18 @@ impl PtileMultiIndex {
         // Degenerate bands (a_θ within some dataset's budget) cannot be
         // decided by the tuple structure: it has no zero-mass auxiliary.
         if preds.iter().any(|(_, t)| t.lo <= self.max_combined) {
-            return self.query_by_intersection(preds);
+            return self.query_by_intersection(preds, scratch);
         }
-        // Pad to arity m with the trivial predicate on the first rectangle.
-        let mut padded: Vec<(Rect, Interval)> = preds.to_vec();
-        while padded.len() < self.m {
-            padded.push((preds[0].0.clone(), Interval::new(0.0, 1.0)));
-        }
-        let region = self.orthant(&padded);
+        scratch.reset_reported(self.n_datasets);
+        let QueryScratch {
+            reported, region, ..
+        } = scratch;
+        self.orthant_into(preds, region);
         let mut out = Vec::new();
-        let mut reported = vec![false; self.n_datasets];
         let owner = &self.owner;
-        self.tree.report_while(&region, &mut |q| {
+        self.tree.report_while(region, &mut |q| {
             let j = owner[q] as usize;
-            if !reported[j] {
-                reported[j] = true;
+            if reported.insert(j) {
                 out.push(j);
             }
             true
@@ -326,13 +337,20 @@ impl PtileMultiIndex {
     /// the same per-predicate bands; used when a widened band reaches 0).
     /// The clause accumulator is a packed bitset — word-wise AND per
     /// predicate instead of a byte-wise `Vec<bool>` zip.
-    fn query_by_intersection(&mut self, preds: &[(Rect, Interval)]) -> Vec<usize> {
+    fn query_by_intersection(
+        &self,
+        preds: &[(Rect, Interval)],
+        scratch: &mut QueryScratch,
+    ) -> Vec<usize> {
         let mut acc: Option<BitSet> = None;
         for (r, theta) in preds {
             let mut mask = BitSet::new(self.n_datasets);
-            for j in self.fallback.query(r, *theta) {
+            // The fallback query borrows the scratch; collect its hits into
+            // a local mask (the mask itself is per-predicate state, not
+            // reusable scratch).
+            self.fallback.query_cb_with(r, *theta, scratch, &mut |j| {
                 mask.insert(j);
-            }
+            });
             acc = Some(match acc {
                 None => mask,
                 Some(mut prev) => {
@@ -348,18 +366,37 @@ impl PtileMultiIndex {
     /// Answers an arbitrary logical expression over percentile predicates:
     /// DNF expansion, one conjunction query per clause, union of results
     /// (cross-clause dedup through a packed bitset).
-    pub fn query_expr(&mut self, expr: &LogicalExpr) -> Result<Vec<usize>, MultiQueryError> {
+    pub fn query_expr(&self, expr: &LogicalExpr) -> Result<Vec<usize>, MultiQueryError> {
+        self.query_expr_with(expr, &mut QueryScratch::new())
+    }
+
+    /// [`query_expr`](Self::query_expr) with caller-provided scratch.
+    pub fn query_expr_with(
+        &self,
+        expr: &LogicalExpr,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<usize>, MultiQueryError> {
         let dnf = expr.to_dnf();
-        let mut seen = BitSet::new(self.n_datasets);
+        // `seen` lives outside the scratch while per-clause queries use it.
+        let mut seen = std::mem::take(&mut scratch.seen);
+        seen.reset(self.n_datasets);
         let mut out = Vec::new();
+        let mut result = Ok(());
         for clause in dnf {
+            // Degenerate empty clauses (e.g. `And([])`) contribute nothing,
+            // matching `MixedQueryEngine`; `query_with` would panic on an
+            // empty conjunction.
+            if clause.is_empty() {
+                continue;
+            }
             if clause.len() > self.m {
-                return Err(MultiQueryError::TooManyPredicates {
+                result = Err(MultiQueryError::TooManyPredicates {
                     got: clause.len(),
                     max: self.m,
                 });
+                break;
             }
-            let preds: Vec<(Rect, Interval)> = clause
+            let preds: Result<Vec<(Rect, Interval)>, MultiQueryError> = clause
                 .iter()
                 .map(|p: &Predicate| match &p.measure {
                     MeasureFunction::Percentile(r) => {
@@ -372,36 +409,73 @@ impl PtileMultiIndex {
                     }
                     MeasureFunction::TopK { .. } => Err(MultiQueryError::NonPercentile),
                 })
-                .collect::<Result<_, _>>()?;
-            for j in self.query(&preds) {
+                .collect();
+            let preds = match preds {
+                Ok(p) => p,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            for j in self.query_with(&preds, scratch) {
                 if seen.insert(j) {
                     out.push(j);
                 }
             }
         }
-        Ok(out)
+        scratch.seen = seen;
+        result.map(|()| out)
     }
 
-    fn orthant(&self, preds: &[(Rect, Interval)]) -> Region {
+    /// Batch variant of [`query_expr`](Self::query_expr): answers every
+    /// expression with the default worker pool ([`BuildOptions::default`]:
+    /// all available cores, `DDS_THREADS` override), one reusable scratch
+    /// per worker thread. Results come back in input order and are
+    /// **bit-identical** to calling [`query_expr`](Self::query_expr) on
+    /// each expression sequentially, for every thread count.
+    pub fn query_expr_batch(
+        &self,
+        exprs: &[LogicalExpr],
+    ) -> Vec<Result<Vec<usize>, MultiQueryError>> {
+        self.query_expr_batch_opts(exprs, &BuildOptions::default())
+    }
+
+    /// [`query_expr_batch`](Self::query_expr_batch) with an explicit
+    /// worker-pool configuration.
+    pub fn query_expr_batch_opts(
+        &self,
+        exprs: &[LogicalExpr],
+        opts: &BuildOptions,
+    ) -> Vec<Result<Vec<usize>, MultiQueryError>> {
+        par_map_with(opts, exprs, QueryScratch::new, |scratch, _, expr| {
+            self.query_expr_with(expr, scratch)
+        })
+    }
+
+    /// The query orthant over all `m` slots, written into a reused region
+    /// buffer. Conjunctions shorter than `m` are padded with the trivial
+    /// predicate (`θ = [0, 1]`) on the first rectangle.
+    fn orthant_into(&self, preds: &[(Rect, Interval)], region: &mut Region) {
         let d = self.dim;
         let m = self.m;
-        let mut region = Region::all(4 * m * d + 2 * m);
-        for (l, (r, theta)) in preds.iter().enumerate() {
+        let trivial = Interval::new(0.0, 1.0);
+        region.reset(4 * m * d + 2 * m);
+        for l in 0..m {
+            let (r, theta) = match preds.get(l) {
+                Some((r, theta)) => (r, *theta),
+                None => (&preds[0].0, trivial),
+            };
             assert_eq!(r.dim(), d, "query rectangle dimension mismatch");
             let base = l * 4 * d;
             for h in 0..d {
-                region = region.with_lo(base + h, r.lo_at(h), false);
-                region = region.with_hi(base + d + h, r.lo_at(h), true);
-                region = region.with_hi(base + 2 * d + h, r.hi_at(h), false);
-                region = region.with_lo(base + 3 * d + h, r.hi_at(h), true);
+                region.set_lo(base + h, r.lo_at(h), false);
+                region.set_hi(base + d + h, r.lo_at(h), true);
+                region.set_hi(base + 2 * d + h, r.hi_at(h), false);
+                region.set_lo(base + 3 * d + h, r.hi_at(h), true);
             }
-            region = region.with_lo(4 * m * d + 2 * l, theta.lo, false).with_hi(
-                4 * m * d + 2 * l + 1,
-                theta.hi,
-                false,
-            );
+            region.set_lo(4 * m * d + 2 * l, theta.lo, false);
+            region.set_hi(4 * m * d + 2 * l + 1, theta.hi, false);
         }
-        region
     }
 }
 
@@ -444,7 +518,7 @@ mod tests {
 
     #[test]
     fn conjunction_of_two_predicates() {
-        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         assert_eq!(idx.eps(), 0.0);
         // ≥ 40% in A and ≥ 40% in B: only ds0.
         let hits = idx.query(&[
@@ -456,7 +530,7 @@ mod tests {
 
     #[test]
     fn conjunction_with_two_sided_bands() {
-        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         // Mass in A within [0.1, 0.3] and mass in B within [0.7, 0.9]: ds2.
         let hits = idx.query(&[
             (region_a(), Interval::new(0.1, 0.3)),
@@ -467,7 +541,7 @@ mod tests {
 
     #[test]
     fn single_predicate_clause_is_padded() {
-        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         let mut hits = idx.query(&[(region_a(), Interval::new(0.4, 1.0))]);
         hits.sort_unstable();
         assert_eq!(hits, vec![0, 1]);
@@ -475,7 +549,7 @@ mod tests {
 
     #[test]
     fn degenerate_band_falls_back_to_intersection() {
-        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         // Mass in B within [0, 0.1] (degenerate lower bound) and ≥ 0.9 in A:
         // ds1 (0 in B, 1.0 in A).
         let hits = idx.query(&[
@@ -487,7 +561,7 @@ mod tests {
 
     #[test]
     fn dnf_expression_union() {
-        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         // (≥ 0.9 in A) OR (≥ 0.7 in B): ds1 ∪ ds2.
         let expr = LogicalExpr::Or(vec![
             LogicalExpr::Pred(Predicate::percentile_at_least(region_a(), 0.9)),
@@ -500,7 +574,7 @@ mod tests {
 
     #[test]
     fn oversized_clause_is_rejected() {
-        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         let p = Predicate::percentile_at_least(region_a(), 0.5);
         let expr = LogicalExpr::And(vec![
             LogicalExpr::Pred(p.clone()),
@@ -515,7 +589,7 @@ mod tests {
 
     #[test]
     fn non_percentile_predicate_is_rejected() {
-        let mut idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
+        let idx = PtileMultiIndex::build(&synopses(), 2, PtileBuildParams::exact_centralized());
         let expr = LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0], 1, 0.5));
         assert_eq!(idx.query_expr(&expr), Err(MultiQueryError::NonPercentile));
     }

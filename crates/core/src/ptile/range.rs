@@ -35,6 +35,7 @@ use super::coreset::{build_coreset, rect_weights};
 use super::PtileBuildParams;
 use crate::framework::Interval;
 use crate::pool::{mix_seed, par_map, BuildOptions};
+use crate::scratch::QueryScratch;
 use dds_geom::Rect;
 use dds_rangetree::{KdTree, OrthoIndex, Region};
 use dds_synopsis::PercentileSynopsis;
@@ -68,7 +69,7 @@ struct RangePart {
 ///         Point::one(2.0), Point::one(4.0), Point::one(6.0), Point::one(10.0),
 ///     ]),
 /// ];
-/// let mut index = PtileRangeIndex::build(&synopses, PtileBuildParams::exact_centralized());
+/// let index = PtileRangeIndex::build(&synopses, PtileBuildParams::exact_centralized());
 /// // Between 20% and 40% of the points in [3, 8]: only the first dataset
 /// // (mass 1/3); the second (mass 1/2) exceeds the upper bound.
 /// let hits = index.query(&Rect::interval(3.0, 8.0), Interval::new(0.2, 0.4));
@@ -304,22 +305,48 @@ impl PtileRangeIndex {
     }
 
     /// Answers `Π = Pred_{M_R, θ}` for a general interval θ (Algorithm 4).
-    pub fn query(&mut self, r: &Rect, theta: Interval) -> Vec<usize> {
+    ///
+    /// Read-only: the index can be shared (`&self`, e.g. behind an `Arc`)
+    /// across query threads. Allocates a fresh [`QueryScratch`] per call;
+    /// query loops should prefer [`query_with`](Self::query_with).
+    pub fn query(&self, r: &Rect, theta: Interval) -> Vec<usize> {
+        self.query_with(r, theta, &mut QueryScratch::new())
+    }
+
+    /// [`query`](Self::query) with caller-provided scratch: identical
+    /// answers, no per-query buffer allocations.
+    pub fn query_with(&self, r: &Rect, theta: Interval, scratch: &mut QueryScratch) -> Vec<usize> {
         let mut out = Vec::new();
-        self.query_cb(r, theta, &mut |j| out.push(j));
+        self.query_cb_with(r, theta, scratch, &mut |j| out.push(j));
         out
     }
 
     /// Callback variant of [`query`](Self::query) (delay instrumentation).
-    pub fn query_cb(&mut self, r: &Rect, theta: Interval, f: &mut dyn FnMut(usize)) {
+    pub fn query_cb(&self, r: &Rect, theta: Interval, f: &mut dyn FnMut(usize)) {
+        self.query_cb_with(r, theta, &mut QueryScratch::new(), f)
+    }
+
+    /// [`query_cb`](Self::query_cb) with caller-provided scratch.
+    pub fn query_cb_with(
+        &self,
+        r: &Rect,
+        theta: Interval,
+        scratch: &mut QueryScratch,
+        f: &mut dyn FnMut(usize),
+    ) {
         assert_eq!(r.dim(), self.dim, "query rectangle dimension mismatch");
-        let region = self.orthant(r, theta);
-        let mut reported = vec![false; self.n_datasets];
+        scratch.reset_reported(self.n_datasets);
+        let QueryScratch {
+            reported,
+            hits,
+            region,
+            ..
+        } = scratch;
+        self.orthant_into(r, theta, region);
         let owner = &self.owner;
-        self.tree.report_while(&region, &mut |q| {
+        self.tree.report_while(region, &mut |q| {
             let j = owner[q] as usize;
-            if !reported[j] {
-                reported[j] = true;
+            if reported.insert(j) {
                 f(j);
             }
             true
@@ -327,18 +354,16 @@ impl PtileRangeIndex {
         // Zero-mass corner case: datasets with no canonical rectangle inside
         // R qualify iff their personal band reaches 0, i.e. a_θ ≤ ε_i + δ_i.
         if theta.lo <= self.max_combined {
-            let mut slab_hits = Vec::new();
             for h in 0..self.dim {
-                let slab_region = Region::all(3)
-                    .with_hi(0, r.lo_at(h), true)
-                    .with_lo(1, r.hi_at(h), true)
-                    .with_lo(2, theta.lo, false);
-                slab_hits.clear();
-                self.aux[h].report(&slab_region, &mut slab_hits);
-                for &id in &slab_hits {
+                region.reset(3);
+                region.set_hi(0, r.lo_at(h), true);
+                region.set_lo(1, r.hi_at(h), true);
+                region.set_lo(2, theta.lo, false);
+                hits.clear();
+                self.aux[h].report(region, hits);
+                for &id in hits.iter() {
                     let j = self.aux_owner[h][id] as usize;
-                    if !reported[j] {
-                        reported[j] = true;
+                    if reported.insert(j) {
                         f(j);
                     }
                 }
@@ -348,19 +373,19 @@ impl PtileRangeIndex {
 
     /// The `R^{4d}` orthant of Algorithm 4 line 1 plus the weight bands:
     /// `ρ⁻ ≥ R⁻`, `ρ̂⁻ < R⁻`, `ρ⁺ ≤ R⁺`, `ρ̂⁺ > R⁺`, `w⁺ ≥ a_θ`,
-    /// `w⁻ ≤ b_θ` (per-dataset margins pre-folded into `w±`).
-    fn orthant(&self, r: &Rect, theta: Interval) -> Region {
+    /// `w⁻ ≤ b_θ` (per-dataset margins pre-folded into `w±`), written into
+    /// a reused region buffer.
+    fn orthant_into(&self, r: &Rect, theta: Interval, region: &mut Region) {
         let d = self.dim;
-        let mut region = Region::all(4 * d + 2);
+        region.reset(4 * d + 2);
         for h in 0..d {
-            region = region.with_lo(h, r.lo_at(h), false);
-            region = region.with_hi(d + h, r.lo_at(h), true);
-            region = region.with_hi(2 * d + h, r.hi_at(h), false);
-            region = region.with_lo(3 * d + h, r.hi_at(h), true);
+            region.set_lo(h, r.lo_at(h), false);
+            region.set_hi(d + h, r.lo_at(h), true);
+            region.set_hi(2 * d + h, r.hi_at(h), false);
+            region.set_lo(3 * d + h, r.hi_at(h), true);
         }
-        region
-            .with_lo(4 * d, theta.lo, false)
-            .with_hi(4 * d + 1, theta.hi, false)
+        region.set_lo(4 * d, theta.lo, false);
+        region.set_hi(4 * d + 1, theta.hi, false);
     }
 }
 
@@ -395,7 +420,7 @@ mod tests {
         // S1's maximal interval is [7, 7] with weight 1/3 ∈ θ → report 0.
         // S2's maximal interval is [4, 6] with weight 2/4 > 0.4 → do not
         // report 1 (the threshold structure would, via [4, 4]).
-        let mut idx = exact_index();
+        let idx = exact_index();
         let hits = idx.query(&Rect::interval(3.0, 8.0), Interval::new(0.2, 0.4));
         assert_eq!(hits, vec![0]);
     }
@@ -410,7 +435,7 @@ mod tests {
         let mut pts = vec![Point::one(2.0)];
         pts.extend((0..9).map(|i| Point::one(5.0 + i as f64 * 0.1)));
         let syn = vec![ExactSynopsis::new(pts)];
-        let mut idx = PtileRangeIndex::build(&syn, PtileBuildParams::exact_centralized());
+        let idx = PtileRangeIndex::build(&syn, PtileBuildParams::exact_centralized());
         assert_eq!(idx.eps(), 0.0);
         let hits = idx.query(&Rect::interval(1.0, 7.0), Interval::new(0.0, 0.2));
         assert!(hits.is_empty(), "non-maximal rectangle must not fire");
@@ -418,7 +443,7 @@ mod tests {
 
     #[test]
     fn two_sided_band_excludes_high_mass() {
-        let mut idx = exact_index();
+        let idx = exact_index();
         // θ = [0.4, 0.6]: only dataset 1 (mass 0.5).
         let hits = idx.query(&Rect::interval(3.0, 8.0), Interval::new(0.4, 0.6));
         assert_eq!(hits, vec![1]);
@@ -426,7 +451,7 @@ mod tests {
 
     #[test]
     fn zero_band_reports_empty_datasets() {
-        let mut idx = exact_index();
+        let idx = exact_index();
         // R = [2.5, 3.5] contains no point of S1 (mass 0) and none of S2
         // (mass 0). θ = [0, 0.1] must report both via the empty-slab path.
         let mut hits = idx.query(&Rect::interval(2.5, 3.5), Interval::new(0.0, 0.1));
@@ -440,7 +465,7 @@ mod tests {
 
     #[test]
     fn zero_band_does_not_double_report() {
-        let mut idx = exact_index();
+        let idx = exact_index();
         // R = [3, 8] with θ = [0, 1]: both datasets have mass > 0 and must
         // appear exactly once (main structure), not again via aux.
         let mut hits = idx.query(&Rect::interval(3.0, 8.0), Interval::new(0.0, 1.0));
@@ -450,7 +475,7 @@ mod tests {
 
     #[test]
     fn repeated_queries_are_stable() {
-        let mut idx = exact_index();
+        let idx = exact_index();
         for _ in 0..5 {
             let hits = idx.query(&Rect::interval(3.0, 8.0), Interval::new(0.2, 0.4));
             assert_eq!(hits, vec![0]);
@@ -459,7 +484,7 @@ mod tests {
 
     #[test]
     fn threshold_queries_work_via_range_structure() {
-        let mut idx = exact_index();
+        let idx = exact_index();
         let mut hits = idx.query(&Rect::interval(3.0, 8.0), Interval::new(0.2, 1.0));
         hits.sort_unstable();
         assert_eq!(hits, vec![0, 1]);
@@ -469,7 +494,7 @@ mod tests {
     fn query_boundary_on_sample_coordinates() {
         // Query facets exactly on data coordinates: the strict bounds on
         // ρ̂ keep maximality decisions exact.
-        let mut idx = exact_index();
+        let idx = exact_index();
         // R = [4, 6] over S2: maximal interval [4, 6], weight 0.5.
         let hits = idx.query(&Rect::interval(4.0, 6.0), Interval::new(0.45, 0.55));
         assert_eq!(hits, vec![1]);
@@ -485,7 +510,7 @@ mod tests {
         // θ = [0.5, 0.52] over R = [3, 8]: masses are 1/3 and 1/2.
         //  - dataset 0: band [0.3, 0.72] ∋ 1/3 → reported;
         //  - dataset 1: band [0.5, 0.52] ∋ 1/2 → reported.
-        let mut idx = PtileRangeIndex::build_with_deltas(
+        let idx = PtileRangeIndex::build_with_deltas(
             &figure1_synopses(),
             Some(&[0.2, 0.0]),
             PtileBuildParams::exact_centralized(),

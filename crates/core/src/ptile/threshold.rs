@@ -23,7 +23,9 @@
 
 use super::coreset::{build_coreset, rect_weights};
 use super::PtileBuildParams;
+use crate::bitset::BitSet;
 use crate::pool::{mix_seed, par_map, BuildOptions};
+use crate::scratch::QueryScratch;
 use dds_geom::Rect;
 use dds_rangetree::{DeletableIndex, KdTree, OrthoIndex, Region, SortedScores};
 use dds_synopsis::PercentileSynopsis;
@@ -245,33 +247,57 @@ impl PtileThresholdIndex {
     /// Answers `Π = Pred_{M_R, [a_θ, 1]}` (Algorithm 2): returns dataset
     /// indexes, every qualifying dataset included, every reported dataset
     /// within its [`slack_for`](Self::slack_for) band.
-    pub fn query(&mut self, r: &Rect, a_theta: f64) -> Vec<usize> {
+    ///
+    /// Read-only: the index can be shared (`&self`, e.g. behind an `Arc`)
+    /// across query threads. Allocates a fresh [`QueryScratch`] per call;
+    /// query loops should prefer [`query_with`](Self::query_with).
+    pub fn query(&self, r: &Rect, a_theta: f64) -> Vec<usize> {
+        self.query_with(r, a_theta, &mut QueryScratch::new())
+    }
+
+    /// [`query`](Self::query) with caller-provided scratch: identical
+    /// answers, no per-query buffer allocations.
+    pub fn query_with(&self, r: &Rect, a_theta: f64, scratch: &mut QueryScratch) -> Vec<usize> {
         let mut out = Vec::new();
-        self.query_cb(r, a_theta, &mut |j| out.push(j));
+        self.query_cb_with(r, a_theta, scratch, &mut |j| out.push(j));
         out
     }
 
     /// Callback variant of [`query`](Self::query), used by the delay
     /// instrumentation (Remark 3): `f` is invoked once per reported index,
     /// in enumeration order.
-    pub fn query_cb(&mut self, r: &Rect, a_theta: f64, f: &mut dyn FnMut(usize)) {
+    pub fn query_cb(&self, r: &Rect, a_theta: f64, f: &mut dyn FnMut(usize)) {
+        self.query_cb_with(r, a_theta, &mut QueryScratch::new(), f)
+    }
+
+    /// [`query_cb`](Self::query_cb) with caller-provided scratch.
+    pub fn query_cb_with(
+        &self,
+        r: &Rect,
+        a_theta: f64,
+        scratch: &mut QueryScratch,
+        f: &mut dyn FnMut(usize),
+    ) {
         assert_eq!(r.dim(), self.dim, "query rectangle dimension mismatch");
-        let mut reported = vec![false; self.n_datasets];
+        scratch.reset_reported(self.n_datasets);
+        let QueryScratch {
+            reported,
+            hits,
+            region,
+            ..
+        } = scratch;
         // Degenerate band, per dataset: when a_θ ≤ ε_i + δ_i the dataset is
         // within the guarantee band even if its sample misses R entirely.
-        let mut degenerate_hits = Vec::new();
-        self.degenerate
-            .report_at_least(a_theta, &mut degenerate_hits);
-        for j in degenerate_hits {
-            reported[j] = true;
+        self.degenerate.report_at_least(a_theta, hits);
+        for &j in hits.iter() {
+            reported.insert(j);
             f(j);
         }
-        let region = self.orthant(r, a_theta);
+        self.orthant_into(r, a_theta, region);
         let owner = &self.owner;
-        self.tree.report_while(&region, &mut |q| {
+        self.tree.report_while(region, &mut |q| {
             let j = owner[q] as usize;
-            if !reported[j] {
-                reported[j] = true;
+            if reported.insert(j) {
                 f(j);
             }
             true
@@ -281,24 +307,25 @@ impl PtileThresholdIndex {
     /// Algorithm 2 exactly as written: on each report, eagerly delete every
     /// lifted point of the reported dataset. Same answers as
     /// [`query_cb`](Self::query_cb) (which tombstones rejected points
-    /// lazily); kept for the ablation experiment A3.
+    /// lazily); kept for the ablation experiment A3. This is the one query
+    /// path that takes `&mut self` — it is not read-only (it tombstones and
+    /// restores tree points), so it stays off the shared-read contract.
     pub fn query_eager(&mut self, r: &Rect, a_theta: f64) -> Vec<usize> {
         assert_eq!(r.dim(), self.dim, "query rectangle dimension mismatch");
-        let mut reported = vec![false; self.n_datasets];
+        let mut reported = BitSet::new(self.n_datasets);
         let mut out = Vec::new();
         let mut degenerate_hits = Vec::new();
         self.degenerate
             .report_at_least(a_theta, &mut degenerate_hits);
         for j in degenerate_hits {
-            reported[j] = true;
+            reported.insert(j);
             out.push(j);
         }
         let region = self.orthant(r, a_theta);
         let mut deleted: Vec<usize> = Vec::new();
         while let Some(id) = self.tree.report_first(&region) {
             let j = self.owner[id] as usize;
-            if !reported[j] {
-                reported[j] = true;
+            if reported.insert(j) {
                 out.push(j);
             }
             for &q in &self.groups[j] {
@@ -325,13 +352,20 @@ impl PtileThresholdIndex {
     /// The lifted orthant `R'` of Algorithm 2 line 1 plus the weight bound
     /// (per-dataset margins are already folded into the weight coordinate).
     fn orthant(&self, r: &Rect, w_lo: f64) -> Region {
+        let mut region = Region::all(2 * self.dim + 1);
+        self.orthant_into(r, w_lo, &mut region);
+        region
+    }
+
+    /// [`orthant`](Self::orthant) written into a reused region buffer.
+    fn orthant_into(&self, r: &Rect, w_lo: f64, region: &mut Region) {
         let d = self.dim;
-        let mut region = Region::all(2 * d + 1);
+        region.reset(2 * d + 1);
         for h in 0..d {
-            region = region.with_lo(h, r.lo_at(h), false);
-            region = region.with_hi(d + h, r.hi_at(h), false);
+            region.set_lo(h, r.lo_at(h), false);
+            region.set_hi(d + h, r.hi_at(h), false);
         }
-        region.with_lo(2 * d, w_lo, false)
+        region.set_lo(2 * d, w_lo, false);
     }
 }
 
@@ -357,7 +391,7 @@ mod tests {
     fn figure1() {
         // The running example of Section 4.2: R = [3, 8], θ = [0.2, 1]
         // must report both datasets (masses 1/3 and 2/4).
-        let mut idx =
+        let idx =
             PtileThresholdIndex::build(&figure1_synopses(), PtileBuildParams::exact_centralized());
         assert_eq!(idx.eps(), 0.0, "tiny supports are indexed exactly");
         let mut hits = idx.query(&Rect::interval(3.0, 8.0), 0.2);
@@ -367,7 +401,7 @@ mod tests {
 
     #[test]
     fn threshold_excludes_low_mass_datasets() {
-        let mut idx =
+        let idx =
             PtileThresholdIndex::build(&figure1_synopses(), PtileBuildParams::exact_centralized());
         // θ = [0.4, 1]: only dataset 1 (mass 0.5) qualifies.
         let hits = idx.query(&Rect::interval(3.0, 8.0), 0.4);
@@ -378,8 +412,8 @@ mod tests {
 
     #[test]
     fn repeated_queries_are_stable() {
-        // The delete/restore cycle must leave the structure intact.
-        let mut idx =
+        // Repeated identical queries must be stable (shared-read path).
+        let idx =
             PtileThresholdIndex::build(&figure1_synopses(), PtileBuildParams::exact_centralized());
         for _ in 0..5 {
             let mut hits = idx.query(&Rect::interval(3.0, 8.0), 0.2);
@@ -390,7 +424,7 @@ mod tests {
 
     #[test]
     fn no_duplicates_in_output() {
-        let mut idx =
+        let idx =
             PtileThresholdIndex::build(&figure1_synopses(), PtileBuildParams::exact_centralized());
         let hits = idx.query(&Rect::interval(0.0, 20.0), 0.5);
         let mut dedup = hits.clone();
@@ -401,7 +435,7 @@ mod tests {
 
     #[test]
     fn tiny_threshold_reports_everything() {
-        let mut idx =
+        let idx =
             PtileThresholdIndex::build(&figure1_synopses(), PtileBuildParams::exact_centralized());
         // A query region containing no point at all, but a_θ = 0: the band
         // [a−slack, 1] admits every dataset, and the theorem only promises a
@@ -413,7 +447,7 @@ mod tests {
 
     #[test]
     fn empty_region_with_real_threshold_reports_nothing() {
-        let mut idx =
+        let idx =
             PtileThresholdIndex::build(&figure1_synopses(), PtileBuildParams::exact_centralized());
         assert!(idx.query(&Rect::interval(500.0, 600.0), 0.2).is_empty());
     }
@@ -445,7 +479,7 @@ mod tests {
         //  - dataset 1 (mass 1/2 ≥ 0.4): reported outright, with a zero
         //    personal slack.
         let syns = figure1_synopses();
-        let mut idx = PtileThresholdIndex::build_with_deltas(
+        let idx = PtileThresholdIndex::build_with_deltas(
             &syns,
             Some(&[0.3, 0.0]),
             PtileBuildParams::exact_centralized(),

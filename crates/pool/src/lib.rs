@@ -110,10 +110,35 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_map_with(opts, items, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with **per-worker reusable state**: every worker thread calls
+/// `init()` exactly once and threads the resulting value through all the
+/// work units it claims (`out[i] = f(&mut state, i, &items[i])`).
+///
+/// This is the primitive behind the batch *query* APIs: the state is a query
+/// scratch (bitsets, hit buffers, memo maps) that would otherwise be
+/// re-allocated per query. The determinism contract is inherited from
+/// [`par_map`] **provided `f`'s output does not depend on the state's
+/// history** — scratch must be reset per unit, which every caller in this
+/// workspace does.
+pub fn par_map_with<T, U, S, I, F>(opts: &BuildOptions, items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
     let n = items.len();
     let threads = opts.threads.max(1).min(n.max(1));
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
     // Chunk granularity: small enough that workers can steal meaningfully,
     // large enough to amortize the cursor traffic.
@@ -122,10 +147,12 @@ where
     let cursor = AtomicUsize::new(0);
     let f = &f;
     let cursor = &cursor;
+    let init = &init;
     let mut by_chunk: Vec<(usize, Vec<U>)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(move || {
+                    let mut state = init();
                     let mut local: Vec<(usize, Vec<U>)> = Vec::new();
                     loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
@@ -136,7 +163,7 @@ where
                         let end = (start + chunk).min(n);
                         let mut out = Vec::with_capacity(end - start);
                         for (j, item) in items[start..end].iter().enumerate() {
-                            out.push(f(start + j, item));
+                            out.push(f(&mut state, start + j, item));
                         }
                         local.push((c, out));
                     }
@@ -200,6 +227,41 @@ mod tests {
         });
         assert_eq!(out, items);
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_map_with_reuses_state_and_matches_serial() {
+        let items: Vec<u64> = (0..500).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 7).collect();
+        for threads in [1, 2, 3, 8] {
+            // State is a scratch buffer reset per unit; reuse must be
+            // invisible in the output.
+            let got = par_map_with(
+                &BuildOptions::with_threads(threads),
+                &items,
+                Vec::<u64>::new,
+                |buf, _, &x| {
+                    buf.clear();
+                    buf.extend(std::iter::repeat_n(x, 7));
+                    buf.iter().sum::<u64>()
+                },
+            );
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_calls_init_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map_with(
+            &BuildOptions::with_threads(4),
+            &items,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, i, _| i,
+        );
+        assert_eq!(out, items);
+        assert!(inits.load(Ordering::Relaxed) <= 4, "one init per worker");
     }
 
     #[test]

@@ -73,16 +73,44 @@ impl Region {
 
     /// Restricts dimension `h` to the (closed or strict) lower bound `v`.
     pub fn with_lo(mut self, h: usize, v: f64, strict: bool) -> Self {
-        self.lo[h] = v;
-        self.lo_strict[h] = strict;
+        self.set_lo(h, v, strict);
         self
     }
 
     /// Restricts dimension `h` to the (closed or strict) upper bound `v`.
     pub fn with_hi(mut self, h: usize, v: f64, strict: bool) -> Self {
+        self.set_hi(h, v, strict);
+        self
+    }
+
+    /// In-place variant of [`with_lo`](Self::with_lo) for reused regions.
+    #[inline]
+    pub fn set_lo(&mut self, h: usize, v: f64, strict: bool) {
+        self.lo[h] = v;
+        self.lo_strict[h] = strict;
+    }
+
+    /// In-place variant of [`with_hi`](Self::with_hi) for reused regions.
+    #[inline]
+    pub fn set_hi(&mut self, h: usize, v: f64, strict: bool) {
         self.hi[h] = v;
         self.hi_strict[h] = strict;
-        self
+    }
+
+    /// Resets this region to [`Region::all`]`(dim)` **reusing its buffers**
+    /// (no allocation once the buffers have grown to `dim`). Query scratch
+    /// holds one `Region` and resets it per query instead of building a
+    /// fresh orthant on the heap.
+    pub fn reset(&mut self, dim: usize) {
+        assert!(dim >= 1, "regions must have dimension >= 1");
+        self.lo.clear();
+        self.lo.resize(dim, f64::NEG_INFINITY);
+        self.hi.clear();
+        self.hi.resize(dim, f64::INFINITY);
+        self.lo_strict.clear();
+        self.lo_strict.resize(dim, false);
+        self.hi_strict.clear();
+        self.hi_strict.resize(dim, false);
     }
 
     /// True if the point `p` satisfies every bound.
@@ -194,6 +222,18 @@ mod tests {
         let rc = Region::all(1).with_lo(0, 5.0, false);
         assert!(rc.intersects_bbox(&[0.0], &[5.0]));
         assert!(rc.contains_bbox(&[5.0], &[9.0]));
+    }
+
+    #[test]
+    fn reset_reuses_buffers_across_dimensions() {
+        let mut r = Region::all(4).with_lo(0, 3.0, true).with_hi(2, 8.0, false);
+        r.reset(2);
+        assert_eq!(r, Region::all(2));
+        r.reset(6);
+        assert_eq!(r, Region::all(6));
+        r.set_lo(5, 1.0, false);
+        assert!(!r.contains(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.5]));
+        assert!(r.contains(&[0.0, 0.0, 0.0, 0.0, 0.0, 1.0]));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ```
 
 use dds_core::framework::Interval;
+use dds_core::pool::BuildOptions;
 use dds_core::pref::{DynamicPrefIndex, PrefBuildParams};
 use dds_core::ptile::{DynamicPtileIndex, PtileBuildParams};
 use dds_geom::Rect;
@@ -21,6 +22,27 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let mut ptile = DynamicPtileIndex::new(1, PtileBuildParams::exact_centralized());
     let mut pref = DynamicPrefIndex::new(2, 3, PrefBuildParams::exact_centralized());
+
+    // Day 0: a bulk load. `insert_batch` computes the per-synopsis payloads
+    // on the worker pool (per-handle RNG streams) and lands bit-identical
+    // to a serial `insert_synopsis` loop.
+    let backlog: Vec<ExactSynopsis> = (0..30)
+        .map(|i| {
+            let lo = 200.0 + 3.0 * i as f64;
+            let pts = datasets::uniform_cube(&mut rng, 50, &Rect::interval(lo, lo + 2.0));
+            ExactSynopsis::new(pts)
+        })
+        .collect();
+    let t0 = Instant::now();
+    let bulk_handles = ptile.insert_batch(&backlog, &BuildOptions::default());
+    println!(
+        "bulk-loaded {} archived datasets in {:.1?} (worker pool)",
+        bulk_handles.len(),
+        t0.elapsed()
+    );
+    for h in bulk_handles {
+        assert!(ptile.remove_synopsis(h), "bulk handles are live");
+    }
 
     // A sliding window of live datasets: publish one per tick, withdraw the
     // oldest once the window is full.

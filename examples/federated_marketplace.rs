@@ -80,8 +80,7 @@ fn main() {
     let params = PtileBuildParams::default()
         .with_rect_budget(8192)
         .with_empirical_eps(0.12);
-    let mut index =
-        PtileRangeIndex::build_with_deltas_opts(&synopses, Some(&deltas), params, &opts);
+    let index = PtileRangeIndex::build_with_deltas_opts(&synopses, Some(&deltas), params, &opts);
     println!(
         "federated index: {} lifted points, eps = {:.3}, band = ±{:.3}, built in {:.1?}\n",
         index.lifted_points(),

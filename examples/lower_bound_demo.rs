@@ -21,7 +21,7 @@ fn main() {
         inst.replication,
         inst.total_size()
     );
-    let mut red = SetIntersectionCPtile::build(&inst.sets, inst.universe);
+    let red = SetIntersectionCPtile::build(&inst.sets, inst.universe);
     let mut checked = 0usize;
     for i in 0..inst.sets.len() {
         for j in (i + 1)..inst.sets.len() {

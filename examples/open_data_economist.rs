@@ -24,7 +24,7 @@ fn main() {
 
     // (i) Percentile search over incident locations.
     let incidents = Repository::from_point_sets(sc.incidents.clone());
-    let mut ptile = PtileThresholdIndex::build(
+    let ptile = PtileThresholdIndex::build(
         &incidents.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );

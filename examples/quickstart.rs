@@ -34,7 +34,7 @@ fn main() {
     // ---- Ptile: threshold predicate -------------------------------------
     // "Which datasets have at least 20% of their points in [3, 8]?"
     let synopses = repo.exact_synopses();
-    let mut threshold =
+    let threshold =
         PtileThresholdIndex::build_opts(&synopses, PtileBuildParams::exact_centralized(), &opts);
     let region = Rect::interval(3.0, 8.0);
     let hits = threshold.query(&region, 0.2);
@@ -49,7 +49,7 @@ fn main() {
 
     // ---- Ptile: range predicate ------------------------------------------
     // "…between 20% and 40%?" — needs the maximal-rectangle structure.
-    let mut range =
+    let range =
         PtileRangeIndex::build_opts(&synopses, PtileBuildParams::exact_centralized(), &opts);
     let hits = range.query(&region, Interval::new(0.2, 0.4));
     println!("\nPtile range  M_[3,8] in [0.20, 0.40]:");

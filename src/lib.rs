@@ -33,7 +33,7 @@
 //!
 //! // Centralized percentile search: which datasets have >= 20% of their
 //! // points inside [3, 8]?
-//! let mut index = PtileThresholdIndex::build(
+//! let index = PtileThresholdIndex::build(
 //!     &repo.exact_synopses(),
 //!     PtileBuildParams::exact_centralized(),
 //! );
@@ -71,6 +71,7 @@ pub mod prelude {
     pub use dds_core::ptile::{
         ExactCPtile1D, PtileBuildParams, PtileMultiIndex, PtileRangeIndex, PtileThresholdIndex,
     };
+    pub use dds_core::scratch::QueryScratch;
     pub use dds_geom::{Point, Rect};
     pub use dds_synopsis::{PercentileSynopsis, PrefSynopsis};
 }

@@ -36,7 +36,7 @@ fn below(cut: usize) -> LogicalExpr {
 #[test]
 fn word_boundary_universes_answer_exactly() {
     for n in [63usize, 64, 65] {
-        let mut e = engine(n);
+        let e = engine(n);
         // Everything below n-1 AND quality >= 0.5 — an AND straddling the
         // last partial word.
         let expr = LogicalExpr::And(vec![
@@ -79,7 +79,7 @@ fn word_boundary_universes_answer_exactly() {
 fn multi_index_clause_accumulator_at_word_boundaries() {
     for n in [63usize, 64, 65] {
         let syns = unit_repo(n).exact_synopses();
-        let mut idx = PtileMultiIndex::build(&syns, 2, PtileBuildParams::exact_centralized());
+        let idx = PtileMultiIndex::build(&syns, 2, PtileBuildParams::exact_centralized());
         // Degenerate band (lo = 0) forces the bitset intersection fallback.
         let hits = idx.query(&[
             (
@@ -117,7 +117,7 @@ fn multi_index_clause_accumulator_at_word_boundaries() {
 fn dnf_dedup_still_issues_one_query_per_distinct_predicate() {
     // 65 datasets: the memoized masks span two words. `(a ∧ s) ∨ (b ∧ s)`
     // mentions 4 literals over 3 distinct predicates.
-    let mut e = engine(65);
+    let e = engine(65);
     let score = Predicate::topk_at_least(vec![1.0, 0.0], 1, 0.5);
     let a = Predicate::percentile_at_least(Rect::from_bounds(&[-1.0, -1.0], &[2.0, 31.5]), 0.9);
     let b = Predicate::percentile_at_least(Rect::from_bounds(&[-1.0, 31.5], &[2.0, 65.0]), 0.9);

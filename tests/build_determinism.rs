@@ -35,8 +35,8 @@ fn ptile_queries() -> Vec<(Rect, Interval)> {
 #[test]
 fn ptile_threshold_builds_identically_twice() {
     let (syns, params) = ptile_inputs();
-    let mut a = PtileThresholdIndex::build(&syns, params.clone());
-    let mut b = PtileThresholdIndex::build(&syns, params);
+    let a = PtileThresholdIndex::build(&syns, params.clone());
+    let b = PtileThresholdIndex::build(&syns, params);
     assert_eq!(a.eps().to_bits(), b.eps().to_bits());
     assert_eq!(a.memory_bytes(), b.memory_bytes());
     for (rect, theta) in ptile_queries() {
@@ -47,8 +47,8 @@ fn ptile_threshold_builds_identically_twice() {
 #[test]
 fn ptile_range_builds_identically_twice() {
     let (syns, params) = ptile_inputs();
-    let mut a = PtileRangeIndex::build(&syns, params.clone());
-    let mut b = PtileRangeIndex::build(&syns, params);
+    let a = PtileRangeIndex::build(&syns, params.clone());
+    let b = PtileRangeIndex::build(&syns, params);
     assert_eq!(a.eps().to_bits(), b.eps().to_bits());
     assert_eq!(a.slack().to_bits(), b.slack().to_bits());
     assert_eq!(a.lifted_points(), b.lifted_points());
@@ -61,8 +61,8 @@ fn ptile_range_builds_identically_twice() {
 #[test]
 fn ptile_multi_builds_identically_twice() {
     let (syns, params) = ptile_inputs();
-    let mut a = PtileMultiIndex::build(&syns, 2, params.clone());
-    let mut b = PtileMultiIndex::build(&syns, 2, params);
+    let a = PtileMultiIndex::build(&syns, 2, params.clone());
+    let b = PtileMultiIndex::build(&syns, 2, params);
     assert_eq!(a.eps().to_bits(), b.eps().to_bits());
     assert_eq!(a.margin().to_bits(), b.margin().to_bits());
     assert_eq!(a.lifted_points(), b.lifted_points());
@@ -115,8 +115,8 @@ fn mixed_engine_builds_identically_twice_under_default_pool() {
         .with_rect_budget(200)
         .with_seed(42);
     let pref = PrefBuildParams::exact_centralized().with_eps(0.05);
-    let mut a = MixedQueryEngine::build(&repo, &[1, 3], ptile.clone(), pref.clone());
-    let mut b = MixedQueryEngine::build(&repo, &[1, 3], ptile, pref);
+    let a = MixedQueryEngine::build(&repo, &[1, 3], ptile.clone(), pref.clone());
+    let b = MixedQueryEngine::build(&repo, &[1, 3], ptile, pref);
     assert_eq!(a.ptile_slack().to_bits(), b.ptile_slack().to_bits());
     assert_eq!(
         a.pref_slack(3).unwrap().to_bits(),

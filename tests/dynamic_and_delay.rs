@@ -29,7 +29,7 @@ fn dynamic_ptile_tracks_static_rebuild() {
     let bbox = dds_geom::Rect::from_bounds(&[0.0], &[100.0]);
 
     // Full set: dynamic answers equal the static index on the same data.
-    let mut static_idx = PtileRangeIndex::build(&synopses, params.clone());
+    let static_idx = PtileRangeIndex::build(&synopses, params.clone());
     for _ in 0..15 {
         let r = queries::random_rect(&mut rng, &bbox);
         let (a, b) = queries::random_theta(&mut rng, 0.1);
@@ -53,7 +53,7 @@ fn dynamic_ptile_tracks_static_rebuild() {
         }
     }
     let kept_synopses: Vec<ExactSynopsis> = keep.iter().map(|&i| synopses[i].clone()).collect();
-    let mut rebuilt = PtileRangeIndex::build(&kept_synopses, params);
+    let rebuilt = PtileRangeIndex::build(&kept_synopses, params);
     for _ in 0..15 {
         let r = queries::random_rect(&mut rng, &bbox);
         let (a, b) = queries::random_theta(&mut rng, 0.1);
@@ -83,7 +83,7 @@ fn delay_is_bounded_per_report() {
     // liberal constant of the mean (no pathological stalls), which is the
     // observable consequence of the Õ(1)-delay claim.
     let repo = mixed_repo(120, 150, 1, 411);
-    let mut idx = PtileThresholdIndex::build(
+    let idx = PtileThresholdIndex::build(
         &repo.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );
@@ -154,7 +154,7 @@ fn unknown_delta_remark_semantics() {
         .iter()
         .fold(0.0f64, |a, &b| a.max(b))
         .clamp(0.01, 0.6);
-    let mut idx = PtileThresholdIndex::build(&synopses, PtileBuildParams::federated(delta_max));
+    let idx = PtileThresholdIndex::build(&synopses, PtileBuildParams::federated(delta_max));
     let bbox = dds_geom::Rect::from_bounds(&[0.0], &[100.0]);
     for _ in 0..15 {
         let r = queries::random_rect(&mut rng, &bbox);

@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 fn multi_index_conjunction_guarantees() {
     let repo = mixed_repo(30, 300, 1, 301);
     let sets = point_sets(&repo);
-    let mut idx = PtileMultiIndex::build(
+    let idx = PtileMultiIndex::build(
         &repo.exact_synopses(),
         2,
         PtileBuildParams::exact_centralized(),
@@ -48,7 +48,7 @@ fn multi_index_conjunction_guarantees() {
 #[test]
 fn expression_queries_cover_ground_truth() {
     let repo = mixed_repo(25, 250, 1, 311);
-    let mut idx = PtileMultiIndex::build(
+    let idx = PtileMultiIndex::build(
         &repo.exact_synopses(),
         2,
         PtileBuildParams::exact_centralized(),

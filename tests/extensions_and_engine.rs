@@ -77,7 +77,7 @@ fn diversity_search_recall_at_scale() {
 #[test]
 fn mixed_engine_covers_ground_truth_at_scale() {
     let repo = mixed_repo(40, 300, 1, 621);
-    let mut engine = MixedQueryEngine::build(
+    let engine = MixedQueryEngine::build(
         &repo,
         &[1, 5],
         PtileBuildParams::exact_centralized(),

@@ -22,13 +22,13 @@ fn ptile_indexes_through_the_facade() {
     let repo = repo();
     let syns = repo.exact_synopses();
 
-    let mut threshold = PtileThresholdIndex::build(&syns, PtileBuildParams::exact_centralized());
+    let threshold = PtileThresholdIndex::build(&syns, PtileBuildParams::exact_centralized());
     let region = Rect::from_bounds(&[0.0, 0.0], &[1.0, 10.0]);
     let mut hits = threshold.query(&region, 0.5);
     hits.sort_unstable();
     assert_eq!(hits, vec![0, 1], "all of a and b sit at positions <= 10");
 
-    let mut range = PtileRangeIndex::build(&syns, PtileBuildParams::exact_centralized());
+    let range = PtileRangeIndex::build(&syns, PtileBuildParams::exact_centralized());
     let mut hits = range.query(&region, Interval::new(0.5, 1.0));
     hits.sort_unstable();
     assert_eq!(hits, vec![0, 1]);
@@ -46,7 +46,7 @@ fn exact_1d_and_multi_through_the_facade() {
     assert_eq!(hits, vec![0, 1], "both have >= 50% of mass in [3, 9]");
 
     let syns = repo.exact_synopses();
-    let mut multi = PtileMultiIndex::build(&syns, 2, PtileBuildParams::exact_centralized());
+    let multi = PtileMultiIndex::build(&syns, 2, PtileBuildParams::exact_centralized());
     let q1 = (Rect::interval(0.0, 5.0), Interval::new(0.2, 1.0));
     let q2 = (Rect::interval(5.0, 11.0), Interval::new(0.2, 1.0));
     let mut hits = multi.query(&[q1, q2]);
@@ -77,7 +77,7 @@ fn pref_indexes_through_the_facade() {
 #[test]
 fn mixed_engine_and_synopsis_traits_through_the_facade() {
     let repo = repo();
-    let mut engine = MixedQueryEngine::build(
+    let engine = MixedQueryEngine::build(
         &repo,
         &[1],
         PtileBuildParams::exact_centralized(),
@@ -115,7 +115,7 @@ fn quickstart_docs_scenario_through_the_facade() {
         Dataset::from_rows("c", vec![vec![100.0], vec![200.0]]),
     ];
     let repo = Repository::new(datasets);
-    let mut index = PtileThresholdIndex::build(
+    let index = PtileThresholdIndex::build(
         &repo.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );

@@ -42,7 +42,7 @@ fn grid_histogram_synopses_keep_the_band() {
     // Measure δ and pad it: the probe is a lower bound on the sup-error.
     let delta = (1.5 * measured_delta(&synopses, &sets, &mut rng)).clamp(0.01, 0.5);
     let params = PtileBuildParams::federated(delta);
-    let mut idx = PtileRangeIndex::build(&synopses, params);
+    let idx = PtileRangeIndex::build(&synopses, params);
     let slack = idx.slack();
     let bbox = dds_geom::Rect::from_bounds(&[0.0], &[100.0]);
     for q in 0..30 {
@@ -74,7 +74,7 @@ fn equi_depth_histograms_match_fainder_setting() {
         .map(|pts| EquiDepthHistogram::from_points(pts, 64))
         .collect();
     let delta = (1.5 * measured_delta(&synopses, &sets, &mut rng)).clamp(0.01, 0.5);
-    let mut idx = PtileThresholdIndex::build(&synopses, PtileBuildParams::federated(delta));
+    let idx = PtileThresholdIndex::build(&synopses, PtileBuildParams::federated(delta));
     let slack = idx.slack();
     let bbox = dds_geom::Rect::from_bounds(&[0.0], &[100.0]);
     for q in 0..30 {
@@ -106,7 +106,7 @@ fn mixture_synopses_keep_the_band_2d() {
         .collect();
     // Mixtures on skewed data can be coarse; measure and pad generously.
     let delta = (1.5 * measured_delta(&synopses, &sets, &mut rng)).clamp(0.02, 0.6);
-    let mut idx = PtileThresholdIndex::build(&synopses, PtileBuildParams::federated(delta));
+    let idx = PtileThresholdIndex::build(&synopses, PtileBuildParams::federated(delta));
     let slack = idx.slack();
     let bbox = dds_geom::Rect::from_bounds(&[0.0, 0.0], &[100.0, 100.0]);
     for q in 0..20 {
@@ -141,7 +141,7 @@ fn sample_synopses_advertised_delta_suffices() {
         .iter()
         .map(|s| s.percentile_delta().unwrap())
         .fold(0.0, f64::max);
-    let mut idx = PtileThresholdIndex::build(&synopses, PtileBuildParams::federated(delta));
+    let idx = PtileThresholdIndex::build(&synopses, PtileBuildParams::federated(delta));
     let slack = idx.slack();
     let bbox = dds_geom::Rect::from_bounds(&[0.0], &[100.0]);
     for q in 0..30 {

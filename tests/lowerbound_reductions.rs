@@ -17,7 +17,7 @@ fn set_intersection_reduction_on_generated_instances() {
     {
         let inst = UniformSetInstance::generate(g, universe, replication, seed);
         assert!(inst.is_uniform());
-        let mut red = SetIntersectionCPtile::build(&inst.sets, inst.universe);
+        let red = SetIntersectionCPtile::build(&inst.sets, inst.universe);
         for i in 0..g {
             for j in 0..g {
                 assert_eq!(
@@ -34,7 +34,7 @@ fn set_intersection_reduction_on_generated_instances() {
 fn set_intersection_disjoint_pairs_report_empty() {
     // Hand-built uniform instance with guaranteed-disjoint pairs.
     let sets = vec![vec![0u64, 1], vec![2u64, 3], vec![0u64, 2], vec![1u64, 3]];
-    let mut red = SetIntersectionCPtile::build(&sets, 4);
+    let red = SetIntersectionCPtile::build(&sets, 4);
     assert!(red.intersect(0, 1).is_empty());
     assert!(red.intersect(2, 3).is_empty());
     assert_eq!(red.intersect(0, 2), vec![0]);

@@ -53,9 +53,9 @@ proptest! {
         let rect = Rect::interval(lo, hi);
         let theta = Interval::new(a, b);
 
-        let mut range_serial = PtileRangeIndex::build(&syns, params.clone());
-        let mut thr_serial = PtileThresholdIndex::build(&syns, params.clone());
-        let mut multi_serial = PtileMultiIndex::build(&syns, 2, params.clone());
+        let range_serial = PtileRangeIndex::build(&syns, params.clone());
+        let thr_serial = PtileThresholdIndex::build(&syns, params.clone());
+        let multi_serial = PtileMultiIndex::build(&syns, 2, params.clone());
         let expr = LogicalExpr::Or(vec![
             LogicalExpr::Pred(Predicate::percentile_at_least(rect.clone(), a)),
             LogicalExpr::And(vec![
@@ -66,18 +66,18 @@ proptest! {
 
         for t in THREADS {
             let opts = BuildOptions::with_threads(t);
-            let mut range = PtileRangeIndex::build_opts(&syns, params.clone(), &opts);
+            let range = PtileRangeIndex::build_opts(&syns, params.clone(), &opts);
             prop_assert_eq!(range.query(&rect, theta), range_serial.query(&rect, theta));
             prop_assert_eq!(range.slack().to_bits(), range_serial.slack().to_bits());
             prop_assert_eq!(range.margin().to_bits(), range_serial.margin().to_bits());
             prop_assert_eq!(range.memory_bytes(), range_serial.memory_bytes());
 
-            let mut thr = PtileThresholdIndex::build_opts(&syns, params.clone(), &opts);
+            let thr = PtileThresholdIndex::build_opts(&syns, params.clone(), &opts);
             prop_assert_eq!(thr.query(&rect, a), thr_serial.query(&rect, a));
             prop_assert_eq!(thr.slack().to_bits(), thr_serial.slack().to_bits());
             prop_assert_eq!(thr.memory_bytes(), thr_serial.memory_bytes());
 
-            let mut multi = PtileMultiIndex::build_opts(&syns, 2, params.clone(), &opts);
+            let multi = PtileMultiIndex::build_opts(&syns, 2, params.clone(), &opts);
             prop_assert_eq!(
                 multi.query(&[(rect.clone(), theta)]),
                 multi_serial.query(&[(rect.clone(), theta)])
@@ -121,7 +121,7 @@ proptest! {
 
         let pref_serial = PrefIndex::build(&syns, 1, pref_params.clone());
         let multi_serial = PrefMultiIndex::build(&syns, 1, 2, pref_params.clone());
-        let mut engine_serial = MixedQueryEngine::build_opts(
+        let engine_serial = MixedQueryEngine::build_opts(
             &repo,
             &[1],
             PtileBuildParams::exact_centralized(),
@@ -152,7 +152,7 @@ proptest! {
             );
             prop_assert_eq!(multi.slack().to_bits(), multi_serial.slack().to_bits());
 
-            let mut engine = MixedQueryEngine::build_opts(
+            let engine = MixedQueryEngine::build_opts(
                 &repo,
                 &[1],
                 PtileBuildParams::exact_centralized(),
@@ -182,7 +182,7 @@ fn sampled_builds_are_thread_count_invariant() {
     let syns = repo.exact_synopses();
     let params = PtileBuildParams::default().with_rect_budget(200);
 
-    let mut serial = PtileRangeIndex::build(&syns, params.clone());
+    let serial = PtileRangeIndex::build(&syns, params.clone());
     assert!(serial.eps() > 0.0, "sampling path must be engaged");
     let queries: Vec<(Rect, Interval)> = (0..8)
         .map(|q| {
@@ -195,7 +195,7 @@ fn sampled_builds_are_thread_count_invariant() {
         .collect();
     for t in [2usize, 3, 8] {
         let opts = BuildOptions::with_threads(t);
-        let mut par = PtileRangeIndex::build_opts(&syns, params.clone(), &opts);
+        let par = PtileRangeIndex::build_opts(&syns, params.clone(), &opts);
         assert_eq!(par.eps().to_bits(), serial.eps().to_bits());
         assert_eq!(par.margin().to_bits(), serial.margin().to_bits());
         assert_eq!(par.memory_bytes(), serial.memory_bytes());

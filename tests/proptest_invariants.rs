@@ -54,7 +54,7 @@ proptest! {
     ) {
         let a = a_pct as f64 / 100.0;
         let syns = synopses_of(&sets);
-        let mut idx = PtileThresholdIndex::build(&syns, PtileBuildParams::exact_centralized());
+        let idx = PtileThresholdIndex::build(&syns, PtileBuildParams::exact_centralized());
         prop_assert_eq!(idx.eps(), 0.0);
         let got = sorted(idx.query(&Rect::interval(lo, hi), a));
         // a == 0 is the report-everything band; the guarantee allows it.
@@ -78,7 +78,7 @@ proptest! {
         let a = a_pct as f64 / 100.0;
         let b = (a + w_pct as f64 / 100.0).min(1.0);
         let syns = synopses_of(&sets);
-        let mut idx = PtileRangeIndex::build(&syns, PtileBuildParams::exact_centralized());
+        let idx = PtileRangeIndex::build(&syns, PtileBuildParams::exact_centralized());
         prop_assert_eq!(idx.eps(), 0.0);
         let theta = Interval::new(a, b);
         let got = sorted(idx.query(&Rect::interval(lo, hi), theta));

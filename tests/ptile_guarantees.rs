@@ -30,7 +30,7 @@ fn assert_holds(check: &GuaranteeCheck, ctx: &str) {
 fn threshold_index_guarantees_d1() {
     let repo = mixed_repo(60, 500, 1, 11);
     let sets = point_sets(&repo);
-    let mut idx = PtileThresholdIndex::build(
+    let idx = PtileThresholdIndex::build(
         &repo.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );
@@ -50,7 +50,7 @@ fn threshold_index_guarantees_d1() {
 fn threshold_index_guarantees_d2() {
     let repo = mixed_repo(40, 400, 2, 21);
     let sets = point_sets(&repo);
-    let mut idx = PtileThresholdIndex::build(
+    let idx = PtileThresholdIndex::build(
         &repo.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );
@@ -70,7 +70,7 @@ fn threshold_index_guarantees_d2() {
 fn range_index_guarantees_d1() {
     let repo = mixed_repo(50, 400, 1, 31);
     let sets = point_sets(&repo);
-    let mut idx = PtileRangeIndex::build(
+    let idx = PtileRangeIndex::build(
         &repo.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );
@@ -90,7 +90,7 @@ fn range_index_guarantees_d1() {
 fn range_index_guarantees_d2() {
     let repo = mixed_repo(30, 300, 2, 41);
     let sets = point_sets(&repo);
-    let mut idx = PtileRangeIndex::build(
+    let idx = PtileRangeIndex::build(
         &repo.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );
@@ -112,7 +112,7 @@ fn small_supports_make_answers_exact() {
     // agree with the exact baseline bit-for-bit.
     let repo = mixed_repo(40, 60, 1, 51);
     let scan = LinearScanPtile::build(&repo);
-    let mut idx = PtileRangeIndex::build(
+    let idx = PtileRangeIndex::build(
         &repo.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );
@@ -134,7 +134,7 @@ fn small_supports_make_answers_exact() {
 #[test]
 fn output_is_duplicate_free_and_queries_are_repeatable() {
     let repo = mixed_repo(30, 200, 1, 61);
-    let mut idx = PtileThresholdIndex::build(
+    let idx = PtileThresholdIndex::build(
         &repo.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );
@@ -152,7 +152,7 @@ fn output_is_duplicate_free_and_queries_are_repeatable() {
 fn selectivity_controls_output_size() {
     let repo = mixed_repo(60, 300, 1, 71);
     let sets = point_sets(&repo);
-    let mut idx = PtileThresholdIndex::build(
+    let idx = PtileThresholdIndex::build(
         &repo.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );

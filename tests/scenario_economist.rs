@@ -14,7 +14,7 @@ use dds_workload::CityScenario;
 fn percentile_query_finds_focused_cities() {
     let sc = CityScenario::generate(24, 300, 0.15, 501);
     let repo = Repository::from_point_sets(sc.incidents.clone());
-    let mut idx = PtileThresholdIndex::build(
+    let idx = PtileThresholdIndex::build(
         &repo.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );
@@ -80,7 +80,7 @@ fn combined_discovery_workflow() {
     let sc = CityScenario::generate(16, 250, 0.2, 521);
     let incidents = Repository::from_point_sets(sc.incidents.clone());
     let quality = Repository::from_point_sets(sc.quality.clone());
-    let mut ptile = PtileThresholdIndex::build(
+    let ptile = PtileThresholdIndex::build(
         &incidents.exact_synopses(),
         PtileBuildParams::exact_centralized(),
     );
