@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks for the substrates: orthogonal search
 //! backends (A2 companion), dynamic updates (E9), the exact 1-d
-//! structure (E4), the worker pool behind the parallel builds, and the
-//! batch query API (E12 companion).
+//! structure (E4), the worker pool behind the parallel builds, the
+//! batch query API (E12 companion), and the sharded scatter/gather
+//! path (E14 companion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dds_bench::experiments::setup::{clustered_workload, mixed_workload, ptile_queries};
@@ -11,6 +12,7 @@ use dds_core::pool::{mix_seed, par_map, BuildOptions};
 use dds_core::pref::PrefBuildParams;
 use dds_core::ptile::{DynamicPtileIndex, ExactCPtile1D, PtileBuildParams};
 use dds_core::scratch::QueryScratch;
+use dds_core::shard::ShardedEngine;
 use dds_rangetree::{BruteForce, BuildableIndex, KdTree, OrthoIndex, RangeTree, Region};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -164,10 +166,63 @@ fn bench_batch_query(c: &mut Criterion) {
         })
     });
     // The batch API: shared mask cache + per-worker scratch over the pool.
+    // The cache is cross-call since PR 4, so each iteration invalidates it
+    // first: these rows measure cold batch execution (comparable to the
+    // sequential baselines, which bypass the cache); warm-cache behaviour
+    // is the sharded_query group's `_warm` rows.
     for threads in [1usize, 2, 4, 8] {
         let opts = BuildOptions::with_threads(threads);
         group.bench_function(BenchmarkId::new("query_batch_threads", threads), |b| {
-            b.iter(|| engine.query_batch_opts(&exprs, &opts))
+            b.iter(|| {
+                engine.mask_cache().invalidate();
+                engine.query_batch_opts(&exprs, &opts)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_query");
+    group.sample_size(10);
+    let n = 1000;
+    let spec = dds_workload::RepoSpec::mixed(n, 300, 1, 0xB12);
+    let wl = mixed_workload(n, 300, 1, 0xB12);
+    let params = || PtileBuildParams::default().with_rect_budget(496);
+    let pref = || PrefBuildParams::exact_centralized().with_eps(0.05);
+    let unsharded = MixedQueryEngine::build(
+        &Repository::from_point_sets(wl.sets.clone()),
+        &[1],
+        params(),
+        pref(),
+    );
+    let qs = ptile_queries(&wl, 16, 10, unsharded.ptile_slack() / 2.0, 0xB12 + 1);
+    let exprs: Vec<LogicalExpr> = (0..128)
+        .map(|i| {
+            let q = &qs[i % qs.len()];
+            LogicalExpr::Or(vec![
+                LogicalExpr::And(vec![
+                    LogicalExpr::Pred(Predicate::percentile(q.rect.clone(), q.theta)),
+                    LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0], 1, 40.0)),
+                ]),
+                LogicalExpr::Pred(Predicate::percentile_at_least(q.rect.clone(), q.a)),
+            ])
+        })
+        .collect();
+    // Unsharded reference: the same batch through one engine.
+    group.bench_function("unsharded_batch", |b| {
+        b.iter(|| unsharded.query_batch_opts(&exprs, &BuildOptions::with_threads(4)))
+    });
+    // The scatter/gather path at a few shard counts; steady-state (warm
+    // cross-call caches) is the read-mostly service regime.
+    for shards in [2usize, 4, 8] {
+        let mut svc = ShardedEngine::new(&[1], params(), pref());
+        for shard in spec.shards(shards) {
+            svc.add_shard(&Repository::from_point_sets(shard.sets), &shard.global_ids);
+        }
+        let _ = svc.query_batch_opts(&exprs, &BuildOptions::with_threads(4));
+        group.bench_function(BenchmarkId::new("sharded_batch_warm", shards), |b| {
+            b.iter(|| svc.query_batch_opts(&exprs, &BuildOptions::with_threads(4)))
         });
     }
     group.finish();
@@ -179,6 +234,7 @@ criterion_group!(
     bench_dynamic_insert,
     bench_exact1d,
     bench_pool,
-    bench_batch_query
+    bench_batch_query,
+    bench_sharded_query
 );
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! ```
 
 use dds_bench::experiments::{
-    ablations, batch, exact, federated, lowerbound, pref, ptile, scaling, Scale,
+    ablations, batch, exact, federated, lowerbound, pref, ptile, scaling, shard, Scale,
 };
 use dds_bench::Table;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -106,6 +106,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "--e13",
         "Set-intersection reduction (Thm 3.4)",
         lowerbound::e13_set_intersection,
+    ),
+    (
+        "--e14",
+        "Sharded scatter/gather throughput",
+        shard::e14_sharded_throughput,
     ),
     (
         "--a1",

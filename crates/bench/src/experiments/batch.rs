@@ -56,7 +56,9 @@ fn expression_pool(wl: &super::setup::Workload, margin: f64) -> Vec<LogicalExpr>
 
 /// E12 — batch query throughput: threads × batch-size sweep. "speedup" is
 /// sequential one-at-a-time time over this row's batch time (same batch);
-/// "=seq" asserts bit-identical results. The two allocation columns meter
+/// "=seq" asserts bit-identical results. The engine's cross-call mask
+/// cache is invalidated before every timed row, so rows are comparable
+/// (cache-warmth effects are E14's subject, not this table's). The two allocation columns meter
 /// a sequential loop with a fresh scratch per query vs one reused scratch
 /// (threads = 1 row only; `n/a` without the counting allocator, i.e.
 /// anywhere but the `experiments` binary).
@@ -123,6 +125,11 @@ pub fn e12_batch_query_throughput(scale: Scale) -> Table {
         };
         for threads in [1usize, 2, 4, 8] {
             let opts = BuildOptions::with_threads(threads);
+            // The mask cache is cross-call since PR 4: invalidate before
+            // each timed row so every row starts cold and the speedup
+            // column compares thread counts, not cache warmth (in-batch
+            // dedup still applies — that is the row's own cache fill).
+            engine.mask_cache().invalidate();
             let (answers, t_batch) = time(|| engine.query_batch_opts(&exprs, &opts));
             assert_eq!(
                 answers, sequential,

@@ -9,6 +9,7 @@ pub mod pref;
 pub mod ptile;
 pub mod scaling;
 pub mod setup;
+pub mod shard;
 
 /// Sweep sizes: `quick` shrinks every experiment for fast runs, `smoke`
 /// shrinks them further to a CI sanity check.

@@ -11,6 +11,7 @@
 //! guarantee shape, as the appendices note for the homogeneous cases).
 
 use crate::bitset::BitSet;
+use crate::cache::MaskCache;
 use crate::framework::{Interval, LogicalExpr, MeasureFunction, Predicate, Repository};
 use crate::pool::{par_map_with, BuildOptions};
 use crate::pref::{PrefBuildParams, PrefIndex};
@@ -18,7 +19,7 @@ use crate::ptile::{PtileBuildParams, PtileRangeIndex};
 use crate::scratch::QueryScratch;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Bit-exact hash key for a predicate, so identical predicates appearing in
 /// several DNF clauses share one index query per [`MixedQueryEngine::query`]
@@ -69,22 +70,16 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Shared read-mostly predicate-mask cache for a batch of queries: distinct
-/// predicates repeated *across* the expressions of one
-/// [`MixedQueryEngine::query_batch`] call query their index once, whichever
-/// worker thread gets there first. The map only hands out per-key cells
-/// (cheap, short lock holds); the expensive index query runs inside the
-/// cell's `OnceLock`, so *distinct* predicates compute concurrently while
-/// each predicate still computes exactly once.
-type MaskCell = Arc<std::sync::OnceLock<Result<Arc<BitSet>, EngineError>>>;
-type MaskCache = RwLock<HashMap<Vec<u64>, MaskCell>>;
-
 /// A combined index answering logical expressions that mix percentile and
 /// top-k preference predicates over one repository.
 ///
 /// All query paths take `&self`: one engine can serve concurrent readers
 /// (e.g. behind an `Arc`), and [`query_batch`](Self::query_batch) fans a
-/// slice of expressions out over the worker pool.
+/// slice of expressions out over the worker pool. Batch calls share the
+/// engine's **cross-call** [`MaskCache`]: a predicate repeated across
+/// batches (the read-mostly catalog workload) queries its underlying index
+/// only until cached, bounded by the cache capacity and invalidated via
+/// the cache's generation tag.
 #[derive(Debug)]
 pub struct MixedQueryEngine {
     n_datasets: usize,
@@ -95,6 +90,10 @@ pub struct MixedQueryEngine {
     /// per-call memoization; distinct from the number of DNF literals seen).
     /// Atomic so the instrumentation survives concurrent `&self` queries.
     index_queries: AtomicU64,
+    /// Cross-call predicate-mask cache used by the batch (and sharded)
+    /// query paths. Behind an `Arc` so a shard rebuild can carry the cache
+    /// (and its counters) over to the replacement engine.
+    mask_cache: Arc<MaskCache>,
 }
 
 impl MixedQueryEngine {
@@ -148,14 +147,52 @@ impl MixedQueryEngine {
             ptile,
             pref,
             index_queries: AtomicU64::new(0),
+            mask_cache: Arc::new(MaskCache::with_default_capacity()),
         }
+    }
+
+    /// Bounds the engine's cross-call mask cache at `capacity` entries
+    /// (builder-style) instead of
+    /// [`DEFAULT_MASK_CACHE_CAPACITY`](crate::cache::DEFAULT_MASK_CACHE_CAPACITY).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_mask_cache_capacity(mut self, capacity: usize) -> Self {
+        self.mask_cache = Arc::new(MaskCache::new(capacity));
+        self
+    }
+
+    /// Replaces the engine's cross-call mask cache (builder-style).
+    /// Crate-internal on purpose: cache keys encode only the predicate,
+    /// not the repository, so attaching one cache to engines over
+    /// different data would silently serve the wrong masks. The only
+    /// legitimate use is the shard-rebuild carry-over
+    /// (`ShardedEngine::rebuild_shard`), which invalidates the cache's
+    /// generation as it hands it to the replacement engine.
+    pub(crate) fn with_mask_cache(mut self, cache: Arc<MaskCache>) -> Self {
+        self.mask_cache = cache;
+        self
+    }
+
+    /// The engine's cross-call predicate-mask cache (hit/miss counters,
+    /// capacity bound, generation tag). Shared by every
+    /// [`query_batch`](Self::query_batch) call.
+    pub fn mask_cache(&self) -> &Arc<MaskCache> {
+        &self.mask_cache
+    }
+
+    /// Number of datasets the engine indexes.
+    pub fn n_datasets(&self) -> usize {
+        self.n_datasets
     }
 
     /// Total underlying index queries issued so far. DNF expansion can
     /// repeat one predicate in many clauses; this counts post-memoization
-    /// queries, so it measures real index work. In a batch call the shared
-    /// mask cache dedups across expressions too, so the counter advances by
-    /// the number of *distinct* predicates in the batch.
+    /// queries, so it measures real index work. Batch calls go through the
+    /// **cross-call** [`MaskCache`], so a batch advances the counter by
+    /// the number of distinct predicates *not already cached* — repeating
+    /// an identical batch advances it by 0 while the masks stay resident
+    /// (see [`mask_cache`](Self::mask_cache) for the hit/miss split).
     pub fn index_queries(&self) -> u64 {
         self.index_queries.load(Ordering::Relaxed)
     }
@@ -194,13 +231,15 @@ impl MixedQueryEngine {
 
     /// Answers a slice of expressions with the default worker pool
     /// ([`BuildOptions::default`]: all available cores, `DDS_THREADS`
-    /// override): per-worker reusable scratch, plus a shared read-mostly
-    /// predicate-mask cache so predicates repeated across the batch query
-    /// their underlying index once.
+    /// override): per-worker reusable scratch, plus the engine's
+    /// **cross-call** [`MaskCache`] so predicates repeated across the batch
+    /// — or across *earlier batches* — query their underlying index once
+    /// per cache residency.
     ///
     /// Results come back in input order and are **bit-identical** to calling
     /// [`query`](Self::query) on each expression sequentially, for every
-    /// thread count (pinned by `tests/batch_equivalence.rs`).
+    /// thread count (pinned by `tests/batch_equivalence.rs`): cached masks
+    /// are exactly the masks the indexes would recompute.
     pub fn query_batch(&self, exprs: &[LogicalExpr]) -> Vec<Result<Vec<usize>, EngineError>> {
         self.query_batch_opts(exprs, &BuildOptions::default())
     }
@@ -212,10 +251,21 @@ impl MixedQueryEngine {
         exprs: &[LogicalExpr],
         opts: &BuildOptions,
     ) -> Vec<Result<Vec<usize>, EngineError>> {
-        let cache: MaskCache = RwLock::new(HashMap::new());
         par_map_with(opts, exprs, QueryScratch::new, |scratch, _, expr| {
-            self.query_inner(expr, scratch, Some(&cache))
+            self.query_inner(expr, scratch, Some(&self.mask_cache))
         })
+    }
+
+    /// [`query_with`](Self::query_with) through the cross-call
+    /// [`MaskCache`] — the per-shard query path of
+    /// [`ShardedEngine`](crate::shard::ShardedEngine), where every call is
+    /// service traffic and should share the shard's cache.
+    pub(crate) fn query_cached(
+        &self,
+        expr: &LogicalExpr,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<usize>, EngineError> {
+        self.query_inner(expr, scratch, Some(&self.mask_cache))
     }
 
     /// The DNF evaluation loop behind every query path. DNF expansion
@@ -277,13 +327,15 @@ impl MixedQueryEngine {
         result.map(|()| out)
     }
 
-    /// One predicate's hit mask: shared-cache lookup (batch mode), then
-    /// compute against the underlying index. The map locks are only held to
-    /// fetch/insert the per-key cell; the compute runs inside the cell's
-    /// `OnceLock::get_or_init`, which guarantees exactly one execution per
-    /// distinct predicate (racing workers block on that cell only) — so
-    /// [`index_queries`](Self::index_queries) stays deterministic and
-    /// distinct predicates never serialize behind each other.
+    /// One predicate's hit mask: shared-cache lookup (batch / sharded
+    /// mode), then compute against the underlying index. The cache's map
+    /// locks are only held to fetch/insert the per-key cell; the compute
+    /// runs inside the cell's `OnceLock`, which guarantees exactly one
+    /// execution per distinct predicate and generation (racing workers
+    /// block on that cell only) — so
+    /// [`index_queries`](Self::index_queries) and the cache's miss counter
+    /// stay deterministic and distinct predicates never serialize behind
+    /// each other.
     fn predicate_mask(
         &self,
         pred: &Predicate,
@@ -291,19 +343,10 @@ impl MixedQueryEngine {
         scratch: &mut QueryScratch,
         cache: Option<&MaskCache>,
     ) -> Result<Arc<BitSet>, EngineError> {
-        let Some(cache) = cache else {
-            return self.compute_mask(pred, scratch);
-        };
-        let cell: MaskCell = {
-            let read = cache.read().expect("mask cache poisoned");
-            read.get(key).cloned()
+        match cache {
+            None => self.compute_mask(pred, scratch),
+            Some(cache) => cache.get_or_compute(key, || self.compute_mask(pred, scratch)),
         }
-        .unwrap_or_else(|| {
-            let mut write = cache.write().expect("mask cache poisoned");
-            Arc::clone(write.entry(key.to_vec()).or_default())
-        });
-        cell.get_or_init(|| self.compute_mask(pred, scratch))
-            .clone()
     }
 
     /// Queries the underlying index for one predicate and packs the hits.

@@ -29,13 +29,16 @@
 //! [`pool::BuildOptions`] whose thread count never changes results),
 //! [`bitset`] (packed `u64` hit masks for the DNF query loops), [`scratch`]
 //! (reusable per-query state behind the `&self` query paths and the
-//! `query_batch` APIs).
+//! `query_batch` APIs), [`cache`] (the bounded, generation-tagged
+//! cross-call predicate-mask cache), [`shard`] (the scatter/gather service
+//! layer: one engine per repository shard, stable global dataset ids).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod bitset;
+pub mod cache;
 pub mod delay;
 pub mod engine;
 pub mod extensions;
@@ -46,3 +49,4 @@ pub mod pool;
 pub mod pref;
 pub mod ptile;
 pub mod scratch;
+pub mod shard;

@@ -94,7 +94,7 @@ pub(crate) fn build_coreset<S: PercentileSynopsis>(
     rng: &mut StdRng,
 ) -> DatasetCoreset {
     let dim = synopsis.dim();
-    let phi_i = (params.phi / n_datasets as f64).clamp(1e-12, 0.5);
+    let phi_i = (params.phi / params.phi_denominator(n_datasets) as f64).clamp(1e-12, 0.5);
     let m_desired = eps_sample_size(params.eps, phi_i).min(MAX_WEIGHT_SAMPLE);
     // Exact-support shortcut: taking all points of a small finite support
     // incurs zero sampling error (and makes the paper's toy examples exact).

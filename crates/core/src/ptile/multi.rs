@@ -18,7 +18,7 @@ use super::coreset::{build_coreset, rect_weights};
 use super::{PtileBuildParams, PtileRangeIndex};
 use crate::bitset::BitSet;
 use crate::framework::{Interval, LogicalExpr, MeasureFunction, Predicate};
-use crate::pool::{mix_seed, par_map, par_map_with, BuildOptions};
+use crate::pool::{par_map, par_map_with, BuildOptions};
 use crate::scratch::QueryScratch;
 use dds_geom::Rect;
 use dds_rangetree::{KdTree, OrthoIndex, Region};
@@ -160,7 +160,7 @@ impl PtileMultiIndex {
         n: usize,
     ) -> TuplePart {
         let dim = syn.dim();
-        let mut rng = StdRng::seed_from_u64(mix_seed(params.seed, i as u64));
+        let mut rng = StdRng::seed_from_u64(params.dataset_seed(i));
         let cs = build_coreset(syn, inner, n, &mut rng);
         let eps_i = super::params::effective_eps(cs.eps_i, params.eps_override);
         let c_i = eps_i + params.delta;

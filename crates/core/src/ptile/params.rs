@@ -1,5 +1,8 @@
 //! Build parameters shared by the approximate Ptile structures.
 
+use crate::pool::mix_seed;
+use std::sync::Arc;
+
 /// Parameters of Algorithms 1 and 3.
 ///
 /// The paper draws `Θ(ε⁻² log(N/φ))` samples per dataset, yielding
@@ -31,6 +34,24 @@ pub struct PtileBuildParams {
     /// hold empirically rather than provably — benchmark/marketplace code
     /// validates them against ground truth.
     pub eps_override: Option<f64>,
+    /// Stable per-dataset seed identities: dataset `i`'s sampling RNG is
+    /// seeded by `mix_seed(seed, seed_ids[i])` instead of
+    /// `mix_seed(seed, i)`. A sharded build passes the shard's global
+    /// dataset ids here, so a dataset draws the *same* sample wherever it
+    /// lands — the prerequisite for sampled shard/unsharded equivalence.
+    /// `None` keeps the positional default (equivalent to `seed_ids[i] = i`).
+    pub seed_ids: Option<Arc<Vec<u64>>>,
+    /// Fixes the denominator of the per-dataset failure-probability split
+    /// `φ_i = φ / N`: with `Some(n)` the split uses `n` instead of the
+    /// built repository's size. A sharded build over a declared catalog
+    /// size keeps per-dataset sample sizes (and thus answers) identical to
+    /// an unsharded build of that catalog; `None` splits over the local
+    /// build (guarantees still hold, stated per build). The declared size
+    /// must be an **upper bound** on the datasets actually indexed under
+    /// it — a smaller denominator would silently dilute the union-bound φ
+    /// — so builds assert `n ≥` their dataset count (and `ShardedEngine`
+    /// asserts it against the whole catalog at every ingest).
+    pub phi_datasets: Option<usize>,
 }
 
 impl Default for PtileBuildParams {
@@ -42,6 +63,8 @@ impl Default for PtileBuildParams {
             max_rects_per_dataset: 4096,
             seed: 0x5EED,
             eps_override: None,
+            seed_ids: None,
+            phi_datasets: None,
         }
     }
 }
@@ -90,6 +113,57 @@ impl PtileBuildParams {
         assert!((0.0..1.0).contains(&eps));
         self.eps_override = Some(eps);
         self
+    }
+
+    /// Sets stable per-dataset seed identities (see [`Self::seed_ids`]).
+    pub fn with_seed_ids(mut self, ids: Vec<u64>) -> Self {
+        self.seed_ids = Some(Arc::new(ids));
+        self
+    }
+
+    /// Fixes the φ-split denominator (see [`Self::phi_datasets`]).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn with_phi_datasets(mut self, n: usize) -> Self {
+        assert!(n >= 1, "phi must split over at least one dataset");
+        self.phi_datasets = Some(n);
+        self
+    }
+
+    /// Dataset `i`'s sampling-RNG seed: stable identity when
+    /// [`Self::seed_ids`] is set, positional otherwise.
+    ///
+    /// # Panics
+    /// Panics if `seed_ids` is set but shorter than `i + 1`.
+    pub(crate) fn dataset_seed(&self, i: usize) -> u64 {
+        let id = match &self.seed_ids {
+            Some(ids) => {
+                assert!(ids.len() > i, "seed_ids must cover every dataset");
+                ids[i]
+            }
+            None => i as u64,
+        };
+        mix_seed(self.seed, id)
+    }
+
+    /// The denominator of the φ split for a build of `n` datasets.
+    ///
+    /// # Panics
+    /// Panics if a declared [`Self::phi_datasets`] is smaller than `n` —
+    /// that would dilute the union-bound failure probability below the
+    /// stated φ.
+    pub(crate) fn phi_denominator(&self, n: usize) -> usize {
+        match self.phi_datasets {
+            Some(d) => {
+                assert!(
+                    d >= n,
+                    "phi_datasets ({d}) must be an upper bound on the datasets built ({n})"
+                );
+                d
+            }
+            None => n,
+        }
     }
 }
 

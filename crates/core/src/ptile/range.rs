@@ -34,7 +34,7 @@
 use super::coreset::{build_coreset, rect_weights};
 use super::PtileBuildParams;
 use crate::framework::Interval;
-use crate::pool::{mix_seed, par_map, BuildOptions};
+use crate::pool::{par_map, BuildOptions};
 use crate::scratch::QueryScratch;
 use dds_geom::Rect;
 use dds_rangetree::{KdTree, OrthoIndex, Region};
@@ -174,7 +174,7 @@ impl PtileRangeIndex {
         n: usize,
     ) -> RangePart {
         let dim = syn.dim();
-        let mut rng = StdRng::seed_from_u64(mix_seed(params.seed, i as u64));
+        let mut rng = StdRng::seed_from_u64(params.dataset_seed(i));
         let cs = build_coreset(syn, params, n, &mut rng);
         let eps_i = super::params::effective_eps(cs.eps_i, params.eps_override);
         let delta_i = deltas.map_or(params.delta, |d| d[i]);

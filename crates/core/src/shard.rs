@@ -1,0 +1,551 @@
+//! Sharded repository service: scatter/gather over per-shard engines.
+//!
+//! The ROADMAP north-star is a catalog holding millions of datasets; one
+//! [`MixedQueryEngine`] per repository *shard* keeps build times and index
+//! memory per-shard-sized while queries fan out over all of them. The
+//! `&self` query paths make the fan-out trivial: every shard engine is
+//! read-shared across the worker pool with no locks.
+//!
+//! [`ShardedEngine`] owns the shard engines plus a **shard map** — each
+//! shard carries the **stable global dataset ids** of its members, so hits
+//! translate from shard-local indexes to ids that survive adding and
+//! rebuilding shards (a shard-local index is meaningless outside its
+//! shard; a [`GlobalId`] names the same dataset forever).
+//!
+//! Gather is canonicalized: hits come back in **ascending global-id
+//! order**, and per-dataset sampling RNGs are seeded by **global id**
+//! (not shard-local position, via `PtileBuildParams::seed_ids`), so a
+//! dataset draws the same sample wherever it lands. The answer is then
+//! independent of the thread count unconditionally, and of the shard
+//! count/assignment as well once the φ-split is anchored
+//! (`PtileBuildParams::with_phi_datasets`, or any build where every
+//! dataset's support is used exactly — ε_i = 0 — which needs no
+//! anchoring). `tests/shard_equivalence.rs` pins both regimes against a
+//! single unsharded engine; without φ anchoring, a sampled build's
+//! per-dataset sample *size* depends on the local shard size, so answers
+//! agree with the unsharded engine only up to each dataset's guarantee
+//! band.
+//!
+//! Each shard keeps its own cross-call [`MaskCache`];
+//! [`rebuild_shard`](ShardedEngine::rebuild_shard) carries the cache over
+//! to the replacement engine and bumps its generation, so a rebuild
+//! invalidates **only that shard's entries** while every other shard keeps
+//! serving cached masks.
+
+use crate::cache::MaskCache;
+use crate::engine::{EngineError, MixedQueryEngine};
+use crate::framework::{LogicalExpr, Repository};
+use crate::pool::{par_map_with, BuildOptions};
+use crate::pref::PrefBuildParams;
+use crate::ptile::PtileBuildParams;
+use crate::scratch::QueryScratch;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A stable dataset identifier: assigned at ingest, never reinterpreted
+/// when shards are added or rebuilt (unlike a shard-local index).
+pub type GlobalId = u64;
+
+/// One repository shard: its engine plus the shard map back to global ids.
+#[derive(Debug)]
+struct Shard {
+    engine: MixedQueryEngine,
+    /// `global_ids[local]` is the stable id of the shard's `local`-th
+    /// dataset — the gather-side translation table.
+    global_ids: Vec<GlobalId>,
+}
+
+/// A sharded mixed-query service: one [`MixedQueryEngine`] per repository
+/// shard, scatter/gather query paths, stable [`GlobalId`] answers and
+/// per-shard cross-call [`MaskCache`]s.
+///
+/// ```
+/// use dds_core::framework::{Dataset, LogicalExpr, Predicate, Repository};
+/// use dds_core::pref::PrefBuildParams;
+/// use dds_core::ptile::PtileBuildParams;
+/// use dds_core::shard::ShardedEngine;
+/// use dds_geom::Rect;
+///
+/// let mut svc = ShardedEngine::new(
+///     &[1],
+///     PtileBuildParams::exact_centralized(),
+///     PrefBuildParams::exact_centralized(),
+/// );
+/// // Two ingest batches become two shards; ids are caller-assigned.
+/// svc.add_shard(
+///     &Repository::new(vec![Dataset::from_rows("a", vec![vec![1.0], vec![2.0]])]),
+///     &[10],
+/// );
+/// svc.add_shard(
+///     &Repository::new(vec![Dataset::from_rows("b", vec![vec![1.5], vec![50.0]])]),
+///     &[20],
+/// );
+/// let expr = LogicalExpr::Pred(Predicate::percentile_at_least(
+///     Rect::interval(0.0, 3.0),
+///     0.9,
+/// ));
+/// // Both of dataset 10's points are in [0, 3]; only half of 20's.
+/// assert_eq!(svc.query(&expr), Ok(vec![10]));
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    /// Every global id currently served, for uniqueness enforcement.
+    ids_in_use: HashSet<GlobalId>,
+    /// Build parameters shared by every shard engine, so answers cannot
+    /// drift between shards built at different times.
+    ks: Vec<usize>,
+    ptile_params: PtileBuildParams,
+    pref_params: PrefBuildParams,
+    /// Per-shard mask-cache bound (entries, not bytes).
+    cache_capacity: usize,
+}
+
+impl ShardedEngine {
+    /// An empty service; shards arrive via [`add_shard`](Self::add_shard).
+    /// Every shard engine is built with these parameters and Pref ranks,
+    /// and a default-capacity [`MaskCache`]. Any `seed_ids` on
+    /// `ptile_params` are replaced per shard with the shard's global ids
+    /// (stable-identity sampling); set
+    /// `ptile_params.with_phi_datasets(catalog_size)` to anchor sampled
+    /// builds to a declared catalog size (see the module docs).
+    ///
+    /// # Panics
+    /// Panics if `ks` is empty.
+    pub fn new(ks: &[usize], ptile_params: PtileBuildParams, pref_params: PrefBuildParams) -> Self {
+        assert!(!ks.is_empty(), "need at least one preference rank");
+        ShardedEngine {
+            shards: Vec::new(),
+            ids_in_use: HashSet::new(),
+            ks: ks.to_vec(),
+            ptile_params,
+            pref_params,
+            cache_capacity: crate::cache::DEFAULT_MASK_CACHE_CAPACITY,
+        }
+    }
+
+    /// Sets the per-shard mask-cache capacity (builder-style; applies to
+    /// shards added afterwards).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "mask cache needs capacity >= 1");
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Ingests one shard with the default worker pool: builds its engine
+    /// and records `global_ids[i]` as the stable id of `repo`'s `i`-th
+    /// dataset. Returns the shard's index (for
+    /// [`rebuild_shard`](Self::rebuild_shard)).
+    ///
+    /// # Panics
+    /// Panics if `global_ids.len() != repo.len()` or any id is already
+    /// served by this engine.
+    pub fn add_shard(&mut self, repo: &Repository, global_ids: &[GlobalId]) -> usize {
+        self.add_shard_opts(repo, global_ids, &BuildOptions::default())
+    }
+
+    /// [`add_shard`](Self::add_shard) with an explicit worker-pool
+    /// configuration for the build.
+    pub fn add_shard_opts(
+        &mut self,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+        opts: &BuildOptions,
+    ) -> usize {
+        // Validate, then build (both can panic), then commit — a panicking
+        // ingest leaves the service state untouched.
+        self.validate_ids(repo, global_ids, None);
+        let cache = Arc::new(MaskCache::new(self.cache_capacity));
+        let engine = self
+            .build_engine(repo, global_ids, opts)
+            .with_mask_cache(cache);
+        self.ids_in_use.extend(global_ids.iter().copied());
+        self.shards.push(Shard {
+            engine,
+            global_ids: global_ids.to_vec(),
+        });
+        self.shards.len() - 1
+    }
+
+    /// Replaces shard `shard`'s contents (incremental ingest: a data
+    /// refresh re-lands the shard). The replacement engine **inherits the
+    /// shard's mask cache with its generation bumped**: the shard's stale
+    /// masks are invalidated (and its hit/miss accounting continues),
+    /// while every other shard's cache is untouched.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range, `global_ids.len() != repo.len()`
+    /// or any id is already served by a *different* shard (re-using the
+    /// replaced shard's ids is the normal case).
+    pub fn rebuild_shard(&mut self, shard: usize, repo: &Repository, global_ids: &[GlobalId]) {
+        self.rebuild_shard_opts(shard, repo, global_ids, &BuildOptions::default());
+    }
+
+    /// [`rebuild_shard`](Self::rebuild_shard) with an explicit worker-pool
+    /// configuration for the build.
+    pub fn rebuild_shard_opts(
+        &mut self,
+        shard: usize,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+        opts: &BuildOptions,
+    ) {
+        assert!(shard < self.shards.len(), "no such shard: {shard}");
+        // Validate against every *other* shard, then build — both can
+        // panic, and until the commit below the old shard keeps serving
+        // with intact uniqueness bookkeeping.
+        self.validate_ids(repo, global_ids, Some(shard));
+        let cache = Arc::clone(self.shards[shard].engine.mask_cache());
+        let engine = self
+            .build_engine(repo, global_ids, opts)
+            .with_mask_cache(cache);
+        // Commit: swap ids, invalidate the carried-over cache, install.
+        for id in &self.shards[shard].global_ids {
+            self.ids_in_use.remove(id);
+        }
+        self.ids_in_use.extend(global_ids.iter().copied());
+        self.shards[shard].engine.mask_cache().invalidate();
+        self.shards[shard] = Shard {
+            engine,
+            global_ids: global_ids.to_vec(),
+        };
+    }
+
+    /// Number of shards currently served.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total datasets across all shards.
+    pub fn n_datasets(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.n_datasets()).sum()
+    }
+
+    /// The stable ids of shard `shard`'s datasets, in shard-local order.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn global_ids(&self, shard: usize) -> &[GlobalId] {
+        &self.shards[shard].global_ids
+    }
+
+    /// Read access to shard `shard`'s engine (per-shard instrumentation:
+    /// its `index_queries`, its [`MaskCache`] bounds and counters). Hits
+    /// returned by the shard engine directly are shard-local — translate
+    /// them through [`global_ids`](Self::global_ids) before mixing with
+    /// service-level answers.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard_engine(&self, shard: usize) -> &MixedQueryEngine {
+        &self.shards[shard].engine
+    }
+
+    /// Underlying index queries summed across every shard engine — each is
+    /// an `AtomicU64`, so the aggregate survives concurrent scatter
+    /// workers (and advances by the number of distinct *uncached*
+    /// predicates per shard).
+    pub fn index_queries(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.index_queries()).sum()
+    }
+
+    /// Mask-cache `(hits, misses)` summed across every shard's
+    /// [`MaskCache`] — lifetime totals, surviving shard rebuilds (a
+    /// rebuilt shard keeps its cache object).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            let c = s.engine.mask_cache();
+            (h + c.hits(), m + c.misses())
+        })
+    }
+
+    /// The loosest Ptile guarantee band across shards (each shard states
+    /// its own achieved band; a service-level statement must take the max).
+    pub fn ptile_slack(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.engine.ptile_slack())
+            .fold(0.0, f64::max)
+    }
+
+    /// Answers one expression: scatters it over every shard (through each
+    /// shard's cross-call mask cache) and gathers the hits as **ascending
+    /// stable global ids**. A shard error (every shard is built with the
+    /// same ranks, so shards fail alike) is reported once.
+    pub fn query(&self, expr: &LogicalExpr) -> Result<Vec<GlobalId>, EngineError> {
+        self.query_with(expr, &mut QueryScratch::new())
+    }
+
+    /// [`query`](Self::query) with caller-provided scratch (reused across
+    /// the sequential per-shard scatter).
+    pub fn query_with(
+        &self,
+        expr: &LogicalExpr,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<GlobalId>, EngineError> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let hits = shard.engine.query_cached(expr, scratch)?;
+            out.extend(hits.into_iter().map(|j| shard.global_ids[j]));
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Answers a slice of expressions with the default worker pool: every
+    /// `(expression, shard)` pair is one scatter unit over
+    /// `dds_pool::par_map_with` (per-worker scratch), gathered back
+    /// **input-ordered** — `result[i]` answers `exprs[i]`, as ascending
+    /// global ids, bit-identical to [`query`](Self::query) on each
+    /// expression at every shard count × thread count (pinned by
+    /// `tests/shard_equivalence.rs`).
+    pub fn query_batch(&self, exprs: &[LogicalExpr]) -> Vec<Result<Vec<GlobalId>, EngineError>> {
+        self.query_batch_opts(exprs, &BuildOptions::default())
+    }
+
+    /// [`query_batch`](Self::query_batch) with an explicit worker-pool
+    /// configuration.
+    pub fn query_batch_opts(
+        &self,
+        exprs: &[LogicalExpr],
+        opts: &BuildOptions,
+    ) -> Vec<Result<Vec<GlobalId>, EngineError>> {
+        let n_shards = self.shards.len();
+        if n_shards == 0 {
+            return exprs.iter().map(|_| Ok(Vec::new())).collect();
+        }
+        // Scatter: unit (e, s) answers expression e on shard s. Flattening
+        // both dimensions keeps the pool busy even when the batch is
+        // smaller than the worker count.
+        let units: Vec<(usize, usize)> = (0..exprs.len())
+            .flat_map(|e| (0..n_shards).map(move |s| (e, s)))
+            .collect();
+        let partials = par_map_with(opts, &units, QueryScratch::new, |scratch, _, &(e, s)| {
+            let shard = &self.shards[s];
+            shard.engine.query_cached(&exprs[e], scratch).map(|hits| {
+                hits.into_iter()
+                    .map(|j| shard.global_ids[j])
+                    .collect::<Vec<GlobalId>>()
+            })
+        });
+        // Gather: merge each expression's per-shard partials in shard
+        // order (errors are identical across shards — first one wins),
+        // then canonicalize to ascending global ids.
+        let mut results = Vec::with_capacity(exprs.len());
+        let mut partials = partials.into_iter();
+        for _ in 0..exprs.len() {
+            let mut merged: Result<Vec<GlobalId>, EngineError> = Ok(Vec::new());
+            for partial in partials.by_ref().take(n_shards) {
+                if let Ok(acc) = &mut merged {
+                    match partial {
+                        Ok(mut ids) => acc.append(&mut ids),
+                        Err(e) => merged = Err(e),
+                    }
+                }
+            }
+            if let Ok(ids) = &mut merged {
+                ids.sort_unstable();
+            }
+            results.push(merged);
+        }
+        results
+    }
+
+    /// Validates a shard's ids without touching any state: one per
+    /// dataset, distinct, and none served by another shard (ids in
+    /// `exempt` — the shard being replaced — don't count). Also checks a
+    /// declared φ anchor against the prospective catalog size, so the
+    /// union-bound failure probability can never be silently diluted by
+    /// ingesting past the anchor. Panicking here leaves the service
+    /// exactly as it was.
+    fn validate_ids(&self, repo: &Repository, global_ids: &[GlobalId], exempt: Option<usize>) {
+        assert_eq!(
+            global_ids.len(),
+            repo.len(),
+            "one global id per dataset in the shard"
+        );
+        if let Some(d) = self.ptile_params.phi_datasets {
+            let replaced = exempt.map_or(0, |s| self.shards[s].engine.n_datasets());
+            let prospective = self.n_datasets() - replaced + repo.len();
+            assert!(
+                prospective <= d,
+                "phi_datasets anchor ({d}) must be an upper bound on the catalog \
+                 ({prospective} datasets after this ingest)"
+            );
+        }
+        // Hashed exempt set: the normal rebuild reuses every replaced id,
+        // so a linear scan per id would make validation quadratic in the
+        // shard size.
+        let exempt: HashSet<GlobalId> = exempt
+            .map(|s| self.shards[s].global_ids.iter().copied().collect())
+            .unwrap_or_default();
+        let mut fresh = HashSet::with_capacity(global_ids.len());
+        for &id in global_ids {
+            assert!(fresh.insert(id), "global id {id} repeats within the shard");
+            assert!(
+                !self.ids_in_use.contains(&id) || exempt.contains(&id),
+                "global id {id} is already served by another shard"
+            );
+        }
+    }
+
+    /// Builds one shard engine with the service-wide parameters, seeding
+    /// every dataset's sampling RNG by its **global id** (not its
+    /// shard-local position): a dataset draws the same sample wherever it
+    /// lands, so re-sharding cannot perturb sampled builds.
+    fn build_engine(
+        &self,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+        opts: &BuildOptions,
+    ) -> MixedQueryEngine {
+        MixedQueryEngine::build_opts(
+            repo,
+            &self.ks,
+            self.ptile_params.clone().with_seed_ids(global_ids.to_vec()),
+            self.pref_params.clone(),
+            opts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{Dataset, Predicate};
+    use dds_geom::Rect;
+
+    fn dataset(name: &str, xs: &[f64]) -> Dataset {
+        Dataset::from_rows(name, xs.iter().map(|&x| vec![x]).collect())
+    }
+
+    fn service() -> ShardedEngine {
+        let mut svc = ShardedEngine::new(
+            &[1],
+            PtileBuildParams::exact_centralized(),
+            PrefBuildParams::exact_centralized(),
+        );
+        // Global ids deliberately out of shard-local order and
+        // non-contiguous: the shard map must do real translation.
+        svc.add_shard(
+            &Repository::new(vec![
+                dataset("low", &[1.0, 2.0, 3.0]),
+                dataset("high", &[90.0, 95.0]),
+            ]),
+            &[7, 3],
+        );
+        svc.add_shard(&Repository::new(vec![dataset("mid", &[48.0, 52.0])]), &[5]);
+        svc
+    }
+
+    fn low_expr() -> LogicalExpr {
+        LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(0.0, 10.0),
+            0.9,
+        ))
+    }
+
+    #[test]
+    fn hits_come_back_as_sorted_global_ids() {
+        let svc = service();
+        assert_eq!(svc.n_shards(), 2);
+        assert_eq!(svc.n_datasets(), 3);
+        assert_eq!(svc.query(&low_expr()), Ok(vec![7]));
+        // A predicate matching all three datasets gathers across shards in
+        // ascending id order, not ingest order.
+        let all = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(0.0, 100.0),
+            0.9,
+        ));
+        assert_eq!(svc.query(&all), Ok(vec![3, 5, 7]));
+    }
+
+    #[test]
+    fn batch_is_input_ordered_and_matches_single_queries() {
+        let svc = service();
+        let exprs = vec![
+            low_expr(),
+            LogicalExpr::Pred(Predicate::percentile_at_least(
+                Rect::interval(40.0, 60.0),
+                0.9,
+            )),
+        ];
+        let singles: Vec<_> = exprs.iter().map(|e| svc.query(e)).collect();
+        assert_eq!(singles, vec![Ok(vec![7]), Ok(vec![5])]);
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                svc.query_batch_opts(&exprs, &BuildOptions::with_threads(threads)),
+                singles,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_rank_errors_gather_once() {
+        let svc = service();
+        let bad = LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0], 9, 0.0));
+        assert_eq!(svc.query(&bad), Err(EngineError::MissingRank(9)));
+        let batch = svc.query_batch(&[low_expr(), bad]);
+        assert_eq!(batch[0], Ok(vec![7]));
+        assert_eq!(batch[1], Err(EngineError::MissingRank(9)));
+    }
+
+    #[test]
+    fn empty_service_answers_empty() {
+        let svc = ShardedEngine::new(
+            &[1],
+            PtileBuildParams::exact_centralized(),
+            PrefBuildParams::exact_centralized(),
+        );
+        assert_eq!(svc.query(&low_expr()), Ok(vec![]));
+        assert_eq!(svc.query_batch(&[low_expr()]), vec![Ok(vec![])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already served")]
+    fn duplicate_global_ids_are_rejected() {
+        let mut svc = service();
+        svc.add_shard(&Repository::new(vec![dataset("dup", &[1.0, 2.0])]), &[5]);
+    }
+
+    #[test]
+    fn rebuild_swaps_data_keeps_other_shards_and_reuses_ids() {
+        let mut svc = service();
+        // Shard 1's dataset moves from the middle to the low band; its id
+        // may be reused because the rebuild releases it first.
+        svc.rebuild_shard(
+            1,
+            &Repository::new(vec![dataset("mid2", &[4.0, 6.0])]),
+            &[5],
+        );
+        assert_eq!(svc.query(&low_expr()), Ok(vec![5, 7]));
+    }
+
+    #[test]
+    fn rebuild_invalidates_only_that_shards_cache() {
+        let mut svc = service();
+        let exprs = vec![low_expr()];
+        let _ = svc.query_batch_opts(&exprs, &BuildOptions::serial());
+        let (_, misses_cold) = svc.cache_stats();
+        assert_eq!(misses_cold, 2, "one mask per shard, both cold");
+        let _ = svc.query_batch_opts(&exprs, &BuildOptions::serial());
+        let (hits_warm, misses_warm) = svc.cache_stats();
+        assert_eq!((hits_warm, misses_warm), (2, 2), "second batch all cached");
+        svc.rebuild_shard(
+            1,
+            &Repository::new(vec![dataset("mid2", &[47.0, 53.0])]),
+            &[5],
+        );
+        let _ = svc.query_batch_opts(&exprs, &BuildOptions::serial());
+        let (hits_after, misses_after) = svc.cache_stats();
+        assert_eq!(
+            (hits_after, misses_after),
+            (3, 3),
+            "shard 0 hits its cache; rebuilt shard 1 recomputes"
+        );
+    }
+}

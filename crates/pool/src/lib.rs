@@ -131,8 +131,14 @@ where
     F: Fn(&mut S, usize, &T) -> U + Sync,
 {
     let n = items.len();
+    // Fast path: a singleton (or empty) input, or an explicitly serial
+    // configuration, runs inline on the calling thread — no workers are
+    // spawned, no cursor, no chunk merge. Results are identical by
+    // construction (it *is* the serial map the guarantee is stated
+    // against); the pool's own tests pin that the caller thread does all
+    // the work here.
     let threads = opts.threads.max(1).min(n.max(1));
-    if threads <= 1 {
+    if n <= 1 || threads == 1 {
         let mut state = init();
         return items
             .iter()
@@ -262,6 +268,50 @@ mod tests {
         );
         assert_eq!(out, items);
         assert!(inits.load(Ordering::Relaxed) <= 4, "one init per worker");
+    }
+
+    /// The inline fast path: singleton/empty inputs and `threads == 1`
+    /// run entirely on the calling thread (no workers spawned), with
+    /// results unchanged from the general pooled path.
+    #[test]
+    fn fast_path_runs_inline_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let observe = |items: &[u64], threads: usize| {
+            let ids = std::sync::Mutex::new(Vec::new());
+            let out = par_map(&BuildOptions::with_threads(threads), items, |i, x| {
+                ids.lock().unwrap().push(std::thread::current().id());
+                x * 5 + i as u64
+            });
+            (out, ids.into_inner().unwrap())
+        };
+        // threads == 1 over many items; one item (or none) over many
+        // threads — every shape must stay on the caller.
+        for (items, threads) in [
+            ((0..100).collect::<Vec<u64>>(), 1),
+            (vec![42], 8),
+            (vec![], 8),
+        ] {
+            let serial: Vec<u64> = items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| x * 5 + i as u64)
+                .collect();
+            let (out, ids) = observe(&items, threads);
+            assert_eq!(out, serial, "inline results unchanged");
+            assert_eq!(ids.len(), items.len(), "one call per item");
+            assert!(
+                ids.iter().all(|&id| id == caller),
+                "fast path must not leave the calling thread"
+            );
+        }
+        // Control: the pooled path really does use other threads (so the
+        // assertion above is meaningful).
+        let (out, ids) = observe(&(0..4096).collect::<Vec<u64>>(), 8);
+        assert_eq!(out.len(), 4096);
+        assert!(
+            ids.iter().any(|&id| id != caller),
+            "pooled path should recruit workers"
+        );
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod repository;
 pub mod scenario;
 pub mod setint;
 
-pub use repository::{RepoFlavor, RepoSpec};
+pub use repository::{RepoFlavor, RepoShard, RepoSpec};
 pub use scenario::CityScenario;
 pub use setint::UniformSetInstance;

@@ -20,6 +20,18 @@ pub enum RepoFlavor {
     UnitBall,
 }
 
+/// One shard of a partitioned repository: the datasets assigned to it plus
+/// their **stable global ids** (the dataset's index in the unsharded
+/// [`RepoSpec::build`] order), ready to feed a sharded engine's
+/// `add_shard(repo, global_ids)` ingest path.
+#[derive(Clone, Debug)]
+pub struct RepoShard {
+    /// `global_ids[i]` is the unsharded index of `sets[i]`.
+    pub global_ids: Vec<u64>,
+    /// The shard's datasets, in shard-local order.
+    pub sets: Vec<Vec<Point>>,
+}
+
 /// Specification of a synthetic repository `P = {P_1, …, P_N}`.
 #[derive(Clone, Debug)]
 pub struct RepoSpec {
@@ -110,6 +122,30 @@ impl RepoSpec {
             })
             .collect()
     }
+
+    /// Materializes the repository partitioned **round-robin** into at most
+    /// `k` shards: dataset `i` of [`build`](Self::build) lands in shard
+    /// `i % k` with global id `i`. Round-robin deliberately interleaves the
+    /// flavour cycle across shards (each shard sees the realistic mix) and
+    /// makes shard-local order differ from global order, so a sharded
+    /// engine's id translation is actually exercised. The union of the
+    /// shards is exactly the unsharded build; shards that would be empty
+    /// (`k > n_datasets`) are dropped.
+    pub fn shards(&self, k: usize) -> Vec<RepoShard> {
+        assert!(k >= 1, "need at least one shard");
+        let mut shards: Vec<RepoShard> = (0..k.min(self.n_datasets))
+            .map(|_| RepoShard {
+                global_ids: Vec::new(),
+                sets: Vec::new(),
+            })
+            .collect();
+        for (i, ds) in self.build().into_iter().enumerate() {
+            let s = i % shards.len();
+            shards[s].global_ids.push(i as u64);
+            shards[s].sets.push(ds);
+        }
+        shards
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +169,31 @@ mod tests {
         let spec = RepoSpec::mixed(20, 100, 1, 5);
         for ds in spec.build() {
             assert!(ds.len() >= 50 && ds.len() <= 100);
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_unsharded_build() {
+        let spec = RepoSpec::mixed(11, 60, 2, 31);
+        let whole = spec.build();
+        for k in [1, 2, 3, 8, 20] {
+            let shards = spec.shards(k);
+            assert_eq!(shards.len(), k.min(11), "k = {k}");
+            let mut seen = vec![false; whole.len()];
+            for (s, shard) in shards.iter().enumerate() {
+                assert_eq!(shard.global_ids.len(), shard.sets.len());
+                for (&gid, ds) in shard.global_ids.iter().zip(&shard.sets) {
+                    assert_eq!(gid as usize % shards.len(), s, "round-robin assignment");
+                    assert!(!std::mem::replace(&mut seen[gid as usize], true));
+                    let orig = &whole[gid as usize];
+                    assert_eq!(ds.len(), orig.len());
+                    assert!(ds
+                        .iter()
+                        .zip(orig)
+                        .all(|(p, q)| p.as_slice() == q.as_slice()));
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every dataset lands in a shard");
         }
     }
 

@@ -50,6 +50,19 @@
 //! cores), and `MixedQueryEngine::build` uses the default pool implicitly.
 //! The thread count **never** changes results: parallel builds are
 //! bit-identical to serial ones for every index family.
+//!
+//! ## Sharding
+//!
+//! [`prelude::ShardedEngine`] scales past one index: one engine per
+//! repository shard, scatter/gather queries over the same pool, answers as
+//! **stable global dataset ids** in ascending order — bit-identical to a
+//! single unsharded engine at every shard count × thread count (for exact
+//! builds unconditionally; for sampled builds, per-dataset RNGs are seeded
+//! by global id and the φ-split can be anchored with
+//! `PtileBuildParams::with_phi_datasets` — see `dds_core::shard`). Each
+//! shard keeps a bounded, generation-tagged cross-call predicate-mask
+//! cache ([`prelude::MaskCache`]); rebuilding a shard invalidates only its
+//! own cache entries.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -62,6 +75,7 @@ pub use dds_workload as workload;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use dds_core::bitset::BitSet;
+    pub use dds_core::cache::MaskCache;
     pub use dds_core::engine::MixedQueryEngine;
     pub use dds_core::framework::{
         Dataset, Interval, LogicalExpr, MeasureFunction, Predicate, Repository,
@@ -72,6 +86,8 @@ pub mod prelude {
         ExactCPtile1D, PtileBuildParams, PtileMultiIndex, PtileRangeIndex, PtileThresholdIndex,
     };
     pub use dds_core::scratch::QueryScratch;
+    pub use dds_core::shard::{GlobalId, ShardedEngine};
     pub use dds_geom::{Point, Rect};
     pub use dds_synopsis::{PercentileSynopsis, PrefSynopsis};
+    pub use dds_workload::{RepoShard, RepoSpec};
 }

@@ -198,8 +198,10 @@ fn empty_clauses_are_benign_in_sequential_and_batch() {
     assert!(batch.iter().all(Result::is_ok));
 }
 
-/// The shared mask cache makes `index_queries` advance by the number of
-/// *distinct* predicates in a batch, at every thread count.
+/// The mask cache makes `index_queries` advance by the number of
+/// *distinct uncached* predicates in a batch, at every thread count — and
+/// since the cache now **survives across `query_batch` calls**, only the
+/// first batch computes anything; repeats are pure cache hits.
 #[test]
 fn batch_counts_each_distinct_predicate_once() {
     let repo = common::mixed_repo(10, 40, 1, 0xC0DE);
@@ -215,15 +217,30 @@ fn batch_counts_each_distinct_predicate_once() {
     let exprs: Vec<LogicalExpr> = (0..12)
         .map(|i| mixed_expr(10.0 * (i % 3) as f64, 8.0, 0.25, 0.5))
         .collect();
-    for t in THREADS {
+    for (round, t) in THREADS.into_iter().enumerate() {
         let before = engine.index_queries();
         let _ = engine.query_batch_opts(&exprs, &BuildOptions::with_threads(t));
+        let expected = if round == 0 { 9 } else { 0 };
         assert_eq!(
             engine.index_queries() - before,
-            9,
-            "3 shapes x 3 distinct predicates, threads = {t}"
+            expected,
+            "3 shapes x 3 distinct predicates, cached across calls, threads = {t}"
         );
     }
+    // 36 lookups per batch (12 expressions x 3 distinct predicates after
+    // per-call memoization); the first batch's 9 are misses, everything
+    // after is a hit, deterministically.
+    assert_eq!(engine.mask_cache().misses(), 9);
+    assert_eq!(engine.mask_cache().hits(), (THREADS.len() as u64) * 36 - 9);
+    // Invalidation restores the cold-start behaviour without rebuilding.
+    engine.mask_cache().invalidate();
+    let before = engine.index_queries();
+    let _ = engine.query_batch_opts(&exprs, &BuildOptions::serial());
+    assert_eq!(
+        engine.index_queries() - before,
+        9,
+        "stale entries recompute"
+    );
 }
 
 /// Batch errors surface per expression, in input order, exactly as the

@@ -106,6 +106,37 @@ fn mixed_engine_and_synopsis_traits_through_the_facade() {
 }
 
 #[test]
+fn sharded_engine_through_the_facade() {
+    // The sharding layer is addressable entirely through the prelude:
+    // partition a generated repository, ingest the shards, and get stable
+    // global ids back (ascending, = unsharded dataset indexes here).
+    let spec = RepoSpec::mixed(9, 40, 1, 0xFAC);
+    let mut svc = ShardedEngine::new(
+        &[1],
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    )
+    .with_cache_capacity(64);
+    for shard in spec.shards(3) {
+        svc.add_shard(&Repository::from_point_sets(shard.sets), &shard.global_ids);
+    }
+    assert_eq!((svc.n_shards(), svc.n_datasets()), (3, 9));
+    let expr = LogicalExpr::Pred(Predicate::percentile_at_least(
+        Rect::interval(0.0, 100.0),
+        0.5,
+    ));
+    let ids: Vec<GlobalId> = svc.query(&expr).expect("rank 1 is indexed");
+    assert_eq!(ids, (0..9).collect::<Vec<GlobalId>>());
+    // The per-shard mask caches saw one miss each; a repeat hits.
+    let (h0, m0) = svc.cache_stats();
+    assert_eq!((h0, m0), (0, 3));
+    assert_eq!(svc.query(&expr).unwrap().len(), 9);
+    assert_eq!(svc.cache_stats(), (3, 3));
+    // A standalone MaskCache is constructible through the prelude too.
+    assert_eq!(MaskCache::new(16).capacity(), 16);
+}
+
+#[test]
 fn quickstart_docs_scenario_through_the_facade() {
     // Mirrors the `src/lib.rs` doctest so the README/quickstart snippet is
     // also covered by `cargo test` proper.

@@ -1,0 +1,316 @@
+//! Shard-equivalence layer: a [`ShardedEngine`] must be indistinguishable
+//! from a single unsharded [`MixedQueryEngine`] over the same datasets —
+//! same answer sets (as stable global ids, canonically ascending), same
+//! per-expression errors — for **every shard count × thread count**. This
+//! is the contract that makes sharding a pure scaling decision: re-sharding
+//! a catalog can never change what a query returns.
+//!
+//! Also pins the service-cache behaviours the sharding PR introduced: the
+//! cross-call mask cache stays within its capacity bound, and a shard
+//! rebuild invalidates exactly that shard's entries (requeries recompute
+//! against the new data, other shards keep hitting their caches).
+
+mod common;
+
+use dds_core::framework::Repository;
+use distribution_aware_search::prelude::*;
+use proptest::prelude::*;
+
+/// Shard counts × thread counts the equivalence contract is pinned against.
+const SHARDS: [usize; 4] = [1, 2, 3, 8];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn dataset_1d(i: usize, xs: &[f64]) -> Dataset {
+    Dataset::from_rows(format!("d{i}"), xs.iter().map(|&x| vec![x]).collect())
+}
+
+fn build_params() -> (PtileBuildParams, PrefBuildParams) {
+    (
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    )
+}
+
+/// The unsharded reference engine over all datasets.
+fn unsharded(sets: &[Vec<f64>]) -> MixedQueryEngine {
+    let (ptile, pref) = build_params();
+    MixedQueryEngine::build_opts(
+        &Repository::new(
+            sets.iter()
+                .enumerate()
+                .map(|(i, xs)| dataset_1d(i, xs))
+                .collect(),
+        ),
+        &[1],
+        ptile,
+        pref,
+        &BuildOptions::serial(),
+    )
+}
+
+/// A sharded engine over the same datasets: round-robin partition into (at
+/// most) `k` shards, global id = unsharded dataset index.
+fn sharded(sets: &[Vec<f64>], k: usize) -> ShardedEngine {
+    let (ptile, pref) = build_params();
+    let mut svc = ShardedEngine::new(&[1], ptile, pref);
+    let k = k.min(sets.len()).max(1);
+    for s in 0..k {
+        let members: Vec<usize> = (s..sets.len()).step_by(k).collect();
+        svc.add_shard_opts(
+            &Repository::new(members.iter().map(|&i| dataset_1d(i, &sets[i])).collect()),
+            &members.iter().map(|&i| i as GlobalId).collect::<Vec<_>>(),
+            &BuildOptions::serial(),
+        );
+    }
+    svc
+}
+
+/// What the sharded engine must return for one expression: the unsharded
+/// answer as ascending global ids, errors passed through.
+fn reference(
+    engine: &MixedQueryEngine,
+    expr: &LogicalExpr,
+) -> Result<Vec<GlobalId>, dds_core::engine::EngineError> {
+    engine.query(expr).map(|hits| {
+        let mut ids: Vec<GlobalId> = hits.into_iter().map(|j| j as GlobalId).collect();
+        ids.sort_unstable();
+        ids
+    })
+}
+
+/// Generated case: 1-d datasets plus query-shape scalars (the same grid
+/// workload the batch-equivalence layer uses).
+type ShardCase = (Vec<Vec<f64>>, Vec<(f64, f64, f64, f64)>);
+
+fn repo_and_batch() -> impl Strategy<Value = ShardCase> {
+    (
+        prop::collection::vec(
+            prop::collection::vec((-20i32..20).prop_map(|x| x as f64), 1..10),
+            1..7,
+        ),
+        prop::collection::vec(
+            ((-25i32..25), (0i32..15), (0u32..=100), (0u32..=60)).prop_map(|(lo, w, a, bw)| {
+                (lo as f64, w as f64, a as f64 / 100.0, bw as f64 / 100.0)
+            }),
+            1..10,
+        ),
+    )
+}
+
+/// A mixed expression (percentile + top-k literals) from one query shape.
+/// Every third shape asks for an unindexed preference rank, so error
+/// preservation is exercised inside the same batches.
+fn mixed_expr(i: usize, lo: f64, w: f64, a: f64, bw: f64) -> LogicalExpr {
+    let rect = Rect::interval(lo, lo + w);
+    let rank = if i % 3 == 2 { 4 } else { 1 };
+    LogicalExpr::Or(vec![
+        LogicalExpr::And(vec![
+            LogicalExpr::Pred(Predicate::percentile(
+                rect.clone(),
+                Interval::new(a, (a + bw).min(1.0)),
+            )),
+            LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0], rank, lo + w * a)),
+        ]),
+        LogicalExpr::Pred(Predicate::percentile_at_least(rect, a)),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `ShardedEngine::{query, query_batch}` ≡ a single unsharded engine,
+    /// for every shard count × thread count — including the expressions
+    /// that error on an unindexed rank.
+    #[test]
+    fn sharded_matches_unsharded((sets, shapes) in repo_and_batch()) {
+        let reference_engine = unsharded(&sets);
+        let exprs: Vec<LogicalExpr> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, w, a, bw))| mixed_expr(i, lo, w, a, bw))
+            .collect();
+        let expected: Vec<_> = exprs.iter().map(|e| reference(&reference_engine, e)).collect();
+        for k in SHARDS {
+            let svc = sharded(&sets, k);
+            prop_assert_eq!(svc.n_datasets(), sets.len());
+            // Single-query scatter path (caller scratch reused across shards).
+            let mut scratch = QueryScratch::new();
+            let singles: Vec<_> = exprs.iter().map(|e| svc.query_with(e, &mut scratch)).collect();
+            prop_assert_eq!(&singles, &expected, "single queries, shards = {}", k);
+            for t in THREADS {
+                let batch = svc.query_batch_opts(&exprs, &BuildOptions::with_threads(t));
+                prop_assert_eq!(&batch, &expected, "shards = {}, threads = {}", k, t);
+            }
+            // The batches above warmed every shard cache; a repeat batch is
+            // answered from cache and must still be bit-identical.
+            let warm = svc.query_batch_opts(&exprs, &BuildOptions::with_threads(2));
+            prop_assert_eq!(&warm, &expected, "warm-cache repeat, shards = {}", k);
+        }
+    }
+
+    /// Rebuilding one shard re-lands new data under the same global ids:
+    /// requeries must agree with an unsharded engine over the *updated*
+    /// dataset collection, at every thread count — the
+    /// rebuild-then-requery invalidation case.
+    #[test]
+    fn rebuild_then_requery_matches_updated_unsharded(
+        (mut sets, shapes) in repo_and_batch(),
+        shift in (1i32..15).prop_map(|s| s as f64),
+    ) {
+        prop_assume!(sets.len() >= 2);
+        let exprs: Vec<LogicalExpr> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, w, a, bw))| mixed_expr(i, lo, w, a, bw))
+            .collect();
+        let k = 2usize;
+        let mut svc = sharded(&sets, k);
+        // Warm the caches on the original data.
+        let _ = svc.query_batch_opts(&exprs, &BuildOptions::with_threads(2));
+        let (_, misses_before) = svc.cache_stats();
+        // Shard 0 (datasets 0, 2, 4, …) re-lands with every value shifted.
+        let members: Vec<usize> = (0..sets.len()).step_by(k).collect();
+        for &i in &members {
+            for x in &mut sets[i] {
+                *x += shift;
+            }
+        }
+        svc.rebuild_shard_opts(
+            0,
+            &Repository::new(members.iter().map(|&i| dataset_1d(i, &sets[i])).collect()),
+            &members.iter().map(|&i| i as GlobalId).collect::<Vec<_>>(),
+            &BuildOptions::serial(),
+        );
+        let updated_reference = unsharded(&sets);
+        let expected: Vec<_> = exprs.iter().map(|e| reference(&updated_reference, e)).collect();
+        for t in THREADS {
+            let requeried = svc.query_batch_opts(&exprs, &BuildOptions::with_threads(t));
+            prop_assert_eq!(&requeried, &expected, "threads = {}", t);
+        }
+        // The requeries could not have been served from the stale masks:
+        // the rebuilt shard's cache recomputed (misses advanced).
+        let (_, misses_after) = svc.cache_stats();
+        prop_assert!(misses_after > misses_before, "rebuild must invalidate");
+    }
+}
+
+/// Sampled builds (ε_i > 0: each dataset's support exceeds the sample
+/// budget, so the RNG really draws) are also shard-count invariant —
+/// because shard engines seed per-dataset sampling by **global id** and
+/// the φ-split is anchored to the catalog size. This is exactly the
+/// regime where positional seeding or per-shard φ accounting would break
+/// equivalence.
+#[test]
+fn sampled_builds_match_unsharded_across_shard_counts() {
+    let n = 6usize;
+    // 60 deterministic points per dataset, spread so thresholds land near
+    // mass boundaries (any sample mismatch flips some answer below).
+    let sets: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..60)
+                .map(|j| ((i * 13 + j * 7) % 97) as f64 - 20.0)
+                .collect()
+        })
+        .collect();
+    // ε = 0.4 makes the admissible sample (~23 points) smaller than the
+    // 60-point supports, so the sampling path is engaged for real.
+    let ptile = PtileBuildParams::default()
+        .with_eps(0.4)
+        .with_phi_datasets(n);
+    let pref = PrefBuildParams::exact_centralized();
+    let reference_engine = MixedQueryEngine::build_opts(
+        &Repository::new(
+            sets.iter()
+                .enumerate()
+                .map(|(i, xs)| dataset_1d(i, xs))
+                .collect(),
+        ),
+        &[1],
+        ptile.clone(),
+        pref.clone(),
+        &BuildOptions::serial(),
+    );
+    assert!(
+        reference_engine.ptile_slack() > 0.0,
+        "sampling must actually be engaged for this test to mean anything"
+    );
+    let exprs: Vec<LogicalExpr> = (0..40)
+        .map(|q| {
+            LogicalExpr::Pred(Predicate::percentile_at_least(
+                Rect::interval(-20.0 + q as f64 * 2.0, -10.0 + q as f64 * 2.0),
+                0.05 * (q % 19) as f64,
+            ))
+        })
+        .collect();
+    let expected: Vec<_> = exprs
+        .iter()
+        .map(|e| reference(&reference_engine, e))
+        .collect();
+    for k in [1usize, 2, 3] {
+        let mut svc = ShardedEngine::new(&[1], ptile.clone(), pref.clone());
+        for s in 0..k.min(n) {
+            let members: Vec<usize> = (s..n).step_by(k.min(n)).collect();
+            svc.add_shard_opts(
+                &Repository::new(members.iter().map(|&i| dataset_1d(i, &sets[i])).collect()),
+                &members.iter().map(|&i| i as GlobalId).collect::<Vec<_>>(),
+                &BuildOptions::serial(),
+            );
+        }
+        assert!(svc.ptile_slack() > 0.0, "shards sample too (k = {k})");
+        for t in THREADS {
+            assert_eq!(
+                svc.query_batch_opts(&exprs, &BuildOptions::with_threads(t)),
+                expected,
+                "sampled equivalence, shards = {k}, threads = {t}"
+            );
+        }
+    }
+}
+
+/// The cross-call cache respects its capacity bound under a workload with
+/// far more distinct predicates than slots — and the bounded cache never
+/// changes answers (evicted masks recompute identically).
+#[test]
+fn mask_cache_stays_within_capacity_bound() {
+    let sets: Vec<Vec<f64>> = (0..6)
+        .map(|i| (0..8).map(|j| (i * 7 + j * 3) as f64 - 15.0).collect())
+        .collect();
+    let (ptile, pref) = build_params();
+    let mut svc = ShardedEngine::new(&[1], ptile, pref).with_cache_capacity(4);
+    for s in 0..2 {
+        let members: Vec<usize> = (s..sets.len()).step_by(2).collect();
+        svc.add_shard(
+            &Repository::new(members.iter().map(|&i| dataset_1d(i, &sets[i])).collect()),
+            &members.iter().map(|&i| i as GlobalId).collect::<Vec<_>>(),
+        );
+    }
+    let reference_engine = unsharded(&sets);
+    // 30 distinct percentile predicates stream through a 4-slot cache.
+    let exprs: Vec<LogicalExpr> = (0..30)
+        .map(|i| {
+            LogicalExpr::Pred(Predicate::percentile_at_least(
+                Rect::interval(-20.0 + i as f64, -10.0 + 2.0 * i as f64),
+                0.2,
+            ))
+        })
+        .collect();
+    for round in 0..3 {
+        let got = svc.query_batch_opts(&exprs, &BuildOptions::with_threads(2));
+        let expected: Vec<_> = exprs
+            .iter()
+            .map(|e| reference(&reference_engine, e))
+            .collect();
+        assert_eq!(got, expected, "round {round}");
+    }
+    for s in 0..svc.n_shards() {
+        let cache = svc.shard_engine(s).mask_cache();
+        assert_eq!(cache.capacity(), 4);
+        assert!(
+            cache.len() <= cache.capacity(),
+            "shard {s}: the bound holds after heavy eviction churn"
+        );
+    }
+    let (hits, misses) = svc.cache_stats();
+    assert!(misses >= 30 * 2, "evictions force recomputation");
+    assert!(hits + misses == 3 * 30 * 2, "every lookup is counted");
+}
