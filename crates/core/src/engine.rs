@@ -202,6 +202,15 @@ impl MixedQueryEngine {
         self.ptile.slack()
     }
 
+    /// The worst per-dataset Ptile budget `max_i (ε_i + δ_i)` — the
+    /// threshold below which the zero-mass corner case can report a
+    /// dataset with no sample point inside the query rectangle. The shard
+    /// routing fast path (`dds_core::shard`) may only skip an engine when
+    /// a predicate's clamped lower bound strictly exceeds this.
+    pub fn ptile_margin(&self) -> f64 {
+        self.ptile.margin()
+    }
+
     /// The Pref guarantee band for rank `k` (if indexed).
     pub fn pref_slack(&self, k: usize) -> Option<f64> {
         self.pref.get(&k).map(PrefIndex::slack)
@@ -226,7 +235,7 @@ impl MixedQueryEngine {
         expr: &LogicalExpr,
         scratch: &mut QueryScratch,
     ) -> Result<Vec<usize>, EngineError> {
-        self.query_inner(expr, scratch, None)
+        self.query_inner(&expr.to_dnf(), scratch, None)
     }
 
     /// Answers a slice of expressions with the default worker pool
@@ -252,20 +261,23 @@ impl MixedQueryEngine {
         opts: &BuildOptions,
     ) -> Vec<Result<Vec<usize>, EngineError>> {
         par_map_with(opts, exprs, QueryScratch::new, |scratch, _, expr| {
-            self.query_inner(expr, scratch, Some(&self.mask_cache))
+            self.query_inner(&expr.to_dnf(), scratch, Some(&self.mask_cache))
         })
     }
 
-    /// [`query_with`](Self::query_with) through the cross-call
-    /// [`MaskCache`] — the per-shard query path of
+    /// [`query_with`](Self::query_with) on a pre-expanded DNF, through the
+    /// cross-call [`MaskCache`] — the per-shard query path of
     /// [`ShardedEngine`](crate::shard::ShardedEngine), where every call is
-    /// service traffic and should share the shard's cache.
-    pub(crate) fn query_cached(
+    /// service traffic sharing the shard's cache and the *caller* owns the
+    /// DNF (the sharded layer expands each expression once and reuses it
+    /// for routing and for every shard, instead of re-expanding per
+    /// shard).
+    pub(crate) fn query_cached_dnf(
         &self,
-        expr: &LogicalExpr,
+        dnf: &[Vec<Predicate>],
         scratch: &mut QueryScratch,
     ) -> Result<Vec<usize>, EngineError> {
-        self.query_inner(expr, scratch, Some(&self.mask_cache))
+        self.query_inner(dnf, scratch, Some(&self.mask_cache))
     }
 
     /// The DNF evaluation loop behind every query path. DNF expansion
@@ -276,12 +288,11 @@ impl MixedQueryEngine {
     /// AND over 64 datasets at a time.
     fn query_inner(
         &self,
-        expr: &LogicalExpr,
+        dnf: &[Vec<Predicate>],
         scratch: &mut QueryScratch,
         cache: Option<&MaskCache>,
     ) -> Result<Vec<usize>, EngineError> {
         let n = self.n_datasets;
-        let dnf = expr.to_dnf();
         let mut out = Vec::new();
         // The memo, dedup set and accumulator move out of the scratch while
         // the leaf queries (which borrow the scratch for their own buffers)
@@ -298,7 +309,7 @@ impl MixedQueryEngine {
             }
             acc.reset(n);
             acc.set_all();
-            for pred in &clause {
+            for pred in clause {
                 let key = predicate_key(pred);
                 let mask = match memo.get(&key) {
                     Some(m) => Arc::clone(m),

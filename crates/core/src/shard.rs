@@ -31,20 +31,141 @@
 //! to the replacement engine and bumps its generation, so a rebuild
 //! invalidates **only that shard's entries** while every other shard keeps
 //! serving cached masks.
+//!
+//! # Shard routing
+//!
+//! Ingest records, per shard, the **per-attribute value bounding box** of
+//! its raw points. A conjunctive percentile predicate whose query
+//! rectangle is disjoint from a shard's box (in some attribute) *provably*
+//! matches nothing in that shard — every grid coordinate of every member
+//! dataset is a raw data coordinate, so no canonical rectangle fits inside
+//! the query — **provided** the zero-mass corner case cannot fire, i.e.
+//! the predicate's clamped lower bound exceeds the shard's worst
+//! per-dataset budget `max_i (ε_i + δ_i)`
+//! ([`MixedQueryEngine::ptile_margin`]). Query paths skip such shards
+//! outright (and skip an expression's scatter onto a shard only when
+//! *every* DNF clause contains such a predicate), which is answer-
+//! preserving bit for bit — pinned routed ≡ unrouted by
+//! `tests/shard_equivalence.rs`. Routing never engages for expressions
+//! that would error (an unindexed preference rank must still be reported
+//! even if every shard is otherwise skippable). [`with_routing`]
+//! (ShardedEngine::with_routing) disables it; [`shards_routed_past`]
+//! (ShardedEngine::shards_routed_past) counts skipped (expression, shard)
+//! scatter units.
 
 use crate::cache::MaskCache;
 use crate::engine::{EngineError, MixedQueryEngine};
-use crate::framework::{LogicalExpr, Repository};
+use crate::framework::{LogicalExpr, MeasureFunction, Predicate, Repository};
 use crate::pool::{par_map_with, BuildOptions};
 use crate::pref::PrefBuildParams;
 use crate::ptile::PtileBuildParams;
 use crate::scratch::QueryScratch;
 use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A stable dataset identifier: assigned at ingest, never reinterpreted
 /// when shards are added or rebuilt (unlike a shard-local index).
 pub type GlobalId = u64;
+
+/// Why a shard ingest ([`ShardedEngine::try_add_shard`] /
+/// [`ShardedEngine::try_rebuild_shard`]) was rejected. Every rejection
+/// leaves the service exactly as it was; the panicking ingest methods
+/// surface these as panic messages, services (e.g. `dds-server`) serialize
+/// them via [`Display`](fmt::Display).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// `global_ids.len() != repo.len()`.
+    ArityMismatch {
+        /// Datasets in the shard being ingested.
+        datasets: usize,
+        /// Global ids supplied for them.
+        ids: usize,
+    },
+    /// The shard's schema dimension differs from the dimension already
+    /// served by other shards (queries are service-wide, so every shard
+    /// must share one schema).
+    SchemaMismatch {
+        /// Dimension served by the existing shards.
+        expected: usize,
+        /// Dimension of the rejected shard.
+        got: usize,
+    },
+    /// A global id appears twice within the ingested shard.
+    DuplicateId(GlobalId),
+    /// A global id is already served by a *different* shard.
+    IdInUse(GlobalId),
+    /// The shard index passed to a rebuild does not exist.
+    NoSuchShard {
+        /// Requested shard index.
+        shard: usize,
+        /// Shards currently served.
+        n_shards: usize,
+    },
+    /// Ingesting would grow the catalog past the declared
+    /// `PtileBuildParams::with_phi_datasets` anchor, silently diluting the
+    /// union-bound failure probability.
+    PhiAnchorExceeded {
+        /// The declared anchor.
+        anchor: usize,
+        /// Catalog size the ingest would reach.
+        prospective: usize,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::ArityMismatch { datasets, ids } => write!(
+                f,
+                "need one global id per dataset in the shard: got {ids} ids for {datasets} datasets"
+            ),
+            IngestError::SchemaMismatch { expected, got } => write!(
+                f,
+                "shard schema dimension {got} differs from the served dimension {expected}"
+            ),
+            IngestError::DuplicateId(id) => {
+                write!(f, "global id {id} repeats within the shard")
+            }
+            IngestError::IdInUse(id) => {
+                write!(f, "global id {id} is already served by another shard")
+            }
+            IngestError::NoSuchShard { shard, n_shards } => {
+                write!(f, "no such shard: {shard} (service has {n_shards})")
+            }
+            IngestError::PhiAnchorExceeded {
+                anchor,
+                prospective,
+            } => write!(
+                f,
+                "phi_datasets anchor ({anchor}) must be an upper bound on the catalog \
+                 ({prospective} datasets after this ingest)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// A cheap point-in-time counter snapshot of a [`ShardedEngine`] — the
+/// surface a serving layer (e.g. `dds-server`) polls per stats request
+/// without touching any index structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Shards currently served.
+    pub n_shards: u64,
+    /// Datasets across all shards.
+    pub n_datasets: u64,
+    /// Underlying index queries summed across shard engines.
+    pub index_queries: u64,
+    /// Mask-cache hits summed across shards.
+    pub cache_hits: u64,
+    /// Mask-cache misses summed across shards.
+    pub cache_misses: u64,
+    /// (expression, shard) scatter units skipped by the routing fast path.
+    pub shards_routed_past: u64,
+}
 
 /// One repository shard: its engine plus the shard map back to global ids.
 #[derive(Debug)]
@@ -53,6 +174,13 @@ struct Shard {
     /// `global_ids[local]` is the stable id of the shard's `local`-th
     /// dataset — the gather-side translation table.
     global_ids: Vec<GlobalId>,
+    /// Schema dimension of the shard's data.
+    dim: usize,
+    /// Per-attribute `(min, max)` over every raw point in the shard —
+    /// the routing fast path's pruning box. `None` disables routing for
+    /// this shard (a NaN coordinate was seen, so containment reasoning is
+    /// unsound).
+    bounds: Option<Vec<(f64, f64)>>,
 }
 
 /// A sharded mixed-query service: one [`MixedQueryEngine`] per repository
@@ -99,6 +227,13 @@ pub struct ShardedEngine {
     pref_params: PrefBuildParams,
     /// Per-shard mask-cache bound (entries, not bytes).
     cache_capacity: usize,
+    /// Bounding-box routing fast path (see the module docs). On by
+    /// default; [`with_routing`](Self::with_routing) disables it.
+    route: bool,
+    /// (expression, shard) scatter units skipped by routing. Data-
+    /// dependent, not timing-dependent, so the count is deterministic for
+    /// a given workload.
+    routed_past: AtomicU64,
 }
 
 impl ShardedEngine {
@@ -121,6 +256,8 @@ impl ShardedEngine {
             ptile_params,
             pref_params,
             cache_capacity: crate::cache::DEFAULT_MASK_CACHE_CAPACITY,
+            route: true,
+            routed_past: AtomicU64::new(0),
         }
     }
 
@@ -135,14 +272,25 @@ impl ShardedEngine {
         self
     }
 
+    /// Enables or disables the bounding-box routing fast path
+    /// (builder-style; default enabled). Routing never changes answers —
+    /// disabling it only exists for A/B measurement and for the
+    /// routed ≡ unrouted equivalence tests.
+    pub fn with_routing(mut self, enabled: bool) -> Self {
+        self.route = enabled;
+        self
+    }
+
     /// Ingests one shard with the default worker pool: builds its engine
     /// and records `global_ids[i]` as the stable id of `repo`'s `i`-th
     /// dataset. Returns the shard's index (for
     /// [`rebuild_shard`](Self::rebuild_shard)).
     ///
     /// # Panics
-    /// Panics if `global_ids.len() != repo.len()` or any id is already
-    /// served by this engine.
+    /// Panics on any [`IngestError`] (`global_ids.len() != repo.len()`, an
+    /// id already served by this engine, a schema mismatch, …); see
+    /// [`try_add_shard`](Self::try_add_shard) for the non-panicking
+    /// variant.
     pub fn add_shard(&mut self, repo: &Repository, global_ids: &[GlobalId]) -> usize {
         self.add_shard_opts(repo, global_ids, &BuildOptions::default())
     }
@@ -155,9 +303,32 @@ impl ShardedEngine {
         global_ids: &[GlobalId],
         opts: &BuildOptions,
     ) -> usize {
-        // Validate, then build (both can panic), then commit — a panicking
-        // ingest leaves the service state untouched.
-        self.validate_ids(repo, global_ids, None);
+        self.try_add_shard_opts(repo, global_ids, opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`add_shard`](Self::add_shard): a rejected ingest
+    /// returns the typed [`IngestError`] and leaves the service untouched.
+    pub fn try_add_shard(
+        &mut self,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+    ) -> Result<usize, IngestError> {
+        self.try_add_shard_opts(repo, global_ids, &BuildOptions::default())
+    }
+
+    /// [`try_add_shard`](Self::try_add_shard) with an explicit worker-pool
+    /// configuration for the build.
+    pub fn try_add_shard_opts(
+        &mut self,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+        opts: &BuildOptions,
+    ) -> Result<usize, IngestError> {
+        // Validate, then build (which can still panic on pathological
+        // parameters), then commit — a failing ingest leaves the service
+        // state untouched.
+        self.validate_ids(repo, global_ids, None)?;
         let cache = Arc::new(MaskCache::new(self.cache_capacity));
         let engine = self
             .build_engine(repo, global_ids, opts)
@@ -166,8 +337,10 @@ impl ShardedEngine {
         self.shards.push(Shard {
             engine,
             global_ids: global_ids.to_vec(),
+            dim: repo.dim(),
+            bounds: shard_bounds(repo),
         });
-        self.shards.len() - 1
+        Ok(self.shards.len() - 1)
     }
 
     /// Replaces shard `shard`'s contents (incremental ingest: a data
@@ -177,9 +350,11 @@ impl ShardedEngine {
     /// while every other shard's cache is untouched.
     ///
     /// # Panics
-    /// Panics if `shard` is out of range, `global_ids.len() != repo.len()`
-    /// or any id is already served by a *different* shard (re-using the
-    /// replaced shard's ids is the normal case).
+    /// Panics on any [`IngestError`] (`shard` out of range,
+    /// `global_ids.len() != repo.len()`, an id already served by a
+    /// *different* shard — re-using the replaced shard's ids is the normal
+    /// case); see [`try_rebuild_shard`](Self::try_rebuild_shard) for the
+    /// non-panicking variant.
     pub fn rebuild_shard(&mut self, shard: usize, repo: &Repository, global_ids: &[GlobalId]) {
         self.rebuild_shard_opts(shard, repo, global_ids, &BuildOptions::default());
     }
@@ -193,11 +368,41 @@ impl ShardedEngine {
         global_ids: &[GlobalId],
         opts: &BuildOptions,
     ) {
-        assert!(shard < self.shards.len(), "no such shard: {shard}");
-        // Validate against every *other* shard, then build — both can
-        // panic, and until the commit below the old shard keeps serving
-        // with intact uniqueness bookkeeping.
-        self.validate_ids(repo, global_ids, Some(shard));
+        self.try_rebuild_shard_opts(shard, repo, global_ids, opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`rebuild_shard`](Self::rebuild_shard): a rejected
+    /// rebuild returns the typed [`IngestError`] and leaves the service —
+    /// including the shard being replaced — untouched.
+    pub fn try_rebuild_shard(
+        &mut self,
+        shard: usize,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+    ) -> Result<(), IngestError> {
+        self.try_rebuild_shard_opts(shard, repo, global_ids, &BuildOptions::default())
+    }
+
+    /// [`try_rebuild_shard`](Self::try_rebuild_shard) with an explicit
+    /// worker-pool configuration for the build.
+    pub fn try_rebuild_shard_opts(
+        &mut self,
+        shard: usize,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+        opts: &BuildOptions,
+    ) -> Result<(), IngestError> {
+        if shard >= self.shards.len() {
+            return Err(IngestError::NoSuchShard {
+                shard,
+                n_shards: self.shards.len(),
+            });
+        }
+        // Validate against every *other* shard, then build — until the
+        // commit below the old shard keeps serving with intact uniqueness
+        // bookkeeping.
+        self.validate_ids(repo, global_ids, Some(shard))?;
         let cache = Arc::clone(self.shards[shard].engine.mask_cache());
         let engine = self
             .build_engine(repo, global_ids, opts)
@@ -211,7 +416,10 @@ impl ShardedEngine {
         self.shards[shard] = Shard {
             engine,
             global_ids: global_ids.to_vec(),
+            dim: repo.dim(),
+            bounds: shard_bounds(repo),
         };
+        Ok(())
     }
 
     /// Number of shards currently served.
@@ -222,6 +430,11 @@ impl ShardedEngine {
     /// Total datasets across all shards.
     pub fn n_datasets(&self) -> usize {
         self.shards.iter().map(|s| s.engine.n_datasets()).sum()
+    }
+
+    /// The schema dimension served, or `None` while no shard is loaded.
+    pub fn dim(&self) -> Option<usize> {
+        self.shards.first().map(|s| s.dim)
     }
 
     /// The stable ids of shard `shard`'s datasets, in shard-local order.
@@ -262,6 +475,26 @@ impl ShardedEngine {
         })
     }
 
+    /// (expression, shard) scatter units the routing fast path skipped
+    /// over the service lifetime.
+    pub fn shards_routed_past(&self) -> u64 {
+        self.routed_past.load(Ordering::Relaxed)
+    }
+
+    /// A cheap counter snapshot (no index structure is touched) — the
+    /// per-request stats surface of a serving layer.
+    pub fn stats_snapshot(&self) -> ShardedStats {
+        let (cache_hits, cache_misses) = self.cache_stats();
+        ShardedStats {
+            n_shards: self.n_shards() as u64,
+            n_datasets: self.n_datasets() as u64,
+            index_queries: self.index_queries(),
+            cache_hits,
+            cache_misses,
+            shards_routed_past: self.shards_routed_past(),
+        }
+    }
+
     /// The loosest Ptile guarantee band across shards (each shard states
     /// its own achieved band; a service-level statement must take the max).
     pub fn ptile_slack(&self) -> f64 {
@@ -286,9 +519,17 @@ impl ShardedEngine {
         expr: &LogicalExpr,
         scratch: &mut QueryScratch,
     ) -> Result<Vec<GlobalId>, EngineError> {
+        // One DNF expansion per expression, shared by the routing check
+        // and every shard's evaluation.
+        let dnf = expr.to_dnf();
+        let skip = self.routing_skip(expr, &dnf);
         let mut out = Vec::new();
-        for shard in &self.shards {
-            let hits = shard.engine.query_cached(expr, scratch)?;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if skip.as_ref().is_some_and(|sk| sk[s]) {
+                self.routed_past.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let hits = shard.engine.query_cached_dnf(&dnf, scratch)?;
             out.extend(hits.into_iter().map(|j| shard.global_ids[j]));
         }
         out.sort_unstable();
@@ -317,6 +558,15 @@ impl ShardedEngine {
         if n_shards == 0 {
             return exprs.iter().map(|_| Ok(Vec::new())).collect();
         }
+        // One DNF expansion per expression, shared read-only by the
+        // routing plans and every (expression, shard) scatter unit — the
+        // workers never re-expand.
+        let dnfs: Vec<Vec<Vec<Predicate>>> = exprs.iter().map(LogicalExpr::to_dnf).collect();
+        let plans: Vec<Option<Vec<bool>>> = exprs
+            .iter()
+            .zip(&dnfs)
+            .map(|(e, dnf)| self.routing_skip(e, dnf))
+            .collect();
         // Scatter: unit (e, s) answers expression e on shard s. Flattening
         // both dimensions keeps the pool busy even when the batch is
         // smaller than the worker count.
@@ -324,12 +574,19 @@ impl ShardedEngine {
             .flat_map(|e| (0..n_shards).map(move |s| (e, s)))
             .collect();
         let partials = par_map_with(opts, &units, QueryScratch::new, |scratch, _, &(e, s)| {
+            if plans[e].as_ref().is_some_and(|sk| sk[s]) {
+                self.routed_past.fetch_add(1, Ordering::Relaxed);
+                return Ok(Vec::new());
+            }
             let shard = &self.shards[s];
-            shard.engine.query_cached(&exprs[e], scratch).map(|hits| {
-                hits.into_iter()
-                    .map(|j| shard.global_ids[j])
-                    .collect::<Vec<GlobalId>>()
-            })
+            shard
+                .engine
+                .query_cached_dnf(&dnfs[e], scratch)
+                .map(|hits| {
+                    hits.into_iter()
+                        .map(|j| shard.global_ids[j])
+                        .collect::<Vec<GlobalId>>()
+                })
         });
         // Gather: merge each expression's per-shard partials in shard
         // order (errors are identical across shards — first one wins),
@@ -354,27 +611,121 @@ impl ShardedEngine {
         results
     }
 
+    /// The routing plan for one expression (whose caller-expanded DNF is
+    /// passed in, so the expansion is paid once per query): `skip[s]` says
+    /// shard `s` provably contributes nothing. `None` means "scatter
+    /// everywhere" (routing disabled, nothing skippable, or the expression
+    /// may error — error answers must come from the shards, not be routed
+    /// away).
+    fn routing_skip(&self, expr: &LogicalExpr, dnf: &[Vec<Predicate>]) -> Option<Vec<bool>> {
+        if !self.route || self.shards.is_empty() || !self.ranks_indexed(expr) {
+            return None;
+        }
+        let skip: Vec<bool> = self
+            .shards
+            .iter()
+            .map(|s| Self::shard_unmatchable(dnf, s))
+            .collect();
+        skip.iter().any(|&b| b).then_some(skip)
+    }
+
+    /// True iff every preference rank the expression uses is indexed —
+    /// i.e. no shard can answer it with `MissingRank` (shards share `ks`,
+    /// so they fail alike).
+    fn ranks_indexed(&self, expr: &LogicalExpr) -> bool {
+        match expr {
+            LogicalExpr::Pred(p) => match &p.measure {
+                MeasureFunction::TopK { k, .. } => self.ks.contains(k),
+                MeasureFunction::Percentile(_) => true,
+            },
+            LogicalExpr::And(xs) | LogicalExpr::Or(xs) => xs.iter().all(|x| self.ranks_indexed(x)),
+        }
+    }
+
+    /// True iff the shard provably answers the whole DNF with no hits:
+    /// every clause contains a predicate the shard cannot match (an empty
+    /// clause contributes nothing by the DNF evaluation contract, so it
+    /// never blocks a skip).
+    fn shard_unmatchable(dnf: &[Vec<Predicate>], shard: &Shard) -> bool {
+        let Some(bounds) = &shard.bounds else {
+            return false;
+        };
+        let margin = shard.engine.ptile_margin();
+        dnf.iter().all(|clause| {
+            clause.is_empty()
+                || clause
+                    .iter()
+                    .any(|p| Self::pred_unmatchable(p, bounds, margin))
+        })
+    }
+
+    /// True iff the shard provably reports no dataset for this predicate:
+    /// the query rectangle is disjoint from the shard's value box in some
+    /// attribute (no canonical rectangle of any member dataset fits inside
+    /// it — grid coordinates are raw data coordinates) **and** the clamped
+    /// lower bound exceeds the shard's worst per-dataset budget, so the
+    /// zero-mass empty-slab path cannot fire either. Mirrors the θ clamp
+    /// of the engine's mask computation exactly.
+    fn pred_unmatchable(pred: &Predicate, bounds: &[(f64, f64)], margin: f64) -> bool {
+        match &pred.measure {
+            MeasureFunction::Percentile(r) => {
+                if r.dim() != bounds.len() {
+                    // A dimension mismatch panics in the engine; never
+                    // route it away.
+                    return false;
+                }
+                let lo_clamped = pred.theta.lo.max(0.0);
+                if lo_clamped <= margin {
+                    return false;
+                }
+                (0..bounds.len()).any(|h| r.hi_at(h) < bounds[h].0 || r.lo_at(h) > bounds[h].1)
+            }
+            MeasureFunction::TopK { .. } => false,
+        }
+    }
+
     /// Validates a shard's ids without touching any state: one per
     /// dataset, distinct, and none served by another shard (ids in
-    /// `exempt` — the shard being replaced — don't count). Also checks a
-    /// declared φ anchor against the prospective catalog size, so the
-    /// union-bound failure probability can never be silently diluted by
-    /// ingesting past the anchor. Panicking here leaves the service
-    /// exactly as it was.
-    fn validate_ids(&self, repo: &Repository, global_ids: &[GlobalId], exempt: Option<usize>) {
-        assert_eq!(
-            global_ids.len(),
-            repo.len(),
-            "one global id per dataset in the shard"
-        );
+    /// `exempt` — the shard being replaced — don't count). Also checks the
+    /// schema dimension against the served shards and a declared φ anchor
+    /// against the prospective catalog size, so the union-bound failure
+    /// probability can never be silently diluted by ingesting past the
+    /// anchor. An error here leaves the service exactly as it was.
+    fn validate_ids(
+        &self,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+        exempt: Option<usize>,
+    ) -> Result<(), IngestError> {
+        if global_ids.len() != repo.len() {
+            return Err(IngestError::ArityMismatch {
+                datasets: repo.len(),
+                ids: global_ids.len(),
+            });
+        }
+        if let Some(expected) = self
+            .shards
+            .iter()
+            .enumerate()
+            .find(|(s, _)| Some(*s) != exempt)
+            .map(|(_, s)| s.dim)
+        {
+            if repo.dim() != expected {
+                return Err(IngestError::SchemaMismatch {
+                    expected,
+                    got: repo.dim(),
+                });
+            }
+        }
         if let Some(d) = self.ptile_params.phi_datasets {
             let replaced = exempt.map_or(0, |s| self.shards[s].engine.n_datasets());
             let prospective = self.n_datasets() - replaced + repo.len();
-            assert!(
-                prospective <= d,
-                "phi_datasets anchor ({d}) must be an upper bound on the catalog \
-                 ({prospective} datasets after this ingest)"
-            );
+            if prospective > d {
+                return Err(IngestError::PhiAnchorExceeded {
+                    anchor: d,
+                    prospective,
+                });
+            }
         }
         // Hashed exempt set: the normal rebuild reuses every replaced id,
         // so a linear scan per id would make validation quadratic in the
@@ -384,12 +735,14 @@ impl ShardedEngine {
             .unwrap_or_default();
         let mut fresh = HashSet::with_capacity(global_ids.len());
         for &id in global_ids {
-            assert!(fresh.insert(id), "global id {id} repeats within the shard");
-            assert!(
-                !self.ids_in_use.contains(&id) || exempt.contains(&id),
-                "global id {id} is already served by another shard"
-            );
+            if !fresh.insert(id) {
+                return Err(IngestError::DuplicateId(id));
+            }
+            if self.ids_in_use.contains(&id) && !exempt.contains(&id) {
+                return Err(IngestError::IdInUse(id));
+            }
         }
+        Ok(())
     }
 
     /// Builds one shard engine with the service-wide parameters, seeding
@@ -410,6 +763,27 @@ impl ShardedEngine {
             opts,
         )
     }
+}
+
+/// Per-attribute `(min, max)` over every raw point in the shard, or `None`
+/// when a NaN coordinate makes containment reasoning unsound (routing is
+/// then disabled for the shard; answers are unaffected).
+fn shard_bounds(repo: &Repository) -> Option<Vec<(f64, f64)>> {
+    let d = repo.dim();
+    let mut bounds = vec![(f64::INFINITY, f64::NEG_INFINITY); d];
+    for points in repo.point_sets() {
+        for p in points {
+            for (h, b) in bounds.iter_mut().enumerate() {
+                let x = p[h];
+                if x.is_nan() {
+                    return None;
+                }
+                b.0 = b.0.min(x);
+                b.1 = b.1.max(x);
+            }
+        }
+    }
+    Some(bounds)
 }
 
 #[cfg(test)]
@@ -448,11 +822,22 @@ mod tests {
         ))
     }
 
+    /// A percentile predicate overlapping both test shards' value boxes
+    /// (shard 0 spans [1, 95], shard 1 [48, 52]), for the cache-counter
+    /// tests that must scatter everywhere.
+    fn wide_expr() -> LogicalExpr {
+        LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(0.0, 60.0),
+            0.9,
+        ))
+    }
+
     #[test]
     fn hits_come_back_as_sorted_global_ids() {
         let svc = service();
         assert_eq!(svc.n_shards(), 2);
         assert_eq!(svc.n_datasets(), 3);
+        assert_eq!(svc.dim(), Some(1));
         assert_eq!(svc.query(&low_expr()), Ok(vec![7]));
         // A predicate matching all three datasets gathers across shards in
         // ascending id order, not ingest order.
@@ -501,6 +886,7 @@ mod tests {
             PtileBuildParams::exact_centralized(),
             PrefBuildParams::exact_centralized(),
         );
+        assert_eq!(svc.dim(), None);
         assert_eq!(svc.query(&low_expr()), Ok(vec![]));
         assert_eq!(svc.query_batch(&[low_expr()]), vec![Ok(vec![])]);
     }
@@ -510,6 +896,92 @@ mod tests {
     fn duplicate_global_ids_are_rejected() {
         let mut svc = service();
         svc.add_shard(&Repository::new(vec![dataset("dup", &[1.0, 2.0])]), &[5]);
+    }
+
+    #[test]
+    fn try_ingest_reports_typed_errors_and_leaves_state_intact() {
+        let mut svc = service();
+        let repo = Repository::new(vec![dataset("dup", &[1.0, 2.0])]);
+        assert_eq!(svc.try_add_shard(&repo, &[5]), Err(IngestError::IdInUse(5)));
+        assert_eq!(
+            svc.try_add_shard(&repo, &[9, 9]),
+            Err(IngestError::ArityMismatch {
+                datasets: 1,
+                ids: 2
+            })
+        );
+        assert_eq!(svc.try_add_shard(&repo, &[9]), Ok(2));
+        assert_eq!(
+            svc.try_rebuild_shard(9, &repo, &[9]),
+            Err(IngestError::NoSuchShard {
+                shard: 9,
+                n_shards: 3
+            })
+        );
+        let two_d = Repository::new(vec![Dataset::from_rows("flat", vec![vec![1.0, 2.0]])]);
+        assert_eq!(
+            svc.try_add_shard(&two_d, &[40]),
+            Err(IngestError::SchemaMismatch {
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(
+            svc.try_rebuild_shard(0, &two_d, &[40, 41]),
+            Err(IngestError::ArityMismatch {
+                datasets: 1,
+                ids: 2
+            })
+        );
+        // A duplicate within the shard is distinguished from a clash with
+        // another shard.
+        assert_eq!(
+            svc.try_add_shard(
+                &Repository::new(vec![dataset("a", &[1.0]), dataset("b", &[2.0])]),
+                &[77, 77]
+            ),
+            Err(IngestError::DuplicateId(77))
+        );
+        // The rejections above changed nothing; only the one successful
+        // add landed (its dataset "dup" spans [1, 2], so it answers the
+        // low-band query under id 9).
+        assert_eq!((svc.n_shards(), svc.n_datasets()), (3, 4));
+        assert_eq!(svc.query(&low_expr()), Ok(vec![7, 9]));
+    }
+
+    #[test]
+    fn phi_anchor_rejection_is_typed() {
+        let mut svc = ShardedEngine::new(
+            &[1],
+            PtileBuildParams::default().with_phi_datasets(2),
+            PrefBuildParams::exact_centralized(),
+        );
+        svc.add_shard(
+            &Repository::new(vec![dataset("a", &[1.0]), dataset("b", &[2.0])]),
+            &[0, 1],
+        );
+        assert_eq!(
+            svc.try_add_shard(&Repository::new(vec![dataset("c", &[3.0])]), &[2]),
+            Err(IngestError::PhiAnchorExceeded {
+                anchor: 2,
+                prospective: 3
+            })
+        );
+    }
+
+    #[test]
+    fn ingest_errors_display_and_box() {
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(IngestError::IdInUse(5)),
+            Box::new(IngestError::DuplicateId(5)),
+            Box::new(IngestError::NoSuchShard {
+                shard: 9,
+                n_shards: 2,
+            }),
+        ];
+        assert!(errors[0].to_string().contains("already served"));
+        assert!(errors[1].to_string().contains("repeats within"));
+        assert!(errors[2].to_string().contains("no such shard: 9"));
     }
 
     #[test]
@@ -528,7 +1000,10 @@ mod tests {
     #[test]
     fn rebuild_invalidates_only_that_shards_cache() {
         let mut svc = service();
-        let exprs = vec![low_expr()];
+        // An expression overlapping both shards' value boxes, so the
+        // routing fast path scatters it everywhere and the counters below
+        // measure pure cache behaviour.
+        let exprs = vec![wide_expr()];
         let _ = svc.query_batch_opts(&exprs, &BuildOptions::serial());
         let (_, misses_cold) = svc.cache_stats();
         assert_eq!(misses_cold, 2, "one mask per shard, both cold");
@@ -547,5 +1022,142 @@ mod tests {
             (3, 3),
             "shard 0 hits its cache; rebuilt shard 1 recomputes"
         );
+        assert_eq!(svc.shards_routed_past(), 0, "wide_expr overlaps every box");
+    }
+
+    #[test]
+    fn routing_skips_provably_disjoint_shards() {
+        let svc = service();
+        // low_expr's rectangle [0, 10] is disjoint from shard 1's value
+        // box [48, 52] and the threshold 0.9 clears the (exact) margin 0,
+        // so shard 1 is provably uninvolved.
+        assert_eq!(svc.query(&low_expr()), Ok(vec![7]));
+        assert_eq!(svc.shards_routed_past(), 1);
+        // Batch path skips too — and the skipped shard's cache is never
+        // touched (only shard 0 records a lookup).
+        let _ = svc.query_batch_opts(&[low_expr()], &BuildOptions::serial());
+        assert_eq!(svc.shards_routed_past(), 2);
+        let (h, m) = svc.cache_stats();
+        assert_eq!(m, 1, "only shard 0 computed a mask");
+        assert_eq!(h + m, 2, "two scatter-side lookups on shard 0 in total");
+        // A rectangle beyond every shard: all shards skipped, empty answer.
+        let far = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(200.0, 300.0),
+            0.5,
+        ));
+        assert_eq!(svc.query(&far), Ok(vec![]));
+        assert_eq!(svc.shards_routed_past(), 4);
+    }
+
+    #[test]
+    fn routing_matches_unrouted_answers() {
+        let routed = service();
+        let unrouted = {
+            let mut svc = ShardedEngine::new(
+                &[1],
+                PtileBuildParams::exact_centralized(),
+                PrefBuildParams::exact_centralized(),
+            )
+            .with_routing(false);
+            svc.add_shard(
+                &Repository::new(vec![
+                    dataset("low", &[1.0, 2.0, 3.0]),
+                    dataset("high", &[90.0, 95.0]),
+                ]),
+                &[7, 3],
+            );
+            svc.add_shard(&Repository::new(vec![dataset("mid", &[48.0, 52.0])]), &[5]);
+            svc
+        };
+        let exprs: Vec<LogicalExpr> = (0..12)
+            .map(|i| {
+                LogicalExpr::Pred(Predicate::percentile_at_least(
+                    Rect::interval(i as f64 * 20.0 - 40.0, i as f64 * 20.0 - 20.0),
+                    0.4,
+                ))
+            })
+            .collect();
+        assert_eq!(routed.query_batch(&exprs), unrouted.query_batch(&exprs));
+        assert_eq!(unrouted.shards_routed_past(), 0, "routing really was off");
+        assert!(routed.shards_routed_past() > 0, "routing really engaged");
+    }
+
+    #[test]
+    fn routing_never_swallows_missing_rank_errors() {
+        let svc = service();
+        // Every shard's box is disjoint from [200, 300], but the top-k
+        // literal uses an unindexed rank: the typed error must survive —
+        // routing declines expressions that can error.
+        let expr = LogicalExpr::And(vec![
+            LogicalExpr::Pred(Predicate::percentile_at_least(
+                Rect::interval(200.0, 300.0),
+                0.9,
+            )),
+            LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0], 9, 0.0)),
+        ]);
+        assert_eq!(svc.query(&expr), Err(EngineError::MissingRank(9)));
+        assert_eq!(svc.shards_routed_past(), 0);
+        assert_eq!(
+            svc.query_batch(&[expr]),
+            vec![Err(EngineError::MissingRank(9))]
+        );
+    }
+
+    #[test]
+    fn routing_respects_sampling_margins() {
+        // A sampled build has margin > 0: thresholds at or below it must
+        // not route (the empty-slab path may legitimately report a
+        // zero-mass dataset), larger thresholds may.
+        let sets: Vec<Vec<f64>> = (0..2)
+            .map(|i| (0..80).map(|j| (i * 200 + j) as f64).collect())
+            .collect();
+        let mut svc = ShardedEngine::new(
+            &[1],
+            PtileBuildParams::default()
+                .with_eps(0.4)
+                .with_phi_datasets(2),
+            PrefBuildParams::exact_centralized(),
+        );
+        for (i, xs) in sets.iter().enumerate() {
+            svc.add_shard(
+                &Repository::new(vec![dataset(&format!("d{i}"), xs)]),
+                &[i as GlobalId],
+            );
+        }
+        let margins: Vec<f64> = (0..svc.n_shards())
+            .map(|s| svc.shard_engine(s).ptile_margin())
+            .collect();
+        let min_margin = margins.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let max_margin = margins.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(min_margin > 0.0, "sampling must be engaged");
+        assert!(max_margin < 0.99, "margin left no routable threshold");
+        // Disjoint rectangle, threshold below every shard's margin: no
+        // skip (each shard must be consulted for the zero-mass corner
+        // case).
+        let below = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(500.0, 600.0),
+            min_margin / 2.0,
+        ));
+        let _ = svc.query(&below);
+        assert_eq!(svc.shards_routed_past(), 0);
+        // Threshold above every shard's margin: both shards skipped.
+        let above = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(500.0, 600.0),
+            (max_margin + 0.01).min(1.0),
+        ));
+        assert_eq!(svc.query(&above), Ok(vec![]));
+        assert_eq!(svc.shards_routed_past(), 2);
+    }
+
+    #[test]
+    fn stats_snapshot_aggregates_counters() {
+        let svc = service();
+        let _ = svc.query(&low_expr());
+        let snap = svc.stats_snapshot();
+        assert_eq!(snap.n_shards, 2);
+        assert_eq!(snap.n_datasets, 3);
+        assert_eq!(snap.shards_routed_past, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert!(snap.index_queries >= 1);
     }
 }

@@ -1,0 +1,237 @@
+//! Blocking client for the `dds-server` wire protocol.
+//!
+//! One request in flight per connection: every call writes a frame, reads
+//! the answering frame, and surfaces the transport/protocol layer as a
+//! typed [`ClientError`] while passing the *engine's* answers — including
+//! `EngineError`s — through untouched, so a served
+//! [`query`](DdsClient::query) returns exactly the in-process
+//! `ShardedEngine::query` result (pinned byte-identical by the loopback
+//! tests).
+
+use crate::protocol::{Request, Response, ServerError, ServerStats};
+use crate::wire::{
+    read_frame, write_frame, FrameReadError, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use dds_core::engine::EngineError;
+use dds_core::framework::{LogicalExpr, Repository};
+use dds_core::shard::GlobalId;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A query answer exactly as the in-process engine would return it.
+pub type EngineResult = Result<Vec<GlobalId>, EngineError>;
+
+/// Why a client call failed *before* producing an engine answer.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or server closed).
+    Io(io::Error),
+    /// The response violated the wire grammar.
+    Wire(WireError),
+    /// The server's admission queue was full; the request was not
+    /// executed — retry later (the typed backpressure signal).
+    Busy,
+    /// The server answered a typed request-level error (protocol
+    /// rejection, refused ingest, shutting down).
+    Server(ServerError),
+    /// The server answered with a well-formed but unexpected response
+    /// kind.
+    UnexpectedResponse {
+        /// What the call was waiting for.
+        expected: &'static str,
+        /// What arrived instead (debug rendering).
+        got: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Busy => write!(f, "server busy: admission queue full, retry later"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedResponse { expected, got } => {
+                write!(f, "expected a {expected} response, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> Self {
+        match e {
+            FrameReadError::Eof => ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            FrameReadError::Io(e) => ClientError::Io(e),
+            FrameReadError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// A blocking connection to a [`DdsServer`](crate::DdsServer).
+#[derive(Debug)]
+pub struct DdsClient {
+    stream: TcpStream,
+    max_frame_len: u32,
+}
+
+impl DdsClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<DdsClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(DdsClient {
+            stream,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    /// Lowers (or raises) the frame bound this client accepts and emits.
+    pub fn with_max_frame_len(mut self, max_frame_len: u32) -> Self {
+        self.max_frame_len = max_frame_len;
+        self
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let (op, payload) = req.encode();
+        write_frame(
+            &mut self.stream,
+            PROTOCOL_VERSION,
+            op,
+            &payload,
+            self.max_frame_len,
+        )?;
+        let frame = read_frame(&mut self.stream, self.max_frame_len)?;
+        if frame.version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion { got: frame.version }.into());
+        }
+        match Response::decode(frame.opcode, &frame.payload)? {
+            Response::Busy => Err(ClientError::Busy),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            resp => Ok(resp),
+        }
+    }
+
+    fn unexpected<T>(expected: &'static str, got: Response) -> Result<T, ClientError> {
+        Err(ClientError::UnexpectedResponse {
+            expected,
+            got: format!("{got:?}"),
+        })
+    }
+
+    /// Answers one expression — the served `ShardedEngine::query`.
+    pub fn query(&mut self, expr: &LogicalExpr) -> Result<EngineResult, ClientError> {
+        match self.call(&Request::Query(expr.clone()))? {
+            Response::Hits(res) => Ok(res),
+            other => Self::unexpected("hits", other),
+        }
+    }
+
+    /// Answers a batch — the served `ShardedEngine::query_batch`,
+    /// input-ordered.
+    pub fn query_batch(&mut self, exprs: &[LogicalExpr]) -> Result<Vec<EngineResult>, ClientError> {
+        match self.call(&Request::QueryBatch(exprs.to_vec()))? {
+            Response::BatchHits(res) => Ok(res),
+            other => Self::unexpected("batch hits", other),
+        }
+    }
+
+    /// Ingests a new shard; returns its index for later rebuilds. A
+    /// rejected ingest surfaces as
+    /// [`ClientError::Server`] with kind `Ingest`.
+    pub fn add_shard(
+        &mut self,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+    ) -> Result<usize, ClientError> {
+        let req = Request::AddShard {
+            datasets: repo.datasets().to_vec(),
+            global_ids: global_ids.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::ShardAdded { shard } => Ok(shard as usize),
+            other => Self::unexpected("shard-added", other),
+        }
+    }
+
+    /// Replaces shard `shard`'s contents.
+    pub fn rebuild_shard(
+        &mut self,
+        shard: usize,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+    ) -> Result<(), ClientError> {
+        let req = Request::RebuildShard {
+            shard: shard as u32,
+            datasets: repo.datasets().to_vec(),
+            global_ids: global_ids.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Done => Ok(()),
+            other => Self::unexpected("done", other),
+        }
+    }
+
+    /// Fetches the server's aggregated statistics.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Self::unexpected("stats", other),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let token = 0x70_6F_6E_67;
+        match self.call(&Request::Ping { token })? {
+            Response::Pong { token: t } if t == token => Ok(()),
+            other => Self::unexpected("pong", other),
+        }
+    }
+
+    /// Asks the server to shut down gracefully (admitted work is drained
+    /// and answered before the server exits).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Done => Ok(()),
+            other => Self::unexpected("done", other),
+        }
+    }
+
+    /// Holds one executor for `ms` milliseconds (capped server-side) — a
+    /// testing aid for backpressure drills.
+    pub fn sleep(&mut self, ms: u32) -> Result<(), ClientError> {
+        match self.call(&Request::Sleep { ms })? {
+            Response::Done => Ok(()),
+            other => Self::unexpected("done", other),
+        }
+    }
+}

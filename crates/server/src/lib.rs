@@ -1,0 +1,61 @@
+//! `dds-server` — a network-facing query service over the sharded
+//! distribution-aware search engine.
+//!
+//! The paper frames dataset search as a service a data marketplace
+//! exposes to searchers; `dds_core::shard::ShardedEngine` is that service
+//! in-process, and this crate puts it behind a wire boundary using **std
+//! only** (`std::net::TcpListener`, scoped threads — no async runtime, no
+//! serde):
+//!
+//! * [`wire`] — length-prefixed, versioned frames with checked primitive
+//!   codecs; malformed, truncated and oversized input surface as typed
+//!   [`wire::WireError`]s, never panics. Grammar in `PROTOCOL.md`.
+//! * [`protocol`] — explicit encode/decode for query expressions, hits,
+//!   errors, admin ops and the aggregated [`protocol::ServerStats`];
+//!   decoding also validates the semantic bounds that would panic the
+//!   engine (NaN intervals, DNF explosions, empty datasets).
+//! * [`server`] — [`DdsServer`]: a listener, per-connection sessions, a
+//!   **bounded admission queue** (overload answers a typed
+//!   [`protocol::Response::Busy`] instead of buffering unboundedly — the
+//!   backpressure contract), a fixed executor pool running jobs on the
+//!   engine's `dds_pool`-backed batch paths, and graceful shutdown
+//!   (gate + drain: everything admitted is answered).
+//! * [`client`] — [`DdsClient`]: a blocking connection with single/batch
+//!   query calls and admin calls (`add_shard`, `rebuild_shard`, `stats`,
+//!   `shutdown_server`).
+//!
+//! Served answers are **byte-identical** to in-process `ShardedEngine`
+//! answers — `EngineError`s included — under concurrent clients; the
+//! loopback integration tests pin this.
+//!
+//! ```no_run
+//! use dds_core::pref::PrefBuildParams;
+//! use dds_core::ptile::PtileBuildParams;
+//! use dds_core::shard::ShardedEngine;
+//! use dds_server::{DdsClient, DdsServer, ServerConfig};
+//!
+//! let engine = ShardedEngine::new(
+//!     &[1],
+//!     PtileBuildParams::exact_centralized(),
+//!     PrefBuildParams::exact_centralized(),
+//! );
+//! let server = DdsServer::serve(engine, "127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = DdsClient::connect(server.local_addr())?;
+//! client.ping()?;
+//! client.shutdown_server()?;
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, DdsClient, EngineResult};
+pub use protocol::{Request, Response, ServerError, ServerErrorKind, ServerStats};
+pub use server::{DdsServer, ServerConfig};
+pub use wire::{WireError, PROTOCOL_VERSION};

@@ -1,0 +1,1004 @@
+//! Request/response payload codecs — the grammar of `PROTOCOL.md`.
+//!
+//! Encoding is explicit per type (no serde, no derive): every enum gets a
+//! written-down discriminant, every float travels as its IEEE-754 bit
+//! pattern (so answers survive the wire *bit-identically*, `-0.0`
+//! included), every sequence is count-prefixed with the count checked
+//! against the remaining bytes. Decoding **validates semantics** as well
+//! as syntax: anything that would panic the engine — NaN intervals,
+//! inverted rectangles, empty datasets, expressions whose DNF expansion
+//! explodes — is rejected here as a typed [`WireError`], which the server
+//! answers with a [`Response::Error`] instead of dying.
+
+use crate::wire::{Reader, WireError, Writer};
+use dds_core::engine::EngineError;
+use dds_core::framework::{Dataset, Interval, LogicalExpr, MeasureFunction, Predicate};
+use dds_core::shard::GlobalId;
+use dds_geom::Rect;
+use std::fmt;
+
+/// Deepest `And`/`Or` nesting a decoded expression may have (the decoder
+/// recurses, so unbounded nesting would be a remote stack overflow).
+pub const MAX_EXPR_DEPTH: usize = 64;
+
+/// Most DNF clauses a decoded expression may expand to — the engine's own
+/// `LogicalExpr::to_dnf` bound, enforced here so a hostile expression is
+/// rejected with a typed error instead of panicking an executor.
+pub const MAX_DNF_CLAUSES: u64 = 64;
+
+/// Request opcodes.
+pub mod opcode {
+    /// Single query expression.
+    pub const QUERY: u8 = 0x01;
+    /// Batch of query expressions.
+    pub const QUERY_BATCH: u8 = 0x02;
+    /// Ingest a new shard.
+    pub const ADD_SHARD: u8 = 0x03;
+    /// Replace an existing shard.
+    pub const REBUILD_SHARD: u8 = 0x04;
+    /// Server statistics snapshot.
+    pub const STATS: u8 = 0x05;
+    /// Liveness check.
+    pub const PING: u8 = 0x06;
+    /// Graceful shutdown.
+    pub const SHUTDOWN: u8 = 0x07;
+    /// Hold an executor for a bounded time (testing aid).
+    pub const SLEEP: u8 = 0x08;
+
+    /// Response: single-query answer.
+    pub const HITS: u8 = 0x81;
+    /// Response: batch answer.
+    pub const BATCH_HITS: u8 = 0x82;
+    /// Response: shard ingested.
+    pub const SHARD_ADDED: u8 = 0x83;
+    /// Response: op completed with no payload (rebuild, sleep, shutdown).
+    pub const DONE: u8 = 0x84;
+    /// Response: statistics snapshot.
+    pub const STATS_REPLY: u8 = 0x85;
+    /// Response: liveness echo.
+    pub const PONG: u8 = 0x86;
+    /// Response: admission queue full — retry later.
+    pub const BUSY: u8 = 0x87;
+    /// Response: typed request-level failure.
+    pub const ERROR: u8 = 0x88;
+}
+
+/// Longest an executor may be held by a [`Request::Sleep`] (ms).
+pub const MAX_SLEEP_MS: u32 = 10_000;
+
+/// A decoded client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Answer one expression.
+    Query(LogicalExpr),
+    /// Answer a batch of expressions (input-ordered results).
+    QueryBatch(Vec<LogicalExpr>),
+    /// Ingest a new shard under caller-assigned stable global ids.
+    AddShard {
+        /// The shard's datasets (validated: non-empty, one schema, finite
+        /// coordinates).
+        datasets: Vec<Dataset>,
+        /// `global_ids[i]` names `datasets[i]` forever.
+        global_ids: Vec<GlobalId>,
+    },
+    /// Replace shard `shard`'s contents.
+    RebuildShard {
+        /// Index returned by the original AddShard.
+        shard: u32,
+        /// Replacement datasets.
+        datasets: Vec<Dataset>,
+        /// Replacement ids (re-using the replaced shard's ids is normal).
+        global_ids: Vec<GlobalId>,
+    },
+    /// Server statistics snapshot (answered by the session directly — it
+    /// never occupies an executor or an admission slot).
+    Stats,
+    /// Liveness check echoing `token` (session-direct, like Stats).
+    Ping {
+        /// Echoed verbatim in the Pong.
+        token: u64,
+    },
+    /// Graceful shutdown: stop admitting, drain the queue, exit.
+    Shutdown,
+    /// Hold an executor for `ms` milliseconds (capped at
+    /// [`MAX_SLEEP_MS`]). A testing aid for backpressure drills — it goes
+    /// through the admission queue like real work.
+    Sleep {
+        /// Milliseconds to hold the executor.
+        ms: u32,
+    },
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Single-query answer — exactly the in-process
+    /// `ShardedEngine::query` result, errors included.
+    Hits(Result<Vec<GlobalId>, EngineError>),
+    /// Batch answer — exactly `ShardedEngine::query_batch`, input-ordered.
+    BatchHits(Vec<Result<Vec<GlobalId>, EngineError>>),
+    /// Shard ingested at this index.
+    ShardAdded {
+        /// Index usable in a later RebuildShard.
+        shard: u32,
+    },
+    /// Op completed with no payload.
+    Done,
+    /// Statistics snapshot.
+    Stats(ServerStats),
+    /// Liveness echo.
+    Pong {
+        /// The request's token.
+        token: u64,
+    },
+    /// The bounded admission queue is full; nothing was executed or
+    /// buffered — retry later. This is the backpressure signal.
+    Busy,
+    /// Typed request-level failure (malformed payload, rejected ingest,
+    /// server shutting down).
+    Error(ServerError),
+}
+
+/// What kind of request-level failure a [`Response::Error`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerErrorKind {
+    /// The request violated the wire grammar or a semantic bound.
+    Protocol,
+    /// A shard ingest was rejected (`dds_core::shard::IngestError`).
+    Ingest,
+    /// The server is shutting down; no work was done. Transient — a
+    /// retry against a live server would succeed.
+    Unavailable,
+    /// The request is well-formed but can never succeed against the
+    /// served data (e.g. a query whose dimensions don't match the served
+    /// schema). Permanent — retrying the same request is pointless.
+    InvalidQuery,
+}
+
+impl fmt::Display for ServerErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerErrorKind::Protocol => write!(f, "protocol"),
+            ServerErrorKind::Ingest => write!(f, "ingest"),
+            ServerErrorKind::Unavailable => write!(f, "unavailable"),
+            ServerErrorKind::InvalidQuery => write!(f, "invalid-query"),
+        }
+    }
+}
+
+/// A typed request-level failure, serialized as kind + human-readable
+/// message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerError {
+    /// Failure class (clients branch on this).
+    pub kind: ServerErrorKind,
+    /// Human-readable detail (the `Display` of the underlying error).
+    pub message: String,
+}
+
+impl ServerError {
+    /// Convenience constructor.
+    pub fn new(kind: ServerErrorKind, message: impl Into<String>) -> Self {
+        ServerError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Aggregated server counters, all monotone except the gauges
+/// (`sessions_active`, `n_shards`, `n_datasets`). Serialized as a
+/// count-prefixed `u64` list so a newer server can append fields without
+/// breaking an older client (unknown trailing fields are skipped).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Frames received and parsed as requests (every opcode).
+    pub requests: u64,
+    /// Single queries executed.
+    pub queries: u64,
+    /// Batch queries executed.
+    pub batch_queries: u64,
+    /// Expressions across executed batches.
+    pub batch_exprs: u64,
+    /// Shard ingests executed (add + rebuild, successful or rejected).
+    pub admin_ops: u64,
+    /// Requests refused with [`Response::Busy`] (admission queue full).
+    pub busy_rejections: u64,
+    /// Requests refused because the server was shutting down.
+    pub unavailable_rejections: u64,
+    /// Frames that failed to decode (typed error answered).
+    pub wire_errors: u64,
+    /// Jobs accepted into the admission queue.
+    pub jobs_admitted: u64,
+    /// Jobs taken off the queue by an executor.
+    pub jobs_dequeued: u64,
+    /// Jobs fully executed (their response was produced).
+    pub jobs_completed: u64,
+    /// Payload bytes received (frame prefixes included).
+    pub bytes_in: u64,
+    /// Payload bytes sent (frame prefixes included).
+    pub bytes_out: u64,
+    /// Connections accepted over the server lifetime.
+    pub sessions_opened: u64,
+    /// Connections currently open.
+    pub sessions_active: u64,
+    /// Mask-cache hits across shards (`MaskCache` counters).
+    pub cache_hits: u64,
+    /// Mask-cache misses across shards.
+    pub cache_misses: u64,
+    /// Underlying index queries across shards.
+    pub index_queries: u64,
+    /// (expression, shard) scatter units skipped by shard routing.
+    pub shards_routed_past: u64,
+    /// Shards currently served.
+    pub n_shards: u64,
+    /// Datasets currently served.
+    pub n_datasets: u64,
+}
+
+impl ServerStats {
+    fn fields(&self) -> [u64; 21] {
+        [
+            self.requests,
+            self.queries,
+            self.batch_queries,
+            self.batch_exprs,
+            self.admin_ops,
+            self.busy_rejections,
+            self.unavailable_rejections,
+            self.wire_errors,
+            self.jobs_admitted,
+            self.jobs_dequeued,
+            self.jobs_completed,
+            self.bytes_in,
+            self.bytes_out,
+            self.sessions_opened,
+            self.sessions_active,
+            self.cache_hits,
+            self.cache_misses,
+            self.index_queries,
+            self.shards_routed_past,
+            self.n_shards,
+            self.n_datasets,
+        ]
+    }
+
+    fn from_fields(f: &[u64]) -> Self {
+        ServerStats {
+            requests: f[0],
+            queries: f[1],
+            batch_queries: f[2],
+            batch_exprs: f[3],
+            admin_ops: f[4],
+            busy_rejections: f[5],
+            unavailable_rejections: f[6],
+            wire_errors: f[7],
+            jobs_admitted: f[8],
+            jobs_dequeued: f[9],
+            jobs_completed: f[10],
+            bytes_in: f[11],
+            bytes_out: f[12],
+            sessions_opened: f[13],
+            sessions_active: f[14],
+            cache_hits: f[15],
+            cache_misses: f[16],
+            index_queries: f[17],
+            shards_routed_past: f[18],
+            n_shards: f[19],
+            n_datasets: f[20],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+fn put_rect(w: &mut Writer, r: &Rect) {
+    w.put_u32(r.dim() as u32);
+    for h in 0..r.dim() {
+        w.put_f64(r.lo_at(h));
+    }
+    for h in 0..r.dim() {
+        w.put_f64(r.hi_at(h));
+    }
+}
+
+fn get_rect(r: &mut Reader) -> Result<Rect, WireError> {
+    let dim = r.u32()? as usize;
+    if dim == 0 {
+        return Err(WireError::BadValue {
+            context: "rectangle dimension must be >= 1",
+        });
+    }
+    // Each of the 2·dim facets is 8 bytes; bound the allocation first.
+    let needed = dim.saturating_mul(16);
+    if needed > r.remaining() {
+        return Err(WireError::Truncated {
+            needed,
+            have: r.remaining(),
+        });
+    }
+    let mut lo = Vec::with_capacity(dim);
+    let mut hi = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        lo.push(r.f64()?);
+    }
+    for _ in 0..dim {
+        hi.push(r.f64()?);
+    }
+    for h in 0..dim {
+        if lo[h].is_nan() || hi[h].is_nan() {
+            return Err(WireError::BadValue {
+                context: "NaN rectangle facet",
+            });
+        }
+        if lo[h] > hi[h] {
+            return Err(WireError::BadValue {
+                context: "inverted rectangle (lo > hi)",
+            });
+        }
+    }
+    Ok(Rect::from_bounds(&lo, &hi))
+}
+
+fn put_predicate(w: &mut Writer, p: &Predicate) {
+    match &p.measure {
+        MeasureFunction::Percentile(r) => {
+            w.put_u8(0x00);
+            put_rect(w, r);
+        }
+        MeasureFunction::TopK { v, k } => {
+            w.put_u8(0x01);
+            w.put_u64(*k as u64);
+            w.put_count(v.len());
+            for x in v {
+                w.put_f64(*x);
+            }
+        }
+    }
+    w.put_f64(p.theta.lo);
+    w.put_f64(p.theta.hi);
+}
+
+fn get_predicate(r: &mut Reader) -> Result<Predicate, WireError> {
+    let measure = match r.u8()? {
+        0x00 => MeasureFunction::Percentile(get_rect(r)?),
+        0x01 => {
+            let k = r.u64()? as usize;
+            let n = r.count(8)?;
+            if n == 0 {
+                return Err(WireError::BadValue {
+                    context: "empty preference vector",
+                });
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = r.f64()?;
+                if !x.is_finite() {
+                    return Err(WireError::BadValue {
+                        context: "non-finite preference vector coordinate",
+                    });
+                }
+                v.push(x);
+            }
+            MeasureFunction::TopK { v, k }
+        }
+        tag => {
+            return Err(WireError::BadTag {
+                context: "measure function",
+                tag,
+            })
+        }
+    };
+    let lo = r.f64()?;
+    let hi = r.f64()?;
+    if lo.is_nan() || hi.is_nan() {
+        return Err(WireError::BadValue {
+            context: "NaN interval endpoint",
+        });
+    }
+    if lo > hi {
+        return Err(WireError::BadValue {
+            context: "inverted interval (lo > hi)",
+        });
+    }
+    Ok(Predicate {
+        measure,
+        theta: Interval::new(lo, hi),
+    })
+}
+
+fn put_expr(w: &mut Writer, expr: &LogicalExpr) {
+    match expr {
+        LogicalExpr::Pred(p) => {
+            w.put_u8(0x00);
+            put_predicate(w, p);
+        }
+        LogicalExpr::And(xs) => {
+            w.put_u8(0x01);
+            w.put_count(xs.len());
+            for x in xs {
+                put_expr(w, x);
+            }
+        }
+        LogicalExpr::Or(xs) => {
+            w.put_u8(0x02);
+            w.put_count(xs.len());
+            for x in xs {
+                put_expr(w, x);
+            }
+        }
+    }
+}
+
+fn get_expr_at(r: &mut Reader, depth: usize) -> Result<LogicalExpr, WireError> {
+    if depth > MAX_EXPR_DEPTH {
+        return Err(WireError::BadValue {
+            context: "expression nests too deeply",
+        });
+    }
+    match r.u8()? {
+        0x00 => Ok(LogicalExpr::Pred(get_predicate(r)?)),
+        tag @ (0x01 | 0x02) => {
+            let n = r.count(1)?;
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                xs.push(get_expr_at(r, depth + 1)?);
+            }
+            Ok(if tag == 0x01 {
+                LogicalExpr::And(xs)
+            } else {
+                LogicalExpr::Or(xs)
+            })
+        }
+        tag => Err(WireError::BadTag {
+            context: "logical expression",
+            tag,
+        }),
+    }
+}
+
+/// DNF clause count without expanding (saturating, so a hostile
+/// expression cannot overflow the check either).
+fn dnf_clauses(expr: &LogicalExpr) -> u64 {
+    match expr {
+        LogicalExpr::Pred(_) => 1,
+        LogicalExpr::Or(xs) => xs
+            .iter()
+            .map(dnf_clauses)
+            .fold(0u64, |a, b| a.saturating_add(b)),
+        LogicalExpr::And(xs) => xs
+            .iter()
+            .map(dnf_clauses)
+            .fold(1u64, |a, b| a.saturating_mul(b)),
+    }
+}
+
+fn get_expr(r: &mut Reader) -> Result<LogicalExpr, WireError> {
+    let expr = get_expr_at(r, 0)?;
+    if dnf_clauses(&expr) > MAX_DNF_CLAUSES {
+        return Err(WireError::BadValue {
+            context: "expression expands past the DNF clause bound",
+        });
+    }
+    Ok(expr)
+}
+
+// ---------------------------------------------------------------------------
+// Datasets / shards
+// ---------------------------------------------------------------------------
+
+fn put_dataset(w: &mut Writer, ds: &Dataset) {
+    w.put_str(ds.name());
+    w.put_u32(ds.dim() as u32);
+    w.put_count(ds.len());
+    for p in ds.points() {
+        for h in 0..ds.dim() {
+            w.put_f64(p[h]);
+        }
+    }
+}
+
+fn get_dataset(r: &mut Reader) -> Result<Dataset, WireError> {
+    let name = r.str_()?;
+    let dim = r.u32()? as usize;
+    if dim == 0 {
+        return Err(WireError::BadValue {
+            context: "dataset dimension must be >= 1",
+        });
+    }
+    let n = r.count(dim.saturating_mul(8))?;
+    if n == 0 {
+        return Err(WireError::BadValue {
+            context: "datasets must be non-empty",
+        });
+    }
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            let x = r.f64()?;
+            if !x.is_finite() {
+                return Err(WireError::BadValue {
+                    context: "non-finite dataset coordinate",
+                });
+            }
+            row.push(x);
+        }
+        rows.push(row);
+    }
+    Ok(Dataset::from_rows(name, rows))
+}
+
+fn put_shard_data(w: &mut Writer, datasets: &[Dataset], global_ids: &[GlobalId]) {
+    w.put_count(datasets.len());
+    for ds in datasets {
+        put_dataset(w, ds);
+    }
+    w.put_count(global_ids.len());
+    for &id in global_ids {
+        w.put_u64(id);
+    }
+}
+
+fn get_shard_data(r: &mut Reader) -> Result<(Vec<Dataset>, Vec<GlobalId>), WireError> {
+    let n = r.count(13)?; // name len + dim + count + >= 1 coordinate
+    if n == 0 {
+        return Err(WireError::BadValue {
+            context: "a shard must hold at least one dataset",
+        });
+    }
+    let mut datasets = Vec::with_capacity(n);
+    for _ in 0..n {
+        datasets.push(get_dataset(r)?);
+    }
+    let dim = datasets[0].dim();
+    if datasets.iter().any(|d| d.dim() != dim) {
+        return Err(WireError::BadValue {
+            context: "datasets in one shard must share the schema dimension",
+        });
+    }
+    let m = r.count(8)?;
+    let mut ids = Vec::with_capacity(m);
+    for _ in 0..m {
+        ids.push(r.u64()?);
+    }
+    Ok((datasets, ids))
+}
+
+// ---------------------------------------------------------------------------
+// Engine results
+// ---------------------------------------------------------------------------
+
+fn put_engine_error(w: &mut Writer, e: &EngineError) {
+    match e {
+        EngineError::MissingRank(k) => {
+            w.put_u8(0x00);
+            w.put_u64(*k as u64);
+        }
+    }
+}
+
+fn get_engine_error(r: &mut Reader) -> Result<EngineError, WireError> {
+    match r.u8()? {
+        0x00 => Ok(EngineError::MissingRank(r.u64()? as usize)),
+        tag => Err(WireError::BadTag {
+            context: "engine error",
+            tag,
+        }),
+    }
+}
+
+fn put_engine_result(w: &mut Writer, res: &Result<Vec<GlobalId>, EngineError>) {
+    match res {
+        Ok(ids) => {
+            w.put_u8(0x00);
+            w.put_count(ids.len());
+            for &id in ids {
+                w.put_u64(id);
+            }
+        }
+        Err(e) => {
+            w.put_u8(0x01);
+            put_engine_error(w, e);
+        }
+    }
+}
+
+fn get_engine_result(r: &mut Reader) -> Result<Result<Vec<GlobalId>, EngineError>, WireError> {
+    match r.u8()? {
+        0x00 => {
+            let n = r.count(8)?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(r.u64()?);
+            }
+            Ok(Ok(ids))
+        }
+        0x01 => Ok(Err(get_engine_error(r)?)),
+        tag => Err(WireError::BadTag {
+            context: "engine result",
+            tag,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests / responses
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Encodes to `(opcode, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = Writer::new();
+        let op = match self {
+            Request::Query(expr) => {
+                put_expr(&mut w, expr);
+                opcode::QUERY
+            }
+            Request::QueryBatch(exprs) => {
+                w.put_count(exprs.len());
+                for e in exprs {
+                    put_expr(&mut w, e);
+                }
+                opcode::QUERY_BATCH
+            }
+            Request::AddShard {
+                datasets,
+                global_ids,
+            } => {
+                put_shard_data(&mut w, datasets, global_ids);
+                opcode::ADD_SHARD
+            }
+            Request::RebuildShard {
+                shard,
+                datasets,
+                global_ids,
+            } => {
+                w.put_u32(*shard);
+                put_shard_data(&mut w, datasets, global_ids);
+                opcode::REBUILD_SHARD
+            }
+            Request::Stats => opcode::STATS,
+            Request::Ping { token } => {
+                w.put_u64(*token);
+                opcode::PING
+            }
+            Request::Shutdown => opcode::SHUTDOWN,
+            Request::Sleep { ms } => {
+                w.put_u32(*ms);
+                opcode::SLEEP
+            }
+        };
+        (op, w.into_bytes())
+    }
+
+    /// Decodes and validates a request payload. Rejections are typed; the
+    /// payload must be fully consumed.
+    pub fn decode(op: u8, payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match op {
+            opcode::QUERY => Request::Query(get_expr(&mut r)?),
+            opcode::QUERY_BATCH => {
+                let n = r.count(1)?;
+                let mut exprs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    exprs.push(get_expr(&mut r)?);
+                }
+                Request::QueryBatch(exprs)
+            }
+            opcode::ADD_SHARD => {
+                let (datasets, global_ids) = get_shard_data(&mut r)?;
+                Request::AddShard {
+                    datasets,
+                    global_ids,
+                }
+            }
+            opcode::REBUILD_SHARD => {
+                let shard = r.u32()?;
+                let (datasets, global_ids) = get_shard_data(&mut r)?;
+                Request::RebuildShard {
+                    shard,
+                    datasets,
+                    global_ids,
+                }
+            }
+            opcode::STATS => Request::Stats,
+            opcode::PING => Request::Ping { token: r.u64()? },
+            opcode::SHUTDOWN => Request::Shutdown,
+            opcode::SLEEP => Request::Sleep { ms: r.u32()? },
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "request opcode",
+                    tag,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes to `(opcode, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = Writer::new();
+        let op = match self {
+            Response::Hits(res) => {
+                put_engine_result(&mut w, res);
+                opcode::HITS
+            }
+            Response::BatchHits(results) => {
+                w.put_count(results.len());
+                for res in results {
+                    put_engine_result(&mut w, res);
+                }
+                opcode::BATCH_HITS
+            }
+            Response::ShardAdded { shard } => {
+                w.put_u32(*shard);
+                opcode::SHARD_ADDED
+            }
+            Response::Done => opcode::DONE,
+            Response::Stats(stats) => {
+                let fields = stats.fields();
+                w.put_count(fields.len());
+                for x in fields {
+                    w.put_u64(x);
+                }
+                opcode::STATS_REPLY
+            }
+            Response::Pong { token } => {
+                w.put_u64(*token);
+                opcode::PONG
+            }
+            Response::Busy => opcode::BUSY,
+            Response::Error(e) => {
+                w.put_u8(match e.kind {
+                    ServerErrorKind::Protocol => 0x00,
+                    ServerErrorKind::Ingest => 0x01,
+                    ServerErrorKind::Unavailable => 0x02,
+                    ServerErrorKind::InvalidQuery => 0x03,
+                });
+                w.put_str(&e.message);
+                opcode::ERROR
+            }
+        };
+        (op, w.into_bytes())
+    }
+
+    /// Decodes a response payload (the client side of the codec).
+    pub fn decode(op: u8, payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let resp = match op {
+            opcode::HITS => Response::Hits(get_engine_result(&mut r)?),
+            opcode::BATCH_HITS => {
+                let n = r.count(1)?;
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(get_engine_result(&mut r)?);
+                }
+                Response::BatchHits(results)
+            }
+            opcode::SHARD_ADDED => Response::ShardAdded { shard: r.u32()? },
+            opcode::DONE => Response::Done,
+            opcode::STATS_REPLY => {
+                let n = r.count(8)?;
+                let known = ServerStats::default().fields().len();
+                if n < known {
+                    return Err(WireError::BadValue {
+                        context: "stats snapshot is missing fields",
+                    });
+                }
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    fields.push(r.u64()?);
+                }
+                Response::Stats(ServerStats::from_fields(&fields))
+            }
+            opcode::PONG => Response::Pong { token: r.u64()? },
+            opcode::BUSY => Response::Busy,
+            opcode::ERROR => {
+                let kind = match r.u8()? {
+                    0x00 => ServerErrorKind::Protocol,
+                    0x01 => ServerErrorKind::Ingest,
+                    0x02 => ServerErrorKind::Unavailable,
+                    0x03 => ServerErrorKind::InvalidQuery,
+                    tag => {
+                        return Err(WireError::BadTag {
+                            context: "error kind",
+                            tag,
+                        })
+                    }
+                };
+                Response::Error(ServerError {
+                    kind,
+                    message: r.str_()?,
+                })
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "response opcode",
+                    tag,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr() -> LogicalExpr {
+        LogicalExpr::Or(vec![
+            LogicalExpr::And(vec![
+                LogicalExpr::Pred(Predicate::percentile(
+                    Rect::from_bounds(&[-1.0, 0.0], &[1.0, 10.0]),
+                    Interval::new(0.25, 0.75),
+                )),
+                LogicalExpr::Pred(Predicate::topk_at_least(vec![0.6, 0.8], 3, -0.0)),
+            ]),
+            LogicalExpr::Pred(Predicate::percentile_at_least(
+                Rect::interval(2.0, 4.0),
+                0.9,
+            )),
+        ])
+    }
+
+    /// Encode → decode → encode must be the identity on bytes (the codec
+    /// is deterministic, so byte equality is structural equality).
+    fn round_trip_request(req: &Request) {
+        let (op, bytes) = req.encode();
+        let decoded = Request::decode(op, &bytes).expect("valid request decodes");
+        let (op2, bytes2) = decoded.encode();
+        assert_eq!((op, bytes), (op2, bytes2));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(&Request::Query(expr()));
+        round_trip_request(&Request::QueryBatch(vec![expr(), expr()]));
+        round_trip_request(&Request::AddShard {
+            datasets: vec![
+                Dataset::from_rows("a", vec![vec![1.0, 2.0], vec![3.0, 4.0]]),
+                Dataset::from_rows("ü", vec![vec![-5.0, 0.5]]),
+            ],
+            global_ids: vec![3, 9],
+        });
+        round_trip_request(&Request::RebuildShard {
+            shard: 2,
+            datasets: vec![Dataset::from_rows("b", vec![vec![0.0]])],
+            global_ids: vec![7],
+        });
+        round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Ping { token: u64::MAX });
+        round_trip_request(&Request::Shutdown);
+        round_trip_request(&Request::Sleep { ms: 250 });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Hits(Ok(vec![1, 5, 9])),
+            Response::Hits(Err(EngineError::MissingRank(7))),
+            Response::BatchHits(vec![Ok(vec![]), Err(EngineError::MissingRank(2))]),
+            Response::ShardAdded { shard: 4 },
+            Response::Done,
+            Response::Stats(ServerStats {
+                requests: 10,
+                bytes_in: 999,
+                n_shards: 3,
+                ..Default::default()
+            }),
+            Response::Pong { token: 42 },
+            Response::Busy,
+            Response::Error(ServerError::new(ServerErrorKind::Ingest, "id 5 in use")),
+        ];
+        for resp in responses {
+            let (op, bytes) = resp.encode();
+            let decoded = Response::decode(op, &bytes).expect("valid response decodes");
+            assert_eq!(decoded, resp);
+            let (op2, bytes2) = decoded.encode();
+            assert_eq!((op, bytes), (op2, bytes2));
+        }
+    }
+
+    #[test]
+    fn semantic_validation_rejects_engine_poison() {
+        // NaN interval: would panic Interval::new in-process.
+        let mut w = Writer::new();
+        w.put_u8(0x00); // Pred
+        w.put_u8(0x00); // Percentile
+        w.put_u32(1);
+        w.put_f64(0.0);
+        w.put_f64(1.0);
+        w.put_f64(f64::NAN);
+        w.put_f64(1.0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Request::decode(opcode::QUERY, &bytes),
+            Err(WireError::BadValue { .. })
+        ));
+        // Deep nesting is bounded.
+        let mut w = Writer::new();
+        for _ in 0..(MAX_EXPR_DEPTH + 2) {
+            w.put_u8(0x01); // And
+            w.put_u32(1);
+        }
+        w.put_u8(0x00);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Request::decode(opcode::QUERY, &bytes),
+            Err(WireError::BadValue {
+                context: "expression nests too deeply"
+            })
+        ));
+        // DNF explosion is bounded: And of 7 binary Ors → 2^7 clauses.
+        let or = LogicalExpr::Or(vec![
+            LogicalExpr::Pred(Predicate::percentile_at_least(
+                Rect::interval(0.0, 1.0),
+                0.5,
+            )),
+            LogicalExpr::Pred(Predicate::percentile_at_least(
+                Rect::interval(1.0, 2.0),
+                0.5,
+            )),
+        ]);
+        let bomb = LogicalExpr::And(vec![or; 7]);
+        let (op, bytes) = Request::Query(bomb).encode();
+        assert!(matches!(
+            Request::decode(op, &bytes),
+            Err(WireError::BadValue {
+                context: "expression expands past the DNF clause bound"
+            })
+        ));
+        // An empty dataset would panic Dataset::new.
+        let mut w = Writer::new();
+        w.put_u32(1); // one dataset
+        w.put_str("empty");
+        w.put_u32(1); // dim
+        w.put_u32(0); // no points
+        w.put_u32(0); // no ids
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Request::decode(opcode::ADD_SHARD, &bytes),
+            Err(WireError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_opcodes_are_rejected() {
+        let (op, mut bytes) = Request::Ping { token: 1 }.encode();
+        bytes.push(0xFF);
+        assert!(matches!(
+            Request::decode(op, &bytes),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
+        assert!(matches!(
+            Request::decode(0x7F, &[]),
+            Err(WireError::BadTag {
+                context: "request opcode",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Response::decode(0x00, &[]),
+            Err(WireError::BadTag {
+                context: "response opcode",
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,668 @@
+//! The serving loop: sessions, bounded admission, executors, shutdown.
+//!
+//! Thread anatomy (all `std::thread`, no async runtime):
+//!
+//! * one **listener** accepts connections and spawns a session thread per
+//!   client;
+//! * each **session** reads frames, answers the cheap control ops
+//!   (stats/ping/shutdown) in place, and pushes real work — queries,
+//!   batches, ingests — into the **bounded admission queue**
+//!   (`mpsc::sync_channel(queue_depth)`). A full queue answers
+//!   [`Response::Busy`] immediately: the server never buffers more than
+//!   `queue_depth` requests, which is the whole backpressure story;
+//! * a fixed pool of **executors** drains the queue and runs jobs against
+//!   the shared [`ShardedEngine`] — queries under a read lock (the
+//!   engine's `&self` paths fan out over `dds_pool` internally via
+//!   `query_batch`), ingests under a write lock through the non-panicking
+//!   `try_*` paths.
+//!
+//! Graceful shutdown (remote [`Request::Shutdown`] or local
+//! [`DdsServer::shutdown`]) flips the admission gate — late requests get a
+//! typed `Unavailable` error — then **drains**: executors exit only once
+//! the gate is up *and* the queue reads empty, so everything admitted is
+//! executed and answered first (a request racing the gate edge is
+//! answered with a typed `Unavailable` when the queue drops — answered,
+//! never hung); idle sessions are unblocked by shutting their sockets
+//! down last.
+
+use crate::protocol::{Request, Response, ServerError, ServerErrorKind, ServerStats, MAX_SLEEP_MS};
+use crate::wire::{
+    read_frame, write_frame, FrameReadError, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use dds_core::framework::{LogicalExpr, MeasureFunction, Repository};
+use dds_core::pool::BuildOptions;
+use dds_core::shard::ShardedEngine;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Admission-queue depth: at most this many requests wait for an
+    /// executor; the next one is answered [`Response::Busy`].
+    pub queue_depth: usize,
+    /// Executor threads draining the queue.
+    pub executors: usize,
+    /// Worker threads each executed query fans out over
+    /// (`ShardedEngine::query_batch_opts`); `None` uses the engine
+    /// default (`DDS_THREADS` / all cores). Builds triggered by ingest use
+    /// the same setting.
+    pub query_threads: Option<usize>,
+    /// Upper bound on a frame body, both directions.
+    pub max_frame_len: u32,
+    /// Whether [`Request::Sleep`] is honoured. Off by default: it exists
+    /// for backpressure drills in tests, and a production server must not
+    /// hand unauthenticated clients a free executor-occupancy primitive.
+    pub allow_sleep: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_depth: 64,
+            executors: 2,
+            query_threads: None,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            allow_sleep: false,
+        }
+    }
+}
+
+/// Internal counter block (the mutable half of [`ServerStats`]).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    queries: AtomicU64,
+    batch_queries: AtomicU64,
+    batch_exprs: AtomicU64,
+    admin_ops: AtomicU64,
+    busy_rejections: AtomicU64,
+    unavailable_rejections: AtomicU64,
+    wire_errors: AtomicU64,
+    jobs_admitted: AtomicU64,
+    jobs_dequeued: AtomicU64,
+    jobs_completed: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_active: AtomicU64,
+}
+
+/// One admitted unit of work: the decoded request plus the channel its
+/// session is waiting on.
+struct Job {
+    req: Request,
+    reply: SyncSender<Response>,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    engine: RwLock<ShardedEngine>,
+    counters: Counters,
+    cfg: ServerConfig,
+    /// The bound listener address (signal_shutdown pokes it to unblock
+    /// accept).
+    local_addr: std::net::SocketAddr,
+    /// Once set, sessions stop admitting work (typed `Unavailable`).
+    shutting_down: AtomicBool,
+    /// Wakes [`DdsServer::wait_shutdown`] when a remote shutdown arrives.
+    shutdown_cv: (Mutex<bool>, Condvar),
+    /// Live session sockets, for unblocking reads at teardown.
+    sessions: Mutex<HashMap<u64, TcpStream>>,
+    /// Admission queue sender; sessions clone it per job attempt.
+    queue: SyncSender<Job>,
+}
+
+impl Shared {
+    /// Recover from a poisoned engine lock: ingest is validate→build→
+    /// commit, so state is consistent even if a build panicked mid-way.
+    fn engine_read(&self) -> std::sync::RwLockReadGuard<'_, ShardedEngine> {
+        self.engine.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn engine_write(&self) -> std::sync::RwLockWriteGuard<'_, ShardedEngine> {
+        self.engine.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn build_opts(&self) -> BuildOptions {
+        match self.cfg.query_threads {
+            Some(t) => BuildOptions::with_threads(t),
+            None => BuildOptions::default(),
+        }
+    }
+
+    fn signal_shutdown(&self) {
+        if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            // Unblock the listener's accept with a throwaway connection.
+            // An unspecified bind address (0.0.0.0 / [::]) is not
+            // self-connectable on every platform — poke via loopback.
+            let mut poke = self.local_addr;
+            if poke.ip().is_unspecified() {
+                poke.set_ip(match poke.ip() {
+                    std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect(poke);
+            let (lock, cv) = &self.shutdown_cv;
+            *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            cv.notify_all();
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        let engine = self.engine_read().stats_snapshot();
+        ServerStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            queries: c.queries.load(Ordering::Relaxed),
+            batch_queries: c.batch_queries.load(Ordering::Relaxed),
+            batch_exprs: c.batch_exprs.load(Ordering::Relaxed),
+            admin_ops: c.admin_ops.load(Ordering::Relaxed),
+            busy_rejections: c.busy_rejections.load(Ordering::Relaxed),
+            unavailable_rejections: c.unavailable_rejections.load(Ordering::Relaxed),
+            wire_errors: c.wire_errors.load(Ordering::Relaxed),
+            jobs_admitted: c.jobs_admitted.load(Ordering::Relaxed),
+            jobs_dequeued: c.jobs_dequeued.load(Ordering::Relaxed),
+            jobs_completed: c.jobs_completed.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            bytes_out: c.bytes_out.load(Ordering::Relaxed),
+            sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
+            sessions_active: c.sessions_active.load(Ordering::Relaxed),
+            cache_hits: engine.cache_hits,
+            cache_misses: engine.cache_misses,
+            index_queries: engine.index_queries,
+            shards_routed_past: engine.shards_routed_past,
+            n_shards: engine.n_shards,
+            n_datasets: engine.n_datasets,
+        }
+    }
+}
+
+/// A running server: a [`ShardedEngine`] behind a TCP boundary.
+///
+/// Dropping the handle does **not** stop the server; call
+/// [`shutdown`](Self::shutdown) (or send [`Request::Shutdown`] from a
+/// client and then [`shutdown`](Self::shutdown) to reap the threads).
+pub struct DdsServer {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    listener_thread: Option<JoinHandle<()>>,
+    executor_threads: Vec<JoinHandle<()>>,
+    session_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl DdsServer {
+    /// Binds `addr` (use port 0 for an ephemeral loopback port) and starts
+    /// serving `engine`.
+    pub fn serve(
+        engine: ShardedEngine,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> io::Result<DdsServer> {
+        assert!(cfg.queue_depth >= 1, "admission queue needs depth >= 1");
+        assert!(cfg.executors >= 1, "need at least one executor");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
+        let shared = Arc::new(Shared {
+            engine: RwLock::new(engine),
+            counters: Counters::default(),
+            cfg,
+            local_addr,
+            shutting_down: AtomicBool::new(false),
+            shutdown_cv: (Mutex::new(false), Condvar::new()),
+            sessions: Mutex::new(HashMap::new()),
+            queue: queue_tx.clone(),
+        });
+        let queue_rx = Arc::new(Mutex::new(queue_rx));
+        let executor_threads = (0..shared.cfg.executors)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&queue_rx);
+                std::thread::Builder::new()
+                    .name(format!("dds-exec-{i}"))
+                    .spawn(move || executor_loop(&shared, &rx))
+                    .expect("spawn executor")
+            })
+            .collect();
+        let session_threads = Arc::new(Mutex::new(Vec::new()));
+        let listener_thread = {
+            let shared = Arc::clone(&shared);
+            let session_threads = Arc::clone(&session_threads);
+            std::thread::Builder::new()
+                .name("dds-listener".into())
+                .spawn(move || listener_loop(&shared, &listener, &session_threads))
+                .expect("spawn listener")
+        };
+        Ok(DdsServer {
+            shared,
+            local_addr,
+            listener_thread: Some(listener_thread),
+            executor_threads,
+            session_threads,
+        })
+    }
+
+    /// The bound address (the real port when bound with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// A stats snapshot, identical to what a client's stats call returns.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Blocks until a shutdown has been signalled (remotely via
+    /// [`Request::Shutdown`] or locally via [`shutdown`](Self::shutdown)
+    /// from another thread).
+    pub fn wait_shutdown(&self) {
+        let (lock, cv) = &self.shared.shutdown_cv;
+        let mut flagged = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*flagged {
+            flagged = cv.wait(flagged).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Graceful shutdown: gate admissions, drain the queue (executors
+    /// finish and answer everything still queued before exiting; a
+    /// request racing the gate edge gets a typed `Unavailable`, never
+    /// silence), reap every thread, return the final stats. Idempotent
+    /// with a remote shutdown — calling this after a client-initiated
+    /// shutdown just performs the reaping half.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shared.signal_shutdown();
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+        // Drain: executors poll the gate between jobs and exit only once
+        // it is up AND the queue reads empty, so everything admitted
+        // before (or racing into) the drain window is executed first.
+        for t in self.executor_threads.drain(..) {
+            let _ = t.join();
+        }
+        // Unblock idle sessions (blocked in read) and reap them.
+        for (_, stream) in self
+            .shared
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .session_threads
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for t in handles {
+            let _ = t.join();
+        }
+        self.shared.stats()
+    }
+}
+
+fn listener_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    session_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_id = 0u64;
+    for conn in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let id = next_id;
+        next_id += 1;
+        shared
+            .counters
+            .sessions_opened
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .sessions_active
+            .fetch_add(1, Ordering::Relaxed);
+        // A session MUST be registered before it is spawned: shutdown()
+        // unblocks idle sessions through this map, so an unregistered
+        // session could hang the final join. If the fd table is too
+        // exhausted to clone the handle, refuse the connection instead.
+        match stream.try_clone() {
+            Ok(clone) => {
+                shared
+                    .sessions
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(id, clone);
+            }
+            Err(_) => {
+                shared
+                    .counters
+                    .sessions_active
+                    .fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        let shared2 = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("dds-session-{id}"))
+            .spawn(move || {
+                session_loop(&shared2, stream, id);
+                shared2
+                    .sessions
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&id);
+                shared2
+                    .counters
+                    .sessions_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("spawn session");
+        let mut handles = session_threads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Reap finished sessions as new ones arrive, so the handle list
+        // tracks *live* connections instead of every connection ever
+        // accepted (a churn-heavy server must not grow without bound).
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let _ = handles.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        handles.push(handle);
+    }
+}
+
+/// Writes one response frame, keeping the byte counter. An IO failure
+/// (client went away mid-response) just ends the session.
+fn respond(shared: &Shared, stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let (op, payload) = resp.encode();
+    let n = write_frame(
+        stream,
+        PROTOCOL_VERSION,
+        op,
+        &payload,
+        shared.cfg.max_frame_len,
+    )?;
+    shared.counters.bytes_out.fetch_add(n, Ordering::Relaxed);
+    Ok(())
+}
+
+fn protocol_error(e: &WireError) -> Response {
+    Response::Error(ServerError::new(ServerErrorKind::Protocol, e.to_string()))
+}
+
+fn unavailable() -> Response {
+    Response::Error(ServerError::new(
+        ServerErrorKind::Unavailable,
+        "server is shutting down",
+    ))
+}
+
+fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream, _id: u64) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame(&mut stream, shared.cfg.max_frame_len) {
+            Ok(f) => f,
+            // Clean close, transport failure, or a disconnect mid-frame:
+            // the session just ends — nothing to answer, nothing leaks.
+            Err(FrameReadError::Eof) | Err(FrameReadError::Io(_)) => break,
+            // Header-level violation: the stream position can't be
+            // trusted any more. Answer the typed error, then close.
+            Err(FrameReadError::Wire(e)) => {
+                shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = respond(shared, &mut stream, &protocol_error(&e));
+                break;
+            }
+        };
+        shared
+            .counters
+            .bytes_in
+            .fetch_add(frame.wire_len(), Ordering::Relaxed);
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if frame.version != PROTOCOL_VERSION {
+            shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+            let e = WireError::UnsupportedVersion { got: frame.version };
+            let _ = respond(shared, &mut stream, &protocol_error(&e));
+            break;
+        }
+        let req = match Request::decode(frame.opcode, &frame.payload) {
+            Ok(r) => r,
+            // Payload-level violation: the frame boundary was intact, so
+            // the session can keep serving after the typed error.
+            Err(e) => {
+                shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+                if respond(shared, &mut stream, &protocol_error(&e)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let resp = match req {
+            // Control ops are answered in place: they are cheap reads and
+            // must work even while the queue is saturated.
+            Request::Stats => Response::Stats(shared.stats()),
+            Request::Ping { token } => Response::Pong { token },
+            Request::Shutdown => {
+                let _ = respond(shared, &mut stream, &Response::Done);
+                shared.signal_shutdown();
+                break;
+            }
+            work => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    shared
+                        .counters
+                        .unavailable_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    unavailable()
+                } else {
+                    let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+                    match shared.queue.try_send(Job {
+                        req: work,
+                        reply: reply_tx,
+                    }) {
+                        Ok(()) => {
+                            shared
+                                .counters
+                                .jobs_admitted
+                                .fetch_add(1, Ordering::Relaxed);
+                            // The executor pool owns the job now; a dead
+                            // executor drops the sender and we degrade to
+                            // a typed error instead of hanging.
+                            reply_rx.recv().unwrap_or_else(|_| unavailable())
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            shared
+                                .counters
+                                .busy_rejections
+                                .fetch_add(1, Ordering::Relaxed);
+                            Response::Busy
+                        }
+                        Err(TrySendError::Disconnected(_)) => unavailable(),
+                    }
+                }
+            }
+        };
+        if respond(shared, &mut stream, &resp).is_err() {
+            break;
+        }
+    }
+}
+
+fn executor_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
+    use std::sync::mpsc::RecvTimeoutError;
+    loop {
+        // Hold the receiver lock only while waiting; executors take turns
+        // pulling jobs (an arriving job wakes the lock holder at once —
+        // the timeout only bounds how stale the shutdown-gate check can
+        // get, it adds no delivery latency).
+        let job = {
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv_timeout(std::time::Duration::from_millis(25))
+        };
+        match job {
+            Ok(job) => run_job(shared, job),
+            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    // Drain-then-exit: the gate is up, so no session will
+                    // admit more work after what is already queued; run
+                    // the leftovers so their sessions get real answers.
+                    // (A try_send racing past the drained-empty read gets
+                    // its reply sender dropped with the channel, which the
+                    // session surfaces as a typed Unavailable — answered,
+                    // never hung.)
+                    loop {
+                        let job = {
+                            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                            rx.try_recv()
+                        };
+                        match job {
+                            Ok(job) => run_job(shared, job),
+                            Err(_) => break,
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Executes one admitted job and answers its session.
+fn run_job(shared: &Arc<Shared>, Job { req, reply }: Job) {
+    shared
+        .counters
+        .jobs_dequeued
+        .fetch_add(1, Ordering::Relaxed);
+    let resp = execute(shared, req);
+    shared
+        .counters
+        .jobs_completed
+        .fetch_add(1, Ordering::Relaxed);
+    // The session may have disconnected mid-request; dropping the
+    // response is the correct outcome then.
+    let _ = reply.send(resp);
+}
+
+/// Runs one admitted job against the engine.
+fn execute(shared: &Shared, req: Request) -> Response {
+    match req {
+        Request::Query(expr) => {
+            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            let engine = shared.engine_read();
+            if let Some(resp) = schema_guard(&engine, std::slice::from_ref(&expr)) {
+                return resp;
+            }
+            let mut results =
+                engine.query_batch_opts(std::slice::from_ref(&expr), &shared.build_opts());
+            Response::Hits(results.pop().expect("one result per expression"))
+        }
+        Request::QueryBatch(exprs) => {
+            shared
+                .counters
+                .batch_queries
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .batch_exprs
+                .fetch_add(exprs.len() as u64, Ordering::Relaxed);
+            let engine = shared.engine_read();
+            if let Some(resp) = schema_guard(&engine, &exprs) {
+                return resp;
+            }
+            Response::BatchHits(engine.query_batch_opts(&exprs, &shared.build_opts()))
+        }
+        Request::AddShard {
+            datasets,
+            global_ids,
+        } => {
+            shared.counters.admin_ops.fetch_add(1, Ordering::Relaxed);
+            let repo = Repository::new(datasets);
+            let mut engine = shared.engine_write();
+            match engine.try_add_shard_opts(&repo, &global_ids, &shared.build_opts()) {
+                Ok(shard) => Response::ShardAdded {
+                    shard: shard as u32,
+                },
+                Err(e) => Response::Error(ServerError::new(ServerErrorKind::Ingest, e.to_string())),
+            }
+        }
+        Request::RebuildShard {
+            shard,
+            datasets,
+            global_ids,
+        } => {
+            shared.counters.admin_ops.fetch_add(1, Ordering::Relaxed);
+            let repo = Repository::new(datasets);
+            let mut engine = shared.engine_write();
+            match engine.try_rebuild_shard_opts(
+                shard as usize,
+                &repo,
+                &global_ids,
+                &shared.build_opts(),
+            ) {
+                Ok(()) => Response::Done,
+                Err(e) => Response::Error(ServerError::new(ServerErrorKind::Ingest, e.to_string())),
+            }
+        }
+        Request::Sleep { ms } => {
+            if !shared.cfg.allow_sleep {
+                return Response::Error(ServerError::new(
+                    ServerErrorKind::Protocol,
+                    "sleep is disabled on this server (ServerConfig::allow_sleep)",
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(ms.min(MAX_SLEEP_MS) as u64));
+            Response::Done
+        }
+        // Control ops never reach the queue.
+        Request::Stats | Request::Ping { .. } | Request::Shutdown => Response::Error(
+            ServerError::new(ServerErrorKind::Protocol, "control op on the work queue"),
+        ),
+    }
+}
+
+/// The engine's query paths assert that every predicate matches the served
+/// schema dimension; served traffic must get a typed error instead of a
+/// panicking executor. `None` means the expressions are safe to run.
+fn schema_guard(engine: &ShardedEngine, exprs: &[LogicalExpr]) -> Option<Response> {
+    let Some(dim) = engine.dim() else {
+        // No shards: every query legitimately answers empty, touching no
+        // index, so nothing can panic.
+        return None;
+    };
+    fn dims_ok(expr: &LogicalExpr, dim: usize) -> bool {
+        match expr {
+            LogicalExpr::Pred(p) => match &p.measure {
+                MeasureFunction::Percentile(r) => r.dim() == dim,
+                MeasureFunction::TopK { v, .. } => v.len() == dim,
+            },
+            LogicalExpr::And(xs) | LogicalExpr::Or(xs) => xs.iter().all(|x| dims_ok(x, dim)),
+        }
+    }
+    if exprs.iter().all(|e| dims_ok(e, dim)) {
+        None
+    } else {
+        // Permanent: this request can never succeed against the served
+        // schema, so clients must not treat it as a retry-later signal.
+        Some(Response::Error(ServerError::new(
+            ServerErrorKind::InvalidQuery,
+            format!("query dimension does not match the served schema (dim = {dim})"),
+        )))
+    }
+}

@@ -1,0 +1,465 @@
+//! Frame transport and byte-level primitives.
+//!
+//! Everything on the wire is a *frame*: a little-endian `u32` length
+//! prefix followed by `version`, `opcode` and an opcode-specific payload
+//! (grammar in `PROTOCOL.md`). This module owns the length-prefix
+//! discipline — including the maximum-frame bound that keeps a hostile
+//! length prefix from allocating unbounded memory — and the primitive
+//! readers/writers the payload codecs in [`crate::protocol`] are built
+//! from. No serde: every byte is written and checked by hand, so a
+//! corrupt frame surfaces as a typed [`WireError`], never a panic.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default upper bound on a frame body (version + opcode + payload).
+/// Ingest frames carry whole shards, so the default is generous; servers
+/// and clients can lower it.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+
+/// Frame header bytes preceding the payload (version + opcode).
+pub const FRAME_HEADER_LEN: u32 = 2;
+
+/// A typed wire-format violation. Decoding never panics: malformed,
+/// truncated and oversized input all land here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a field was complete.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that were left.
+        have: usize,
+    },
+    /// The payload holds bytes past the end of the decoded value.
+    TrailingBytes {
+        /// Leftover byte count.
+        extra: usize,
+    },
+    /// An enum discriminant outside the protocol grammar.
+    BadTag {
+        /// Which grammar production was being decoded.
+        context: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A string field holds invalid UTF-8.
+    BadUtf8,
+    /// A field value violates a semantic constraint (NaN interval, empty
+    /// dataset, inverted rectangle, …). The message names the constraint.
+    BadValue {
+        /// Which constraint was violated.
+        context: &'static str,
+    },
+    /// The length prefix exceeds the configured frame bound.
+    FrameTooLarge {
+        /// Declared body length.
+        len: u32,
+        /// Configured bound.
+        max: u32,
+    },
+    /// The length prefix is too small to hold version + opcode.
+    FrameTooShort {
+        /// Declared body length.
+        len: u32,
+    },
+    /// The frame's version byte is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion {
+        /// The version received.
+        got: u8,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated payload: field needs {needed} bytes, {have} left"
+                )
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the decoded value")
+            }
+            WireError::BadTag { context, tag } => {
+                write!(f, "invalid tag {tag:#04x} decoding {context}")
+            }
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::BadValue { context } => write!(f, "invalid value: {context}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte bound")
+            }
+            WireError::FrameTooShort { len } => {
+                write!(f, "frame body of {len} bytes cannot hold version + opcode")
+            }
+            WireError::UnsupportedVersion { got } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Why a frame read ended.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// Clean end of stream before any header byte (peer closed politely).
+    Eof,
+    /// Transport failure, including a disconnect mid-frame.
+    Io(io::Error),
+    /// Header-level protocol violation ([`WireError::FrameTooLarge`] /
+    /// [`WireError::FrameTooShort`]): the stream position can no longer be
+    /// trusted, so the connection should close after reporting it.
+    Wire(WireError),
+}
+
+impl fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameReadError::Eof => write!(f, "peer closed the connection"),
+            FrameReadError::Io(e) => write!(f, "transport error: {e}"),
+            FrameReadError::Wire(e) => write!(f, "frame violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameReadError::Io(e) => Some(e),
+            FrameReadError::Wire(e) => Some(e),
+            FrameReadError::Eof => None,
+        }
+    }
+}
+
+/// One decoded frame: version byte, opcode byte, payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The version byte as received (validated by the session layer so it
+    /// can answer a mismatch with a typed error).
+    pub version: u8,
+    /// Opcode selecting the payload grammar.
+    pub opcode: u8,
+    /// Opcode-specific payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Total bytes this frame occupies on the wire (prefix included).
+    pub fn wire_len(&self) -> u64 {
+        4 + FRAME_HEADER_LEN as u64 + self.payload.len() as u64
+    }
+}
+
+/// Writes one frame. `max_len` bounds the body exactly like the reader's
+/// bound, so an over-large *outgoing* frame fails fast locally instead of
+/// being rejected by the peer. Returns the bytes put on the wire.
+pub fn write_frame(
+    w: &mut impl Write,
+    version: u8,
+    opcode: u8,
+    payload: &[u8],
+    max_len: u32,
+) -> io::Result<u64> {
+    let body_len = payload
+        .len()
+        .checked_add(FRAME_HEADER_LEN as usize)
+        .filter(|&n| n <= max_len as usize)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                WireError::FrameTooLarge {
+                    len: payload.len().min(u32::MAX as usize) as u32,
+                    max: max_len,
+                },
+            )
+        })?;
+    w.write_all(&(body_len as u32).to_le_bytes())?;
+    w.write_all(&[version, opcode])?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(4 + body_len as u64)
+}
+
+/// Reads one frame, allocating at most `max_len` bytes for the body.
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Frame, FrameReadError> {
+    let mut prefix = [0u8; 4];
+    // Distinguish a clean close (no bytes at all) from a mid-prefix cut.
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    FrameReadError::Eof
+                } else {
+                    FrameReadError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "disconnect inside a frame length prefix",
+                    ))
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len < FRAME_HEADER_LEN {
+        return Err(FrameReadError::Wire(WireError::FrameTooShort { len }));
+    }
+    if len > max_len {
+        return Err(FrameReadError::Wire(WireError::FrameTooLarge {
+            len,
+            max: max_len,
+        }));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(FrameReadError::Io)?;
+    let payload = body.split_off(2);
+    Ok(Frame {
+        version: body[0],
+        opcode: body[1],
+        payload,
+    })
+}
+
+/// Payload writer: append-only primitives over a byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The accumulated payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact: `-0.0`
+    /// and every NaN payload survive the round trip).
+    pub fn put_f64(&mut self, x: f64) {
+        self.put_u64(x.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a sequence count (`u32`).
+    pub fn put_count(&mut self, n: usize) {
+        self.put_u32(n as u32);
+    }
+}
+
+/// Payload reader: a checked cursor over a byte slice. Every accessor
+/// returns [`WireError::Truncated`] instead of reading past the end.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.buf.len(),
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str_(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads a sequence count, rejecting counts that could not possibly
+    /// fit in the remaining bytes (each element needs at least
+    /// `min_elem_bytes`): a hostile count can never force a huge
+    /// allocation.
+    pub fn count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let floor = n.saturating_mul(min_elem_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(WireError::Truncated {
+                needed: floor,
+                have: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Asserts the payload is fully consumed (decoders call this last, so
+    /// a frame with junk appended is rejected, not silently accepted).
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                extra: self.buf.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_bit_exactly() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(u32::MAX);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::INFINITY);
+        w.put_str("naïve");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), u32::MAX);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.str_().unwrap(), "naïve");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_typed() {
+        let mut w = Writer::new();
+        w.put_u32(5);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.u64(), Err(WireError::Truncated { .. })));
+        let mut r = Reader::new(&bytes);
+        r.u8().unwrap();
+        assert!(matches!(
+            r.finish(),
+            Err(WireError::TrailingBytes { extra: 3 })
+        ));
+    }
+
+    #[test]
+    fn hostile_counts_cannot_allocate() {
+        // Declares 2^31 elements with 4 bytes left: rejected before any
+        // allocation.
+        let mut w = Writer::new();
+        w.put_u32(1 << 31);
+        w.put_u32(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.count(8), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_bounds() {
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, PROTOCOL_VERSION, 0x42, b"abc", 1024).unwrap();
+        assert_eq!(n, buf.len() as u64);
+        let frame = read_frame(&mut buf.as_slice(), 1024).unwrap();
+        assert_eq!(
+            frame,
+            Frame {
+                version: PROTOCOL_VERSION,
+                opcode: 0x42,
+                payload: b"abc".to_vec()
+            }
+        );
+        // Oversized declared length is rejected without allocating.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        hostile.extend_from_slice(&[1, 2, 3]);
+        match read_frame(&mut hostile.as_slice(), 1024) {
+            Err(FrameReadError::Wire(WireError::FrameTooLarge { .. })) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // A too-short body length cannot hold the header.
+        let mut short = Vec::new();
+        short.extend_from_slice(&1u32.to_le_bytes());
+        short.push(0);
+        match read_frame(&mut short.as_slice(), 1024) {
+            Err(FrameReadError::Wire(WireError::FrameTooShort { len: 1 })) => {}
+            other => panic!("expected FrameTooShort, got {other:?}"),
+        }
+        // Clean EOF before any byte vs a cut inside the prefix.
+        assert!(matches!(
+            read_frame(&mut (&[] as &[u8]), 1024),
+            Err(FrameReadError::Eof)
+        ));
+        assert!(matches!(
+            read_frame(&mut (&[9u8, 0] as &[u8]), 1024),
+            Err(FrameReadError::Io(_))
+        ));
+        // Writer-side bound.
+        let mut out = Vec::new();
+        assert!(write_frame(&mut out, PROTOCOL_VERSION, 0, &[0u8; 64], 16).is_err());
+    }
+}

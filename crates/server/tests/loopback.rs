@@ -1,0 +1,351 @@
+//! Loopback integration: a served [`ShardedEngine`] must be
+//! indistinguishable from the same engine in-process — byte-identical
+//! query/batch answers and preserved `EngineError`s, under concurrent
+//! clients, across the full ingest → query → rebuild → stats → shutdown
+//! lifecycle — and overload must surface as a typed `Busy` (bounded
+//! admission), never as unbounded buffering.
+
+use dds_core::engine::EngineError;
+use dds_core::framework::{LogicalExpr, Predicate, Repository};
+use dds_core::pool::BuildOptions;
+use dds_core::pref::PrefBuildParams;
+use dds_core::ptile::PtileBuildParams;
+use dds_core::shard::ShardedEngine;
+use dds_geom::Rect;
+use dds_server::protocol::{Request, Response, ServerErrorKind};
+use dds_server::wire::{read_frame, write_frame, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
+use dds_server::{ClientError, DdsClient, DdsServer, ServerConfig};
+use dds_workload::{RepoSpec, RequestStreamSpec};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn params() -> (PtileBuildParams, PrefBuildParams) {
+    (
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    )
+}
+
+/// Builds the same sharded engine twice: one to serve, one in-process
+/// reference (identical builds are deterministic).
+fn engine_pair(spec: &RepoSpec, shards: usize) -> (ShardedEngine, ShardedEngine) {
+    let build = || {
+        let (ptile, pref) = params();
+        let mut svc = ShardedEngine::new(&[1], ptile, pref);
+        for shard in spec.shards(shards) {
+            svc.add_shard_opts(
+                &Repository::from_point_sets(shard.sets),
+                &shard.global_ids,
+                &BuildOptions::serial(),
+            );
+        }
+        svc
+    };
+    (build(), build())
+}
+
+/// Sends a request without waiting for the response (for queue-filling).
+fn send_raw(stream: &mut TcpStream, req: &Request) {
+    let (op, payload) = req.encode();
+    write_frame(
+        stream,
+        PROTOCOL_VERSION,
+        op,
+        &payload,
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .expect("raw send");
+}
+
+/// Reads one response frame.
+fn read_resp(stream: &mut TcpStream) -> Response {
+    let frame = read_frame(stream, DEFAULT_MAX_FRAME_LEN).expect("raw read");
+    Response::decode(frame.opcode, &frame.payload).expect("decode response")
+}
+
+fn wide_query() -> LogicalExpr {
+    LogicalExpr::Pred(Predicate::percentile_at_least(
+        Rect::interval(0.0, 100.0),
+        0.2,
+    ))
+}
+
+/// Polls the server's stats until `pred` holds (the cross-thread
+/// rendezvous used by the backpressure and drain tests).
+fn await_stats(
+    addr: std::net::SocketAddr,
+    pred: impl Fn(&dds_server::ServerStats) -> bool,
+    what: &str,
+) -> dds_server::ServerStats {
+    let mut client = DdsClient::connect(addr).expect("stats connection");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats().expect("stats call");
+        if pred(&stats) {
+            return stats;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn served_answers_are_identical_to_in_process_under_concurrent_clients() {
+    let spec = RepoSpec::mixed(18, 50, 1, 0xC0FFEE);
+    let (local, served) = engine_pair(&spec, 3);
+    // 30 requests over 5 popular shapes; every 5th asks for an unindexed
+    // rank, so MissingRank propagation is exercised inside the stream.
+    let exprs = RequestStreamSpec::new(30, 11)
+        .with_shapes(5)
+        .with_missing_rank_every(5, 9)
+        .exprs(&spec);
+    let expected: Vec<_> = exprs.iter().map(|e| local.query(e)).collect();
+    assert!(
+        expected
+            .iter()
+            .any(|r| r == &Err(EngineError::MissingRank(9))),
+        "the stream must contain error answers for this test to bite"
+    );
+    let expected_batch = local.query_batch_opts(&exprs, &BuildOptions::serial());
+    assert_eq!(expected, expected_batch, "sanity: batch ≡ singles locally");
+
+    let server =
+        DdsServer::serve(served, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    let exprs = Arc::new(exprs);
+    let expected = Arc::new(expected);
+    std::thread::scope(|s| {
+        for c in 0..3 {
+            let exprs = Arc::clone(&exprs);
+            let expected = Arc::clone(&expected);
+            s.spawn(move || {
+                let mut client = DdsClient::connect(addr).expect("client connect");
+                client.ping().expect("ping");
+                // Singles, in a per-client rotation so clients interleave
+                // different expressions concurrently.
+                for i in 0..exprs.len() {
+                    let j = (i + c * 7) % exprs.len();
+                    let got = client.query(&exprs[j]).expect("query transport");
+                    assert_eq!(got, expected[j], "client {c}, expr {j}");
+                }
+                // The whole stream as one batch: input-ordered, identical.
+                let got = client.query_batch(&exprs).expect("batch transport");
+                assert_eq!(&got, &*expected, "client {c} batch");
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.queries, 90, "3 clients × 30 singles");
+    assert_eq!(stats.batch_queries, 3);
+    assert_eq!(stats.batch_exprs, 90);
+    assert_eq!(stats.busy_rejections, 0, "default depth absorbs this load");
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    assert_eq!(stats.n_shards, 3);
+    assert_eq!(stats.n_datasets, 18);
+    server.shutdown();
+}
+
+#[test]
+fn ingest_query_rebuild_stats_shutdown_round_trip() {
+    // The server starts EMPTY: the whole catalog arrives through the
+    // client, and a local mirror applies the same ops for equivalence.
+    let (ptile, pref) = params();
+    let mut local = ShardedEngine::new(&[1], ptile, pref);
+    let served = {
+        let (ptile, pref) = params();
+        ShardedEngine::new(&[1], ptile, pref)
+    };
+    let server =
+        DdsServer::serve(served, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+    let mut client = DdsClient::connect(server.local_addr()).expect("connect");
+
+    let spec = RepoSpec::mixed(12, 40, 1, 0x5EED);
+    let exprs = RequestStreamSpec::new(12, 3).exprs(&spec);
+
+    // Ingest shard by shard through the wire, mirroring locally.
+    for shard in spec.shards(3) {
+        let repo = Repository::from_point_sets(shard.sets);
+        let served_idx = client.add_shard(&repo, &shard.global_ids).expect("add");
+        let local_idx = local.add_shard_opts(&repo, &shard.global_ids, &BuildOptions::serial());
+        assert_eq!(served_idx, local_idx, "shard indexes agree");
+    }
+    let compare = |client: &mut DdsClient, local: &ShardedEngine| {
+        for e in &exprs {
+            assert_eq!(client.query(e).expect("transport"), local.query(e));
+        }
+        assert_eq!(
+            client.query_batch(&exprs).expect("transport"),
+            local.query_batch_opts(&exprs, &BuildOptions::serial())
+        );
+    };
+    compare(&mut client, &local);
+
+    // Rejected ingest: duplicate global id — typed, state untouched.
+    let dup = Repository::from_point_sets(RepoSpec::mixed(1, 20, 1, 1).build());
+    match client.add_shard(&dup, &[0]) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.kind, ServerErrorKind::Ingest);
+            assert!(e.message.contains("already served"), "{}", e.message);
+        }
+        other => panic!("expected a typed ingest rejection, got {other:?}"),
+    }
+    compare(&mut client, &local);
+
+    // Rebuild shard 1 with shifted data under the same ids.
+    let refreshed = RepoSpec::mixed(12, 40, 1, 0x5EFF).shards(3).swap_remove(1);
+    let repo = Repository::from_point_sets(refreshed.sets);
+    client
+        .rebuild_shard(1, &repo, &refreshed.global_ids)
+        .expect("rebuild");
+    local.rebuild_shard_opts(1, &repo, &refreshed.global_ids, &BuildOptions::serial());
+    compare(&mut client, &local);
+
+    // A rebuild of a shard that does not exist is typed too.
+    match client.rebuild_shard(9, &repo, &refreshed.global_ids) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.kind, ServerErrorKind::Ingest);
+            assert!(e.message.contains("no such shard"), "{}", e.message);
+        }
+        other => panic!("expected a typed rebuild rejection, got {other:?}"),
+    }
+
+    // Stats reflect the engine and the transport.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.n_shards, 3);
+    assert_eq!(stats.n_datasets, 12);
+    assert_eq!(stats.admin_ops, 6, "3 adds + 1 rejected add + 2 rebuilds");
+    assert_eq!(
+        (stats.cache_hits, stats.cache_misses),
+        local.cache_stats(),
+        "served cache counters mirror the local engine's"
+    );
+
+    // Remote shutdown, then reap: the server thread set is gone after.
+    client.shutdown_server().expect("shutdown ack");
+    server.wait_shutdown();
+    let final_stats = server.shutdown();
+    assert!(final_stats.requests >= stats.requests);
+}
+
+#[test]
+fn schema_mismatch_queries_get_typed_errors_not_panics() {
+    let spec = RepoSpec::mixed(6, 30, 2, 77);
+    let (_, served) = engine_pair(&spec, 2);
+    let server = DdsServer::serve(served, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = DdsClient::connect(server.local_addr()).expect("connect");
+    // 1-d query against a 2-d catalog: in-process this would panic the
+    // engine's dimension assert; served traffic gets a typed *permanent*
+    // error (InvalidQuery, not the transient Unavailable).
+    match client.query(&wide_query()) {
+        Err(ClientError::Server(e)) => assert_eq!(e.kind, ServerErrorKind::InvalidQuery),
+        other => panic!("expected a typed schema error, got {other:?}"),
+    }
+    // The server survived and still answers well-formed queries.
+    let ok = LogicalExpr::Pred(Predicate::percentile_at_least(
+        Rect::from_bounds(&[0.0, 0.0], &[100.0, 100.0]),
+        0.2,
+    ));
+    assert!(client.query(&ok).expect("transport").is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn full_admission_queue_answers_busy_with_bounded_memory() {
+    let spec = RepoSpec::mixed(4, 30, 1, 9);
+    let (local, served) = engine_pair(&spec, 1);
+    let cfg = ServerConfig {
+        queue_depth: 2,
+        executors: 1,
+        allow_sleep: true,
+        ..ServerConfig::default()
+    };
+    let server = DdsServer::serve(served, "127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // Occupy the only executor...
+    let mut sleeper = TcpStream::connect(addr).expect("sleeper");
+    send_raw(&mut sleeper, &Request::Sleep { ms: 1500 });
+    await_stats(addr, |s| s.jobs_dequeued == 1, "the sleep to start");
+    // ...then fill both queue slots with unread queries...
+    let mut q1 = TcpStream::connect(addr).expect("q1");
+    send_raw(&mut q1, &Request::Query(wide_query()));
+    let mut q2 = TcpStream::connect(addr).expect("q2");
+    send_raw(&mut q2, &Request::Query(wide_query()));
+    await_stats(addr, |s| s.jobs_admitted == 3, "the queue to fill");
+
+    // ...so the next request must bounce with a typed Busy, unexecuted.
+    let mut overflow = DdsClient::connect(addr).expect("overflow client");
+    match overflow.query(&wide_query()) {
+        Err(ClientError::Busy) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    let stats = await_stats(addr, |s| s.busy_rejections == 1, "the busy count");
+    assert_eq!(
+        stats.jobs_admitted, 3,
+        "the bounced request was never queued"
+    );
+
+    // Backpressure is not loss: everything admitted completes and
+    // answers, and the bounced client just retries successfully.
+    assert_eq!(read_resp(&mut sleeper), Response::Done);
+    let expected = Response::Hits(local.query(&wide_query()));
+    assert_eq!(read_resp(&mut q1), expected);
+    assert_eq!(read_resp(&mut q2), expected);
+    let retried = overflow.query(&wide_query()).expect("retry after drain");
+    assert_eq!(retried, local.query(&wide_query()));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_work_and_gates_new_work() {
+    let spec = RepoSpec::mixed(4, 30, 1, 13);
+    let (local, served) = engine_pair(&spec, 1);
+    let cfg = ServerConfig {
+        queue_depth: 4,
+        executors: 1,
+        allow_sleep: true,
+        ..ServerConfig::default()
+    };
+    let server = DdsServer::serve(served, "127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // In-flight work: a sleep executing, a query admitted behind it.
+    let mut sleeper = TcpStream::connect(addr).expect("sleeper");
+    send_raw(&mut sleeper, &Request::Sleep { ms: 600 });
+    await_stats(addr, |s| s.jobs_dequeued == 1, "the sleep to start");
+    let mut queued = TcpStream::connect(addr).expect("queued");
+    send_raw(&mut queued, &Request::Query(wide_query()));
+    await_stats(addr, |s| s.jobs_admitted == 2, "the query to be admitted");
+
+    // A bystander connection from before the shutdown...
+    let mut bystander = DdsClient::connect(addr).expect("bystander");
+    bystander.ping().expect("ping");
+    // ...and the shutdown itself, via the wire.
+    let mut admin = DdsClient::connect(addr).expect("admin");
+    admin.shutdown_server().expect("shutdown ack");
+
+    // New work on a surviving connection is gated with a typed error
+    // (poll: the gate flips just after the shutdown ack is sent).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match bystander.query(&wide_query()) {
+            Err(ClientError::Server(e)) if e.kind == ServerErrorKind::Unavailable => break,
+            Ok(_) => assert!(Instant::now() < deadline, "shutdown gate never closed"),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Reap: drains the queue first, so the admitted work was executed and
+    // answered — nothing admitted is ever dropped.
+    let stats = server.shutdown();
+    assert_eq!(stats.jobs_completed, 2, "sleep + admitted query both ran");
+    assert!(stats.unavailable_rejections >= 1);
+    assert_eq!(read_resp(&mut sleeper), Response::Done);
+    assert_eq!(
+        read_resp(&mut queued),
+        Response::Hits(local.query(&wide_query()))
+    );
+}

@@ -1,0 +1,495 @@
+//! Protocol robustness: malformed, truncated, oversized and hostile
+//! frames must yield **typed errors** and never panic or kill the server;
+//! well-formed values must round-trip the codec bit-exactly (proptest
+//! over generated requests/responses — byte equality of re-encoding, the
+//! codec being deterministic).
+
+use dds_core::engine::EngineError;
+use dds_core::framework::{Dataset, Interval, LogicalExpr, Predicate, Repository};
+use dds_core::pool::BuildOptions;
+use dds_core::pref::PrefBuildParams;
+use dds_core::ptile::PtileBuildParams;
+use dds_core::shard::ShardedEngine;
+use dds_geom::Rect;
+use dds_server::protocol::{opcode, Request, Response, ServerErrorKind, ServerStats};
+use dds_server::wire::{
+    read_frame, write_frame, FrameReadError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use dds_server::{ClientError, DdsClient, DdsServer, ServerConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::net::TcpStream;
+
+// ---------------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------------
+
+/// A random finite-but-adversarial f64 (negative zeros, subnormals,
+/// infinities for intervals where allowed).
+fn rough_f64(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0u8..6) {
+        0 => -0.0,
+        1 => f64::MIN_POSITIVE / 2.0, // subnormal
+        2 => -(rng.gen_range(0.0..1e12)),
+        3 => rng.gen_range(-1.0..1.0),
+        4 => rng.gen_range(0.0..1e-9),
+        _ => rng.gen_range(-1e6..1e6),
+    }
+}
+
+fn random_rect(rng: &mut StdRng, dim: usize) -> Rect {
+    let mut lo = Vec::with_capacity(dim);
+    let mut hi = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let a = rough_f64(rng);
+        let b = rough_f64(rng);
+        lo.push(a.min(b));
+        hi.push(a.max(b));
+    }
+    Rect::from_bounds(&lo, &hi)
+}
+
+fn random_expr(rng: &mut StdRng, depth: usize) -> LogicalExpr {
+    if depth == 0 || rng.gen_bool(0.5) {
+        if rng.gen_bool(0.6) {
+            let dim = rng.gen_range(1..4);
+            let lo: f64 = rng.gen_range(-0.2..1.0);
+            let hi = (lo + rng.gen_range(0.0..1.0)).min(1.5);
+            LogicalExpr::Pred(Predicate::percentile(
+                random_rect(rng, dim),
+                Interval::new(lo, hi),
+            ))
+        } else {
+            let dim = rng.gen_range(1..4);
+            let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            LogicalExpr::Pred(Predicate::topk_at_least(
+                v,
+                rng.gen_range(1..5),
+                rough_f64(rng),
+            ))
+        }
+    } else {
+        let n = rng.gen_range(1..3);
+        let xs: Vec<LogicalExpr> = (0..n).map(|_| random_expr(rng, depth - 1)).collect();
+        if rng.gen_bool(0.5) {
+            LogicalExpr::And(xs)
+        } else {
+            LogicalExpr::Or(xs)
+        }
+    }
+}
+
+fn random_request(rng: &mut StdRng) -> Request {
+    match rng.gen_range(0u8..8) {
+        0 => Request::Query(random_expr(rng, 3)),
+        1 => {
+            let n = rng.gen_range(0..4);
+            Request::QueryBatch((0..n).map(|_| random_expr(rng, 2)).collect())
+        }
+        2 | 3 => {
+            let n = rng.gen_range(1..4usize);
+            let dim = rng.gen_range(1..3usize);
+            let datasets: Vec<Dataset> = (0..n)
+                .map(|i| {
+                    let rows: Vec<Vec<f64>> = (0..rng.gen_range(1..5))
+                        .map(|_| (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect())
+                        .collect();
+                    Dataset::from_rows(format!("d{i}-µ"), rows)
+                })
+                .collect();
+            let global_ids: Vec<u64> = (0..rng.gen_range(0..5u64)).map(|i| i * 3).collect();
+            if rng.gen_bool(0.5) {
+                Request::AddShard {
+                    datasets,
+                    global_ids,
+                }
+            } else {
+                Request::RebuildShard {
+                    shard: rng.gen_range(0..9),
+                    datasets,
+                    global_ids,
+                }
+            }
+        }
+        4 => Request::Stats,
+        5 => Request::Ping { token: rng.gen() },
+        6 => Request::Shutdown,
+        _ => Request::Sleep {
+            ms: rng.gen_range(0..500),
+        },
+    }
+}
+
+fn random_engine_result(rng: &mut StdRng) -> Result<Vec<u64>, EngineError> {
+    if rng.gen_bool(0.7) {
+        let n = rng.gen_range(0..6);
+        Ok((0..n).map(|_| rng.gen()).collect())
+    } else {
+        Err(EngineError::MissingRank(rng.gen_range(0..100)))
+    }
+}
+
+fn random_response(rng: &mut StdRng) -> Response {
+    match rng.gen_range(0u8..8) {
+        0 => Response::Hits(random_engine_result(rng)),
+        1 => {
+            let n = rng.gen_range(0..4);
+            Response::BatchHits((0..n).map(|_| random_engine_result(rng)).collect())
+        }
+        2 => Response::ShardAdded {
+            shard: rng.gen_range(0..100),
+        },
+        3 => Response::Done,
+        4 => Response::Stats(ServerStats {
+            requests: rng.gen(),
+            bytes_in: rng.gen(),
+            cache_hits: rng.gen(),
+            n_datasets: rng.gen(),
+            ..Default::default()
+        }),
+        5 => Response::Pong { token: rng.gen() },
+        6 => Response::Busy,
+        _ => Response::Error(dds_server::ServerError::new(
+            match rng.gen_range(0u8..4) {
+                0 => ServerErrorKind::Protocol,
+                1 => ServerErrorKind::Ingest,
+                2 => ServerErrorKind::Unavailable,
+                _ => ServerErrorKind::InvalidQuery,
+            },
+            "naïve message ☃",
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode → encode is the identity on bytes for requests.
+    #[test]
+    fn requests_round_trip_bit_exactly(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = random_request(&mut rng);
+        let (op, bytes) = req.encode();
+        let decoded = Request::decode(op, &bytes).expect("generated request decodes");
+        let (op2, bytes2) = decoded.encode();
+        prop_assert_eq!((op, bytes), (op2, bytes2));
+    }
+
+    /// Same for responses (structural equality is also available here).
+    #[test]
+    fn responses_round_trip_bit_exactly(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let resp = random_response(&mut rng);
+        let (op, bytes) = resp.encode();
+        let decoded = Response::decode(op, &bytes).expect("generated response decodes");
+        prop_assert_eq!(&decoded, &resp);
+        let (op2, bytes2) = decoded.encode();
+        prop_assert_eq!((op, bytes), (op2, bytes2));
+    }
+
+    /// Decoding arbitrary bytes under every opcode NEVER panics — it
+    /// returns Ok or a typed WireError. (The fuzz-shaped complement of
+    /// the round-trip property.)
+    #[test]
+    fn decoding_garbage_never_panics(seed in 0u64..1_000_000, len in 0usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDECAF);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        let op = rng.gen::<u8>();
+        let _ = Request::decode(op, &bytes);
+        let _ = Response::decode(op, &bytes);
+    }
+
+    /// Truncating a valid payload at any point yields a typed error (or,
+    /// rarely, decodes as a shorter valid value — never a panic).
+    #[test]
+    fn truncated_payloads_are_typed(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let (op, bytes) = random_request(&mut rng).encode();
+        prop_assume!(!bytes.is_empty());
+        let cut = rng.gen_range(0..bytes.len());
+        let _ = Request::decode(op, &bytes[..cut]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-server corruption drills
+// ---------------------------------------------------------------------------
+
+fn tiny_server() -> DdsServer {
+    let (ptile, pref) = (
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    );
+    let mut engine = ShardedEngine::new(&[1], ptile, pref);
+    engine.add_shard_opts(
+        &Repository::new(vec![Dataset::from_rows(
+            "d",
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+        )]),
+        &[0],
+        &BuildOptions::serial(),
+    );
+    DdsServer::serve(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind")
+}
+
+fn ok_query() -> LogicalExpr {
+    LogicalExpr::Pred(Predicate::percentile_at_least(
+        Rect::interval(0.0, 10.0),
+        0.5,
+    ))
+}
+
+/// Asserts the server still serves correct answers on a fresh connection.
+fn assert_alive(addr: std::net::SocketAddr) {
+    let mut client = DdsClient::connect(addr).expect("fresh connection");
+    assert_eq!(client.query(&ok_query()).expect("query"), Ok(vec![0]));
+}
+
+#[test]
+fn hostile_frames_get_typed_errors_and_never_kill_the_server() {
+    let server = tiny_server();
+    let addr = server.local_addr();
+
+    // 1. Oversized declared length: typed error, connection closes, no
+    //    allocation of the declared size.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    match read_frame(&mut s, DEFAULT_MAX_FRAME_LEN) {
+        Ok(frame) => {
+            let resp = Response::decode(frame.opcode, &frame.payload).unwrap();
+            match resp {
+                Response::Error(e) => {
+                    assert_eq!(e.kind, ServerErrorKind::Protocol);
+                    assert!(e.message.contains("exceeds"), "{}", e.message);
+                }
+                other => panic!("expected a protocol error, got {other:?}"),
+            }
+        }
+        Err(e) => panic!("expected an error frame, got {e:?}"),
+    }
+    assert_alive(addr);
+
+    // 2. A frame too short to hold version + opcode.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&1u32.to_le_bytes()).unwrap();
+    s.write_all(&[0]).unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("error frame");
+    assert!(matches!(
+        Response::decode(frame.opcode, &frame.payload).unwrap(),
+        Response::Error(e) if e.kind == ServerErrorKind::Protocol
+    ));
+    assert_alive(addr);
+
+    // 3. Unknown protocol version: typed error, then close.
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(&mut s, 0x7F, opcode::PING, &[0u8; 8], DEFAULT_MAX_FRAME_LEN).unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("error frame");
+    match Response::decode(frame.opcode, &frame.payload).unwrap() {
+        Response::Error(e) => assert!(e.message.contains("version"), "{}", e.message),
+        other => panic!("expected version error, got {other:?}"),
+    }
+    assert!(matches!(
+        read_frame(&mut s, DEFAULT_MAX_FRAME_LEN),
+        Err(FrameReadError::Eof)
+    ));
+    assert_alive(addr);
+
+    // 4. Unknown opcode: typed error, session KEEPS SERVING (the frame
+    //    boundary was intact).
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut s,
+        PROTOCOL_VERSION,
+        0x5F,
+        b"junk",
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("error frame");
+    assert!(matches!(
+        Response::decode(frame.opcode, &frame.payload).unwrap(),
+        Response::Error(e) if e.kind == ServerErrorKind::Protocol
+    ));
+    // Same connection, valid request: still answered.
+    let (op, payload) = Request::Ping { token: 5 }.encode();
+    write_frame(
+        &mut s,
+        PROTOCOL_VERSION,
+        op,
+        &payload,
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("pong");
+    assert_eq!(
+        Response::decode(frame.opcode, &frame.payload).unwrap(),
+        Response::Pong { token: 5 }
+    );
+
+    // 5. Semantic poison (NaN interval): typed error on the same session.
+    let mut w = dds_server::wire::Writer::new();
+    w.put_u8(0x00); // Pred
+    w.put_u8(0x00); // Percentile
+    w.put_u32(1);
+    w.put_f64(0.0);
+    w.put_f64(1.0);
+    w.put_f64(f64::NAN);
+    w.put_f64(1.0);
+    write_frame(
+        &mut s,
+        PROTOCOL_VERSION,
+        opcode::QUERY,
+        &w.into_bytes(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("error frame");
+    assert!(matches!(
+        Response::decode(frame.opcode, &frame.payload).unwrap(),
+        Response::Error(e) if e.kind == ServerErrorKind::Protocol
+    ));
+
+    // 6. Trailing bytes after a valid payload.
+    let (op, mut payload) = Request::Ping { token: 1 }.encode();
+    payload.push(0xAB);
+    write_frame(
+        &mut s,
+        PROTOCOL_VERSION,
+        op,
+        &payload,
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("error frame");
+    assert!(matches!(
+        Response::decode(frame.opcode, &frame.payload).unwrap(),
+        Response::Error(e) if e.kind == ServerErrorKind::Protocol
+    ));
+    assert_alive(addr);
+
+    server.shutdown();
+}
+
+#[test]
+fn sleep_is_rejected_unless_the_server_opts_in() {
+    // The backpressure drills enable it explicitly; a default-config
+    // server must refuse the executor-occupancy primitive, typed.
+    let server = tiny_server();
+    let mut client = DdsClient::connect(server.local_addr()).expect("connect");
+    match client.sleep(10) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.kind, ServerErrorKind::Protocol);
+            assert!(e.message.contains("disabled"), "{}", e.message);
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+    assert_alive(server.local_addr());
+    server.shutdown();
+}
+
+#[test]
+fn mid_request_disconnects_never_wedge_the_server() {
+    let server = tiny_server();
+    let addr = server.local_addr();
+
+    // Disconnect inside the length prefix.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&[0x10]).unwrap();
+    }
+    // Disconnect inside a declared body.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&100u32.to_le_bytes()).unwrap();
+        s.write_all(&[PROTOCOL_VERSION, opcode::QUERY, 1, 2, 3])
+            .unwrap();
+    }
+    // Disconnect right after a full request, before reading the reply
+    // (the executor's answer goes nowhere — correctly dropped).
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let (op, payload) = Request::Query(ok_query()).encode();
+        write_frame(
+            &mut s,
+            PROTOCOL_VERSION,
+            op,
+            &payload,
+            DEFAULT_MAX_FRAME_LEN,
+        )
+        .unwrap();
+    }
+    // An HTTP client knocking on the wrong port: its request line reads
+    // as an absurd length prefix — typed error or close, never a panic.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let _ = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN);
+    }
+    assert_alive(addr);
+    let stats = server.shutdown();
+    assert!(stats.wire_errors >= 1);
+}
+
+#[test]
+fn hostile_expressions_are_rejected_typed() {
+    let server = tiny_server();
+    let addr = server.local_addr();
+    let mut client = DdsClient::connect(addr).expect("connect");
+
+    // DNF bomb: 2^7 clauses exceeds the engine bound — rejected at
+    // decode, never reaching `to_dnf`'s panic.
+    let or = LogicalExpr::Or(vec![ok_query(), ok_query()]);
+    let bomb = LogicalExpr::And(vec![or; 7]);
+    match client.query(&bomb) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.kind, ServerErrorKind::Protocol);
+            assert!(e.message.contains("DNF"), "{}", e.message);
+        }
+        other => panic!("expected typed rejection, got {other:?}"),
+    }
+
+    // Deep nesting: a hand-rolled frame 80 levels deep.
+    let mut w = dds_server::wire::Writer::new();
+    for _ in 0..80 {
+        w.put_u8(0x01);
+        w.put_u32(1);
+    }
+    w.put_u8(0x00);
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut s,
+        PROTOCOL_VERSION,
+        opcode::QUERY,
+        &w.into_bytes(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("error frame");
+    match Response::decode(frame.opcode, &frame.payload).unwrap() {
+        Response::Error(e) => assert!(e.message.contains("deep"), "{}", e.message),
+        other => panic!("expected nesting rejection, got {other:?}"),
+    }
+
+    // A hostile count (declares 2^30 datasets): typed, no allocation.
+    let mut w = dds_server::wire::Writer::new();
+    w.put_u32(1 << 30);
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut s,
+        PROTOCOL_VERSION,
+        opcode::ADD_SHARD,
+        &w.into_bytes(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("error frame");
+    assert!(matches!(
+        Response::decode(frame.opcode, &frame.payload).unwrap(),
+        Response::Error(e) if e.kind == ServerErrorKind::Protocol
+    ));
+
+    assert_alive(addr);
+    server.shutdown();
+}

@@ -15,6 +15,9 @@
 //!   vectors for preference queries.
 //! * [`queries`] — query-workload generators: rectangles with target
 //!   selectivity, random unit vectors, thresholds from score quantiles.
+//! * [`requests`] — served-request streams: popular mixed-expression
+//!   shapes repeating across many requests, optionally salted with
+//!   unindexed-rank errors (the traffic a `dds-server` instance sees).
 //! * [`setint`] — uniform set-intersection instances for the lower-bound
 //!   reduction (Section 3.1 / Appendix B.1).
 
@@ -24,9 +27,11 @@
 pub mod datasets;
 pub mod queries;
 pub mod repository;
+pub mod requests;
 pub mod scenario;
 pub mod setint;
 
 pub use repository::{RepoFlavor, RepoShard, RepoSpec};
+pub use requests::RequestStreamSpec;
 pub use scenario::CityScenario;
 pub use setint::UniformSetInstance;

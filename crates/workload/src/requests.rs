@@ -1,0 +1,158 @@
+//! Served-request stream generators.
+//!
+//! A network-facing catalog sees *traffic*, not a query list: a small pool
+//! of popular filter shapes repeats across many requests (the read-mostly
+//! regime the cross-call mask caches exploit), with the occasional
+//! malformed ask — here, a preference rank the service never indexed, so
+//! error paths are exercised inside the same streams. Everything is
+//! deterministic given the seed, like the rest of this crate.
+
+use crate::queries;
+use crate::repository::RepoSpec;
+use dds_core::framework::{Interval, LogicalExpr, Predicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a deterministic request stream over a repository's
+/// value space: `n_requests` expressions cycling through `n_shapes`
+/// popular shapes, optionally salting in queries for an unindexed rank.
+#[derive(Clone, Debug)]
+pub struct RequestStreamSpec {
+    /// Requests in the stream.
+    pub n_requests: usize,
+    /// Distinct popular shapes the stream cycles through.
+    pub n_shapes: usize,
+    /// Preference rank used by the well-formed shapes (must be indexed by
+    /// the serving engine for those requests to succeed).
+    pub rank: usize,
+    /// Every `missing_rank_every`-th request (1-based) swaps in this rank
+    /// instead of [`rank`](Self::rank); `0` disables error salting.
+    pub missing_rank_every: usize,
+    /// The rank the error-salted requests ask for (expected unindexed).
+    pub missing_rank: usize,
+    /// RNG seed for the shape pool.
+    pub seed: u64,
+}
+
+impl RequestStreamSpec {
+    /// A stream of `n_requests` over 6 popular shapes, rank 1, no error
+    /// salting.
+    pub fn new(n_requests: usize, seed: u64) -> Self {
+        RequestStreamSpec {
+            n_requests,
+            n_shapes: 6,
+            rank: 1,
+            missing_rank_every: 0,
+            missing_rank: 7,
+            seed,
+        }
+    }
+
+    /// Sets the popular-shape pool size (builder-style).
+    ///
+    /// # Panics
+    /// Panics if `n_shapes == 0`.
+    pub fn with_shapes(mut self, n_shapes: usize) -> Self {
+        assert!(n_shapes >= 1, "need at least one shape");
+        self.n_shapes = n_shapes;
+        self
+    }
+
+    /// Makes every `every`-th request ask for `missing_rank`
+    /// (builder-style); `every == 0` disables salting.
+    pub fn with_missing_rank_every(mut self, every: usize, missing_rank: usize) -> Self {
+        self.missing_rank_every = every;
+        self.missing_rank = missing_rank;
+        self
+    }
+
+    /// Materializes the stream against `repo`'s value space: request `i`
+    /// is shape `i % n_shapes`, except the error-salted slots. Each shape
+    /// is a mixed expression — `(percentile ∧ top-k) ∨ percentile` — whose
+    /// rectangles are drawn inside the repository bounding box, so streams
+    /// exercise overlapping and disjoint shards alike.
+    pub fn exprs(&self, repo: &RepoSpec) -> Vec<LogicalExpr> {
+        assert!(self.n_shapes >= 1, "need at least one shape");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let bbox = repo.bbox();
+        let dim = repo.dim;
+        let shapes: Vec<LogicalExpr> = (0..self.n_shapes)
+            .map(|_| {
+                let band = queries::random_rect(&mut rng, &bbox);
+                let narrow = queries::random_rect(&mut rng, &bbox);
+                let v = queries::random_unit_vector(&mut rng, dim);
+                let a: f64 = rng.gen_range(0.05..0.6);
+                let score = rng.gen_range(bbox.lo_at(0)..=bbox.hi_at(0));
+                LogicalExpr::Or(vec![
+                    LogicalExpr::And(vec![
+                        LogicalExpr::Pred(Predicate::percentile(
+                            band,
+                            Interval::new(a, (a + 0.5).min(1.0)),
+                        )),
+                        LogicalExpr::Pred(Predicate::topk_at_least(v, self.rank, score)),
+                    ]),
+                    LogicalExpr::Pred(Predicate::percentile_at_least(narrow, a)),
+                ])
+            })
+            .collect();
+        (0..self.n_requests)
+            .map(|i| {
+                let mut expr = shapes[i % shapes.len()].clone();
+                if self.missing_rank_every != 0 && (i + 1) % self.missing_rank_every == 0 {
+                    expr = swap_rank(expr, self.missing_rank);
+                }
+                expr
+            })
+            .collect()
+    }
+}
+
+/// Rewrites every top-k literal in the expression to ask for `rank`.
+fn swap_rank(expr: LogicalExpr, rank: usize) -> LogicalExpr {
+    match expr {
+        LogicalExpr::Pred(mut p) => {
+            if let dds_core::framework::MeasureFunction::TopK { k, .. } = &mut p.measure {
+                *k = rank;
+            }
+            LogicalExpr::Pred(p)
+        }
+        LogicalExpr::And(xs) => {
+            LogicalExpr::And(xs.into_iter().map(|x| swap_rank(x, rank)).collect())
+        }
+        LogicalExpr::Or(xs) => {
+            LogicalExpr::Or(xs.into_iter().map(|x| swap_rank(x, rank)).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_cycle_shapes() {
+        let repo = RepoSpec::mixed(8, 40, 2, 5);
+        let spec = RequestStreamSpec::new(20, 99).with_shapes(4);
+        let a = spec.exprs(&repo);
+        let b = spec.exprs(&repo);
+        assert_eq!(a.len(), 20);
+        // Deterministic (structural compare via Debug: expressions carry
+        // no NaN, and f64 Debug round-trips).
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // Shape cycle: request 0 and 4 share a shape, 0 and 1 do not.
+        assert_eq!(format!("{:?}", a[0]), format!("{:?}", a[4]));
+        assert_ne!(format!("{:?}", a[0]), format!("{:?}", a[1]));
+    }
+
+    #[test]
+    fn missing_rank_salting_hits_the_requested_slots() {
+        let repo = RepoSpec::mixed(4, 30, 1, 7);
+        let exprs = RequestStreamSpec::new(9, 3)
+            .with_missing_rank_every(3, 11)
+            .exprs(&repo);
+        for (i, e) in exprs.iter().enumerate() {
+            let has_missing = format!("{e:?}").contains("k: 11");
+            assert_eq!(has_missing, (i + 1) % 3 == 0, "request {i}");
+        }
+    }
+}

@@ -62,13 +62,26 @@
 //! `PtileBuildParams::with_phi_datasets` — see `dds_core::shard`). Each
 //! shard keeps a bounded, generation-tagged cross-call predicate-mask
 //! cache ([`prelude::MaskCache`]); rebuilding a shard invalidates only its
-//! own cache entries.
+//! own cache entries. Per-shard value bounding boxes let queries route
+//! past shards that provably cannot match — answer-invisible, on by
+//! default.
+//!
+//! ## Serving
+//!
+//! [`server`] (`dds-server`) puts a `ShardedEngine` behind a TCP
+//! boundary: a hand-rolled length-prefixed wire protocol
+//! (`crates/server/PROTOCOL.md`), a bounded admission queue whose
+//! overflow answers a typed `Busy` (backpressure with bounded memory),
+//! per-connection sessions, graceful drain-on-shutdown, and a blocking
+//! [`prelude::DdsClient`] whose served answers are **byte-identical** to
+//! the in-process engine's — `MissingRank` errors included.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use dds_core as core;
 pub use dds_geom as geom;
 pub use dds_rangetree as rangetree;
+pub use dds_server as server;
 pub use dds_synopsis as synopsis;
 pub use dds_workload as workload;
 
@@ -86,8 +99,9 @@ pub mod prelude {
         ExactCPtile1D, PtileBuildParams, PtileMultiIndex, PtileRangeIndex, PtileThresholdIndex,
     };
     pub use dds_core::scratch::QueryScratch;
-    pub use dds_core::shard::{GlobalId, ShardedEngine};
+    pub use dds_core::shard::{GlobalId, IngestError, ShardedEngine, ShardedStats};
     pub use dds_geom::{Point, Rect};
+    pub use dds_server::{ClientError, DdsClient, DdsServer, ServerConfig, ServerStats};
     pub use dds_synopsis::{PercentileSynopsis, PrefSynopsis};
-    pub use dds_workload::{RepoShard, RepoSpec};
+    pub use dds_workload::{RepoShard, RepoSpec, RequestStreamSpec};
 }

@@ -137,6 +137,56 @@ fn sharded_engine_through_the_facade() {
 }
 
 #[test]
+fn served_engine_through_the_facade() {
+    // The serving layer is addressable entirely through the prelude:
+    // serve an empty engine on a loopback port, ingest through the
+    // client, query, read stats, shut down gracefully.
+    let svc = ShardedEngine::new(
+        &[1],
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    );
+    let server = DdsServer::serve(svc, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind a loopback port");
+    let mut client = DdsClient::connect(server.local_addr()).expect("connect");
+    let spec = RepoSpec::mixed(6, 30, 1, 0xFACE);
+    for shard in spec.shards(2) {
+        client
+            .add_shard(&Repository::from_point_sets(shard.sets), &shard.global_ids)
+            .expect("ingest");
+    }
+    let expr = LogicalExpr::Pred(Predicate::percentile_at_least(
+        Rect::interval(0.0, 100.0),
+        0.5,
+    ));
+    assert_eq!(
+        client.query(&expr).expect("transport"),
+        Ok((0..6).collect::<Vec<GlobalId>>())
+    );
+    let stats: ServerStats = client.stats().expect("stats");
+    assert_eq!((stats.n_shards, stats.n_datasets), (2, 6));
+    // The typed error surface is addressable too.
+    match client.add_shard(
+        &Repository::new(vec![Dataset::from_rows("dup", vec![vec![1.0]])]),
+        &[0],
+    ) {
+        Err(ClientError::Server(e)) => assert!(e.message.contains("already served")),
+        other => panic!("expected a typed ingest rejection, got {other:?}"),
+    }
+    client.shutdown_server().expect("shutdown");
+    server.shutdown();
+    // IngestError and ShardedStats are plain prelude values as well.
+    let _: IngestError = IngestError::DuplicateId(3);
+    let snap: ShardedStats = ShardedEngine::new(
+        &[1],
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    )
+    .stats_snapshot();
+    assert_eq!(snap.n_shards, 0);
+}
+
+#[test]
 fn quickstart_docs_scenario_through_the_facade() {
     // Mirrors the `src/lib.rs` doctest so the README/quickstart snippet is
     // also covered by `cargo test` proper.

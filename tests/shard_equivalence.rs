@@ -51,8 +51,15 @@ fn unsharded(sets: &[Vec<f64>]) -> MixedQueryEngine {
 /// A sharded engine over the same datasets: round-robin partition into (at
 /// most) `k` shards, global id = unsharded dataset index.
 fn sharded(sets: &[Vec<f64>], k: usize) -> ShardedEngine {
+    sharded_with_routing(sets, k, true)
+}
+
+/// [`sharded`] with the bounding-box routing fast path switched
+/// explicitly (routing defaults to on; the off position only exists for
+/// the routed ≡ unrouted equivalence pins below).
+fn sharded_with_routing(sets: &[Vec<f64>], k: usize, route: bool) -> ShardedEngine {
     let (ptile, pref) = build_params();
-    let mut svc = ShardedEngine::new(&[1], ptile, pref);
+    let mut svc = ShardedEngine::new(&[1], ptile, pref).with_routing(route);
     let k = k.min(sets.len()).max(1);
     for s in 0..k {
         let members: Vec<usize> = (s..sets.len()).step_by(k).collect();
@@ -148,6 +155,39 @@ proptest! {
         }
     }
 
+    /// The bounding-box routing fast path (PR 5) must be invisible in
+    /// answers: the same shard layout with routing off is bit-identical —
+    /// single and batch paths, including the error-carrying expressions
+    /// (routing declines those outright). Note `sharded_matches_unsharded`
+    /// above already pins the routed engine against the *unsharded*
+    /// reference; this pins routed ≡ unrouted on equal layouts directly.
+    #[test]
+    fn routed_matches_unrouted((sets, shapes) in repo_and_batch()) {
+        let exprs: Vec<LogicalExpr> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, w, a, bw))| mixed_expr(i, lo, w, a, bw))
+            .collect();
+        for k in [1usize, 2, 3] {
+            let routed = sharded(&sets, k);
+            let unrouted = sharded_with_routing(&sets, k, false);
+            let mut scratch = QueryScratch::new();
+            for e in &exprs {
+                prop_assert_eq!(
+                    routed.query_with(e, &mut scratch),
+                    unrouted.query_with(e, &mut scratch),
+                    "single query, shards = {}", k
+                );
+            }
+            prop_assert_eq!(
+                routed.query_batch_opts(&exprs, &BuildOptions::with_threads(2)),
+                unrouted.query_batch_opts(&exprs, &BuildOptions::with_threads(2)),
+                "batch, shards = {}", k
+            );
+            prop_assert_eq!(unrouted.shards_routed_past(), 0);
+        }
+    }
+
     /// Rebuilding one shard re-lands new data under the same global ids:
     /// requeries must agree with an unsharded engine over the *updated*
     /// dataset collection, at every thread count — the
@@ -165,8 +205,15 @@ proptest! {
             .collect();
         let k = 2usize;
         let mut svc = sharded(&sets, k);
-        // Warm the caches on the original data.
+        // Warm the caches on the original data — including an
+        // invalidation probe that routing can never skip (θ lower bound 0
+        // is within every margin, so every shard must be consulted).
+        let probe = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(-1e6, 1e6),
+            0.0,
+        ));
         let _ = svc.query_batch_opts(&exprs, &BuildOptions::with_threads(2));
+        let _ = svc.query(&probe);
         let (_, misses_before) = svc.cache_stats();
         // Shard 0 (datasets 0, 2, 4, …) re-lands with every value shifted.
         let members: Vec<usize> = (0..sets.len()).step_by(k).collect();
@@ -187,8 +234,10 @@ proptest! {
             let requeried = svc.query_batch_opts(&exprs, &BuildOptions::with_threads(t));
             prop_assert_eq!(&requeried, &expected, "threads = {}", t);
         }
-        // The requeries could not have been served from the stale masks:
-        // the rebuilt shard's cache recomputed (misses advanced).
+        // The probe could not have been served from its warm pre-rebuild
+        // mask: the rebuilt shard's cache was invalidated, so it
+        // recomputes (misses advance) while shard 1 keeps hitting.
+        let _ = svc.query(&probe);
         let (_, misses_after) = svc.cache_stats();
         prop_assert!(misses_after > misses_before, "rebuild must invalidate");
     }
@@ -267,6 +316,55 @@ fn sampled_builds_match_unsharded_across_shard_counts() {
     }
 }
 
+/// The routing fast path really engages (the proptests above only prove
+/// it is answer-invisible): value-separated shards let a narrow predicate
+/// skip every shard but its own, and the skipped shards' caches are never
+/// touched.
+#[test]
+fn routing_skips_value_separated_shards_and_spares_their_caches() {
+    // Shard s holds datasets living in [100s, 100s + 20]: disjoint boxes.
+    let (ptile, pref) = build_params();
+    let mut svc = ShardedEngine::new(&[1], ptile, pref);
+    for s in 0..3usize {
+        let base = 100.0 * s as f64;
+        svc.add_shard_opts(
+            &Repository::new(vec![
+                dataset_1d(2 * s, &[base, base + 10.0]),
+                dataset_1d(2 * s + 1, &[base + 15.0, base + 20.0]),
+            ]),
+            &[2 * s as GlobalId, 2 * s as GlobalId + 1],
+            &BuildOptions::serial(),
+        );
+    }
+    // One narrow query per shard band: each consults exactly one shard.
+    for s in 0..3usize {
+        let base = 100.0 * s as f64;
+        let expr = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(base - 5.0, base + 25.0),
+            0.9,
+        ));
+        assert_eq!(
+            svc.query(&expr),
+            Ok(vec![2 * s as GlobalId, 2 * s as GlobalId + 1]),
+            "band {s}"
+        );
+    }
+    assert_eq!(
+        svc.shards_routed_past(),
+        6,
+        "each of the 3 queries skipped the 2 foreign shards"
+    );
+    let (_, misses) = svc.cache_stats();
+    assert_eq!(misses, 3, "each shard computed only its own band's mask");
+    // A query beyond every box consults nobody.
+    let far = LogicalExpr::Pred(Predicate::percentile_at_least(
+        Rect::interval(900.0, 950.0),
+        0.5,
+    ));
+    assert_eq!(svc.query(&far), Ok(vec![]));
+    assert_eq!(svc.shards_routed_past(), 9);
+}
+
 /// The cross-call cache respects its capacity bound under a workload with
 /// far more distinct predicates than slots — and the bounded cache never
 /// changes answers (evicted masks recompute identically).
@@ -276,7 +374,11 @@ fn mask_cache_stays_within_capacity_bound() {
         .map(|i| (0..8).map(|j| (i * 7 + j * 3) as f64 - 15.0).collect())
         .collect();
     let (ptile, pref) = build_params();
-    let mut svc = ShardedEngine::new(&[1], ptile, pref).with_cache_capacity(4);
+    // Routing off: this test counts every (expression, shard) lookup
+    // against the capacity bound, so no scatter unit may be skipped.
+    let mut svc = ShardedEngine::new(&[1], ptile, pref)
+        .with_cache_capacity(4)
+        .with_routing(false);
     for s in 0..2 {
         let members: Vec<usize> = (s..sets.len()).step_by(2).collect();
         svc.add_shard(
