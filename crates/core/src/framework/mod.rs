@@ -5,4 +5,6 @@ mod dataset;
 mod predicate;
 
 pub use dataset::{Dataset, Repository};
-pub use predicate::{ground_truth, Interval, LogicalExpr, MeasureFunction, Predicate};
+pub use predicate::{
+    ground_truth, Interval, LogicalExpr, MeasureFunction, Predicate, MAX_DNF_CLAUSES,
+};

@@ -118,6 +118,11 @@ impl Predicate {
     }
 }
 
+/// Most DNF clauses [`LogicalExpr::to_dnf`] will expand to before
+/// panicking — logical expressions are constant-size in the problem
+/// definition, and every index layer sizes its per-clause scratch to this.
+pub const MAX_DNF_CLAUSES: u64 = 64;
+
 /// A logical expression `Π` over predicates (constant size), combining
 /// conjunctions and disjunctions (Section 1.1).
 #[derive(Clone, Debug)]
@@ -150,18 +155,48 @@ impl LogicalExpr {
         }
     }
 
+    /// An upper bound on the DNF clause count, computed **without
+    /// expanding** (saturating arithmetic, so even an astronomically
+    /// explosive expression cannot overflow). Every factor is clamped to
+    /// ≥ 1, which makes each *prefix* product of an `And` bounded by the
+    /// returned total — in particular, a zero-child `Or` (which
+    /// contributes zero clauses to the final result) cannot hide the huge
+    /// intermediate accumulators [`to_dnf`](Self::to_dnf) would
+    /// materialize before reaching it.
+    pub fn dnf_clause_bound(&self) -> u64 {
+        match self {
+            LogicalExpr::Pred(_) => 1,
+            LogicalExpr::Or(xs) => xs
+                .iter()
+                .map(LogicalExpr::dnf_clause_bound)
+                .fold(0u64, |a, b| a.saturating_add(b))
+                .max(1),
+            LogicalExpr::And(xs) => xs
+                .iter()
+                .map(|x| x.dnf_clause_bound().max(1))
+                .fold(1u64, |a, b| a.saturating_mul(b)),
+        }
+    }
+
     /// Disjunctive normal form: a list of conjunctive clauses, each a list
     /// of predicates. The index layer answers each clause with the
     /// multi-predicate structure and unions the results (Appendix C.4
     /// observes disjunctions are straightforward given conjunctions).
     ///
     /// # Panics
-    /// Panics if the expansion exceeds 64 clauses — logical expressions are
-    /// constant-size in the problem definition.
+    /// Panics if the expansion exceeds [`MAX_DNF_CLAUSES`] clauses —
+    /// logical expressions are constant-size in the problem definition.
+    /// The bound is checked via [`dnf_clause_bound`](Self::dnf_clause_bound)
+    /// **before** anything is expanded, so even an expression whose huge
+    /// expansion would collapse at the end (a wide `And` ending in an
+    /// empty `Or`) panics immediately instead of materializing its
+    /// intermediate clause accumulators first.
     pub fn to_dnf(&self) -> Vec<Vec<Predicate>> {
-        let dnf = self.dnf_rec();
-        assert!(dnf.len() <= 64, "logical expression expands too far");
-        dnf
+        assert!(
+            self.dnf_clause_bound() <= MAX_DNF_CLAUSES,
+            "logical expression expands too far"
+        );
+        self.dnf_rec()
     }
 
     fn dnf_rec(&self) -> Vec<Vec<Predicate>> {
@@ -256,6 +291,36 @@ mod tests {
         assert_eq!(dnf[1].len(), 2);
         let repo = repo();
         assert_eq!(ground_truth(&repo, &expr), vec![0, 1]);
+    }
+
+    #[test]
+    fn dnf_bound_is_checked_before_expansion() {
+        let pred = || {
+            LogicalExpr::Pred(Predicate::percentile_at_least(
+                Rect::interval(0.0, 1.0),
+                0.5,
+            ))
+        };
+        // Well within the bound: 2 × 2 = 4 clauses.
+        let small_or = LogicalExpr::Or(vec![pred(), pred()]);
+        let small = LogicalExpr::And(vec![small_or.clone(), small_or]);
+        assert_eq!(small.dnf_clause_bound(), 4);
+        assert_eq!(small.to_dnf().len(), 4);
+        // A wide And ending in an EMPTY Or: the finished expansion would
+        // hold zero clauses, but the intermediate accumulator would reach
+        // ~100^3 clauses first. The pre-expansion bound clamps every
+        // factor to >= 1, so each prefix product is covered and to_dnf
+        // panics up front instead of materializing the intermediates.
+        let wide_or = LogicalExpr::Or((0..100).map(|_| pred()).collect());
+        let bomb = LogicalExpr::And(vec![
+            wide_or.clone(),
+            wide_or.clone(),
+            wide_or,
+            LogicalExpr::Or(vec![]),
+        ]);
+        assert!(bomb.dnf_clause_bound() > MAX_DNF_CLAUSES);
+        let panicked = std::panic::catch_unwind(|| bomb.to_dnf());
+        assert!(panicked.is_err(), "to_dnf must refuse the bomb up front");
     }
 
     #[test]

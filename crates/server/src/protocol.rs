@@ -24,7 +24,7 @@ pub const MAX_EXPR_DEPTH: usize = 64;
 /// Most DNF clauses a decoded expression may expand to — the engine's own
 /// `LogicalExpr::to_dnf` bound, enforced here so a hostile expression is
 /// rejected with a typed error instead of panicking an executor.
-pub const MAX_DNF_CLAUSES: u64 = 64;
+pub const MAX_DNF_CLAUSES: u64 = dds_core::framework::MAX_DNF_CLAUSES;
 
 /// Request opcodes.
 pub mod opcode {
@@ -65,6 +65,13 @@ pub mod opcode {
 
 /// Longest an executor may be held by a [`Request::Sleep`] (ms).
 pub const MAX_SLEEP_MS: u32 = 10_000;
+
+/// `Sleep` ms value that makes the executor **panic deliberately**
+/// instead of sleeping — the panic drill, for exercising the server's
+/// panic isolation end to end (the job is answered with a typed
+/// `internal` error and the executor survives). Like `Sleep` itself it
+/// is inert unless the server opts in (`ServerConfig::allow_sleep`).
+pub const PANIC_DRILL_MS: u32 = u32::MAX;
 
 /// A decoded client request.
 #[derive(Clone, Debug)]
@@ -153,6 +160,10 @@ pub enum ServerErrorKind {
     /// served data (e.g. a query whose dimensions don't match the served
     /// schema). Permanent — retrying the same request is pointless.
     InvalidQuery,
+    /// The server failed while producing the answer: an executor panicked
+    /// executing the request, or the answer could not be shipped within
+    /// the protocol's frame bound. The server itself stays up.
+    Internal,
 }
 
 impl fmt::Display for ServerErrorKind {
@@ -162,6 +173,7 @@ impl fmt::Display for ServerErrorKind {
             ServerErrorKind::Ingest => write!(f, "ingest"),
             ServerErrorKind::Unavailable => write!(f, "unavailable"),
             ServerErrorKind::InvalidQuery => write!(f, "invalid-query"),
+            ServerErrorKind::Internal => write!(f, "internal"),
         }
     }
 }
@@ -242,10 +254,15 @@ pub struct ServerStats {
     pub n_shards: u64,
     /// Datasets currently served.
     pub n_datasets: u64,
+    /// Jobs whose execution panicked (answered with a typed `internal`
+    /// error; the executor survives). Serialized **last**: the stats list
+    /// extends by appending, so older clients keep decoding the prefix
+    /// they know.
+    pub executor_panics: u64,
 }
 
 impl ServerStats {
-    fn fields(&self) -> [u64; 21] {
+    fn fields(&self) -> [u64; 22] {
         [
             self.requests,
             self.queries,
@@ -268,6 +285,7 @@ impl ServerStats {
             self.shards_routed_past,
             self.n_shards,
             self.n_datasets,
+            self.executor_panics,
         ]
     }
 
@@ -294,6 +312,7 @@ impl ServerStats {
             shards_routed_past: f[18],
             n_shards: f[19],
             n_datasets: f[20],
+            executor_panics: f[21],
         }
     }
 }
@@ -450,6 +469,16 @@ fn get_expr_at(r: &mut Reader, depth: usize) -> Result<LogicalExpr, WireError> {
         0x00 => Ok(LogicalExpr::Pred(get_predicate(r)?)),
         tag @ (0x01 | 0x02) => {
             let n = r.count(1)?;
+            // Zero-child connectives are rejected outright: an empty `Or`
+            // contributes a zero factor to the DNF clause product, which
+            // would let an otherwise-explosive `And` slip past the
+            // MAX_DNF_CLAUSES check while `to_dnf` still materializes the
+            // huge intermediate accumulator (a remote OOM primitive).
+            if n == 0 {
+                return Err(WireError::BadValue {
+                    context: "zero-child connective (And/Or needs at least one child)",
+                });
+            }
             let mut xs = Vec::with_capacity(n);
             for _ in 0..n {
                 xs.push(get_expr_at(r, depth + 1)?);
@@ -467,25 +496,13 @@ fn get_expr_at(r: &mut Reader, depth: usize) -> Result<LogicalExpr, WireError> {
     }
 }
 
-/// DNF clause count without expanding (saturating, so a hostile
-/// expression cannot overflow the check either).
-fn dnf_clauses(expr: &LogicalExpr) -> u64 {
-    match expr {
-        LogicalExpr::Pred(_) => 1,
-        LogicalExpr::Or(xs) => xs
-            .iter()
-            .map(dnf_clauses)
-            .fold(0u64, |a, b| a.saturating_add(b)),
-        LogicalExpr::And(xs) => xs
-            .iter()
-            .map(dnf_clauses)
-            .fold(1u64, |a, b| a.saturating_mul(b)),
-    }
-}
-
 fn get_expr(r: &mut Reader) -> Result<LogicalExpr, WireError> {
     let expr = get_expr_at(r, 0)?;
-    if dnf_clauses(&expr) > MAX_DNF_CLAUSES {
+    // The engine's own saturating pre-expansion bound (clamped factors,
+    // so every intermediate of the expansion is covered, not just its
+    // final size): `to_dnf` checks the same bound and panics — here a
+    // hostile expression gets a typed rejection instead.
+    if expr.dnf_clause_bound() > MAX_DNF_CLAUSES {
         return Err(WireError::BadValue {
             context: "expression expands past the DNF clause bound",
         });
@@ -768,6 +785,7 @@ impl Response {
                     ServerErrorKind::Ingest => 0x01,
                     ServerErrorKind::Unavailable => 0x02,
                     ServerErrorKind::InvalidQuery => 0x03,
+                    ServerErrorKind::Internal => 0x04,
                 });
                 w.put_str(&e.message);
                 opcode::ERROR
@@ -813,6 +831,7 @@ impl Response {
                     0x01 => ServerErrorKind::Ingest,
                     0x02 => ServerErrorKind::Unavailable,
                     0x03 => ServerErrorKind::InvalidQuery,
+                    0x04 => ServerErrorKind::Internal,
                     tag => {
                         return Err(WireError::BadTag {
                             context: "error kind",
@@ -976,6 +995,48 @@ mod tests {
             Request::decode(opcode::ADD_SHARD, &bytes),
             Err(WireError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn zero_child_connectives_cannot_bypass_the_dnf_bound() {
+        // A zero-child connective is rejected at decode.
+        let mut w = Writer::new();
+        w.put_u8(0x02); // Or
+        w.put_u32(0); // no children
+        assert!(matches!(
+            Request::decode(opcode::QUERY, &w.into_bytes()),
+            Err(WireError::BadValue {
+                context: "zero-child connective (And/Or needs at least one child)"
+            })
+        ));
+        // The bypass shape: And([Or(100 preds) × 3, Or([])]) has a DNF
+        // clause *product* of zero (the empty Or), but to_dnf would
+        // materialize the ~10^6-clause intermediate accumulator before
+        // reaching the zero factor. It must never pass decode.
+        let pred = || {
+            LogicalExpr::Pred(Predicate::percentile_at_least(
+                Rect::interval(0.0, 1.0),
+                0.5,
+            ))
+        };
+        let wide_or = LogicalExpr::Or((0..100).map(|_| pred()).collect());
+        let bomb = LogicalExpr::And(vec![
+            wide_or.clone(),
+            wide_or.clone(),
+            wide_or,
+            LogicalExpr::Or(vec![]),
+        ]);
+        let (op, bytes) = Request::Query(bomb.clone()).encode();
+        assert!(matches!(
+            Request::decode(op, &bytes),
+            Err(WireError::BadValue { .. })
+        ));
+        // Defense in depth: even if zero-child connectives were ever
+        // admitted again, the engine's clamped clause bound still trips
+        // (every prefix product is <= the counted total), so `to_dnf`
+        // refuses the expression up front instead of OOMing — pinned by
+        // `dnf_bound_is_checked_before_expansion` in dds_core.
+        assert!(bomb.dnf_clause_bound() > MAX_DNF_CLAUSES);
     }
 
     #[test]

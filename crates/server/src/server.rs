@@ -25,7 +25,9 @@
 //! never hung); idle sessions are unblocked by shutting their sockets
 //! down last.
 
-use crate::protocol::{Request, Response, ServerError, ServerErrorKind, ServerStats, MAX_SLEEP_MS};
+use crate::protocol::{
+    Request, Response, ServerError, ServerErrorKind, ServerStats, MAX_SLEEP_MS, PANIC_DRILL_MS,
+};
 use crate::wire::{
     read_frame, write_frame, FrameReadError, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
@@ -87,6 +89,7 @@ struct Counters {
     jobs_admitted: AtomicU64,
     jobs_dequeued: AtomicU64,
     jobs_completed: AtomicU64,
+    executor_panics: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     sessions_opened: AtomicU64,
@@ -170,6 +173,7 @@ impl Shared {
             jobs_admitted: c.jobs_admitted.load(Ordering::Relaxed),
             jobs_dequeued: c.jobs_dequeued.load(Ordering::Relaxed),
             jobs_completed: c.jobs_completed.load(Ordering::Relaxed),
+            executor_panics: c.executor_panics.load(Ordering::Relaxed),
             bytes_in: c.bytes_in.load(Ordering::Relaxed),
             bytes_out: c.bytes_out.load(Ordering::Relaxed),
             sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
@@ -310,6 +314,23 @@ impl DdsServer {
     }
 }
 
+/// Whether an `accept` error signals exhausted process/system resources
+/// (worth a backoff) rather than a single failed connection (not worth
+/// one). `EMFILE` (24), `ENFILE` (23) and `ENOBUFS` have no stable
+/// [`io::ErrorKind`] mapping, so they are matched by number — the first
+/// two are identical across Linux and the BSDs, `ENOBUFS` is not.
+fn accept_error_is_resource_exhaustion(e: &io::Error) -> bool {
+    const ENOBUFS: i32 = if cfg!(target_os = "linux") {
+        105
+    } else if cfg!(windows) {
+        10055 // WSAENOBUFS
+    } else {
+        55 // the BSDs / macOS
+    };
+    e.kind() == io::ErrorKind::OutOfMemory
+        || matches!(e.raw_os_error(), Some(n) if n == 23 || n == 24 || n == ENOBUFS)
+}
+
 fn listener_loop(
     shared: &Arc<Shared>,
     listener: &TcpListener,
@@ -322,7 +343,21 @@ fn listener_loop(
         }
         let stream = match conn {
             Ok(s) => s,
-            Err(_) => continue,
+            Err(e) => {
+                // Resource exhaustion (EMFILE/ENFILE — plausible here,
+                // every session clones its stream — or out-of-memory) is
+                // persistent: without a pause the listener would spin at
+                // 100% CPU until an fd frees up. Per-connection failures
+                // (e.g. ECONNABORTED, a peer resetting mid-handshake)
+                // must NOT pay that pause, or cheap aborted connects
+                // would throttle accepts for legitimate clients. The
+                // shutdown gate is re-checked on the next iteration, so
+                // the pause never delays shutdown by more than one tick.
+                if accept_error_is_resource_exhaustion(&e) {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                continue;
+            }
         };
         let id = next_id;
         next_id += 1;
@@ -390,15 +425,46 @@ fn listener_loop(
 
 /// Writes one response frame, keeping the byte counter. An IO failure
 /// (client went away mid-response) just ends the session.
+///
+/// A response that exceeds `cfg.max_frame_len` (e.g. Hits over a catalog
+/// with millions of matching ids) fails the *local* encode bound before
+/// anything touches the wire, so the stream is still in sync — the
+/// session answers with a small typed `internal` error instead of
+/// silently closing (which the client would see as a bare
+/// `UnexpectedEof`, indistinguishable from a crashed server).
 fn respond(shared: &Shared, stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
     let (op, payload) = resp.encode();
-    let n = write_frame(
+    let n = match write_frame(
         stream,
         PROTOCOL_VERSION,
         op,
         &payload,
         shared.cfg.max_frame_len,
-    )?;
+    ) {
+        Ok(n) => n,
+        // write_frame checks the bound before its first write, so only
+        // its typed FrameTooLarge (io::ErrorKind::InvalidData wrapping a
+        // WireError) guarantees an untouched stream; real transport
+        // errors still end the session.
+        Err(e)
+            if e.kind() == io::ErrorKind::InvalidData
+                && e.get_ref().is_some_and(|inner| inner.is::<WireError>()) =>
+        {
+            let fallback = Response::Error(ServerError::new(
+                ServerErrorKind::Internal,
+                "response exceeds the frame bound",
+            ));
+            let (op, payload) = fallback.encode();
+            write_frame(
+                stream,
+                PROTOCOL_VERSION,
+                op,
+                &payload,
+                shared.cfg.max_frame_len,
+            )?
+        }
+        Err(e) => return Err(e),
+    };
     shared.counters.bytes_out.fetch_add(n, Ordering::Relaxed);
     Ok(())
 }
@@ -545,12 +611,37 @@ fn executor_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
 }
 
 /// Executes one admitted job and answers its session.
+///
+/// Execution is panic-isolated: the decoder rejects everything *known* to
+/// panic the engine, but a build can still panic on pathological
+/// parameters, and an unwinding executor thread must not die (after
+/// `cfg.executors` such deaths the queue receiver would drop and every
+/// later request would be answered `unavailable` by a silently-degraded
+/// server). A panic is caught here, answered as a typed `internal` error,
+/// and the executor keeps draining. The engine locks recover from the
+/// resulting poison (see [`Shared::engine_read`]): ingest is
+/// validate→build→commit, so engine state stays consistent.
 fn run_job(shared: &Arc<Shared>, Job { req, reply }: Job) {
     shared
         .counters
         .jobs_dequeued
         .fetch_add(1, Ordering::Relaxed);
-    let resp = execute(shared, req);
+    let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, req)))
+        .unwrap_or_else(|_| {
+            shared
+                .counters
+                .executor_panics
+                .fetch_add(1, Ordering::Relaxed);
+            // The panic text is NOT echoed to the (untrusted) client:
+            // engine assertion messages can embed internal state, and a
+            // client probing for panics must not get free introspection.
+            // The default panic hook has already written the message and
+            // backtrace to the server's stderr.
+            Response::Error(ServerError::new(
+                ServerErrorKind::Internal,
+                "request execution panicked (details in the server log)",
+            ))
+        });
     shared
         .counters
         .jobs_completed
@@ -626,6 +717,12 @@ fn execute(shared: &Shared, req: Request) -> Response {
                     ServerErrorKind::Protocol,
                     "sleep is disabled on this server (ServerConfig::allow_sleep)",
                 ));
+            }
+            if ms == PANIC_DRILL_MS {
+                // The documented panic drill: proves end to end that a
+                // panicking job is answered typed and the executor
+                // survives. Gated behind the same opt-in as Sleep itself.
+                panic!("panic drill (Sleep with ms = u32::MAX)");
             }
             std::thread::sleep(std::time::Duration::from_millis(ms.min(MAX_SLEEP_MS) as u64));
             Response::Done

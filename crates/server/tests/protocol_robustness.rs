@@ -152,11 +152,12 @@ fn random_response(rng: &mut StdRng) -> Response {
         5 => Response::Pong { token: rng.gen() },
         6 => Response::Busy,
         _ => Response::Error(dds_server::ServerError::new(
-            match rng.gen_range(0u8..4) {
+            match rng.gen_range(0u8..5) {
                 0 => ServerErrorKind::Protocol,
                 1 => ServerErrorKind::Ingest,
                 2 => ServerErrorKind::Unavailable,
-                _ => ServerErrorKind::InvalidQuery,
+                3 => ServerErrorKind::InvalidQuery,
+                _ => ServerErrorKind::Internal,
             },
             "naïve message ☃",
         )),
@@ -390,6 +391,102 @@ fn sleep_is_rejected_unless_the_server_opts_in() {
 }
 
 #[test]
+fn executor_panics_are_isolated_and_answered_typed() {
+    // A panicking job must NOT kill its executor: with 2 executors, two
+    // unwinds would otherwise drop the queue receiver and leave a
+    // still-listening server answering `unavailable` forever. Drive MORE
+    // panics than executors through the drill hook and prove the pool
+    // survives every one of them.
+    let (ptile, pref) = (
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    );
+    let mut engine = ShardedEngine::new(&[1], ptile, pref);
+    engine.add_shard_opts(
+        &Repository::new(vec![Dataset::from_rows(
+            "d",
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+        )]),
+        &[0],
+        &BuildOptions::serial(),
+    );
+    let cfg = ServerConfig {
+        executors: 2,
+        allow_sleep: true, // the panic drill rides the Sleep opt-in
+        ..ServerConfig::default()
+    };
+    let server = DdsServer::serve(engine, "127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = DdsClient::connect(addr).expect("connect");
+    for _ in 0..4 {
+        match client.sleep(u32::MAX) {
+            Err(ClientError::Server(e)) => {
+                assert_eq!(e.kind, ServerErrorKind::Internal);
+                assert!(e.message.contains("panic"), "{}", e.message);
+            }
+            other => panic!("expected a typed internal error, got {other:?}"),
+        }
+        // The session survives its own panicking request...
+        client.ping().expect("session alive after panic");
+        // ...and real work is still executed (an executor answered, so
+        // the pool is alive — 4 panics > 2 executors proves isolation).
+        assert_eq!(client.query(&ok_query()).expect("query"), Ok(vec![0]));
+    }
+    assert_alive(addr);
+    let stats = server.shutdown();
+    assert_eq!(stats.executor_panics, 4);
+    // Every dequeued job was answered, panicking ones included.
+    assert_eq!(stats.jobs_dequeued, stats.jobs_completed);
+}
+
+#[test]
+fn oversized_responses_get_a_typed_error_not_a_dead_connection() {
+    // 40 one-point datasets all match the query, so the Hits payload
+    // (6 + 40·8 bytes) cannot fit a 128-byte frame bound; small requests
+    // and the fallback error frame can.
+    let (ptile, pref) = (
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    );
+    let mut engine = ShardedEngine::new(&[1], ptile, pref);
+    let datasets: Vec<Dataset> = (0..40)
+        .map(|i| Dataset::from_rows(format!("d{i}"), vec![vec![i as f64]]))
+        .collect();
+    let ids: Vec<u64> = (0..40).collect();
+    engine.add_shard_opts(&Repository::new(datasets), &ids, &BuildOptions::serial());
+    let cfg = ServerConfig {
+        max_frame_len: 128,
+        ..ServerConfig::default()
+    };
+    let server = DdsServer::serve(engine, "127.0.0.1:0", cfg).expect("bind");
+
+    let mut client = DdsClient::connect(server.local_addr()).expect("connect");
+    let all = LogicalExpr::Pred(Predicate::percentile_at_least(
+        Rect::interval(-100.0, 100.0),
+        0.0,
+    ));
+    match client.query(&all) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.kind, ServerErrorKind::Internal);
+            assert!(e.message.contains("frame bound"), "{}", e.message);
+        }
+        other => panic!("expected a typed frame-bound error, got {other:?}"),
+    }
+    // The stream stayed in sync: the same session keeps serving, and a
+    // response that fits the bound comes through untouched.
+    client
+        .ping()
+        .expect("session alive after oversized response");
+    let one = LogicalExpr::Pred(Predicate::percentile_at_least(
+        Rect::interval(-0.5, 0.5),
+        0.5,
+    ));
+    assert_eq!(client.query(&one).expect("small query"), Ok(vec![0]));
+    server.shutdown();
+}
+
+#[test]
 fn mid_request_disconnects_never_wedge_the_server() {
     let server = tiny_server();
     let addr = server.local_addr();
@@ -470,6 +567,25 @@ fn hostile_expressions_are_rejected_typed() {
     match Response::decode(frame.opcode, &frame.payload).unwrap() {
         Response::Error(e) => assert!(e.message.contains("deep"), "{}", e.message),
         other => panic!("expected nesting rejection, got {other:?}"),
+    }
+
+    // A zero-child Or inside a wide And: the DNF clause *product* is
+    // zero (slipping a naive bound check), but expansion would
+    // materialize ~100^3 intermediate clauses first. Rejected at decode
+    // before any expansion happens.
+    let wide_or = LogicalExpr::Or(vec![ok_query(); 100]);
+    let zero_bomb = LogicalExpr::And(vec![
+        wide_or.clone(),
+        wide_or.clone(),
+        wide_or,
+        LogicalExpr::Or(vec![]),
+    ]);
+    match client.query(&zero_bomb) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.kind, ServerErrorKind::Protocol);
+            assert!(e.message.contains("zero-child"), "{}", e.message);
+        }
+        other => panic!("expected typed rejection, got {other:?}"),
     }
 
     // A hostile count (declares 2^30 datasets): typed, no allocation.
