@@ -8,7 +8,7 @@
 //! ```
 
 use dds_bench::experiments::{
-    ablations, batch, exact, federated, lowerbound, pref, ptile, scaling, shard, Scale,
+    ablations, batch, exact, federated, lowerbound, pref, ptile, scaling, serving, shard, Scale,
 };
 use dds_bench::Table;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -111,6 +111,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "--e14",
         "Sharded scatter/gather throughput",
         shard::e14_sharded_throughput,
+    ),
+    (
+        "--e15",
+        "Serving steady state: zero-allocation frames",
+        serving::e15_serving_allocations,
     ),
     (
         "--a1",

@@ -8,6 +8,7 @@ pub mod lowerbound;
 pub mod pref;
 pub mod ptile;
 pub mod scaling;
+pub mod serving;
 pub mod setup;
 pub mod shard;
 

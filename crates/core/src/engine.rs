@@ -53,6 +53,17 @@ fn predicate_key(pred: &Predicate) -> Vec<u64> {
 pub enum EngineError {
     /// A preference predicate uses a rank `k` the engine has no index for.
     MissingRank(usize),
+    /// A predicate's dimensionality (rectangle facets or preference-vector
+    /// length) does not match the engine's schema dimension. Returned by
+    /// the `try_query*` paths and by [`MixedQueryEngine::schema_check`];
+    /// the checked paths surface it instead of panicking deep inside the
+    /// underlying indexes.
+    DimensionMismatch {
+        /// The schema dimension the engine was built over.
+        expected: usize,
+        /// The dimensionality the offending predicate carries.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -64,11 +75,36 @@ impl std::fmt::Display for EngineError {
                     "no Pref index built for k = {k}; add it to the engine params"
                 )
             }
+            EngineError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "query dimension {got} does not match the served schema (dim = {expected})"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// The first predicate in `expr` whose dimensionality disagrees with
+/// `dim`, as `(expected, got)`. Percentile predicates carry their
+/// rectangle's facet count, preference predicates their direction-vector
+/// length.
+pub(crate) fn expr_dim_mismatch(expr: &LogicalExpr, dim: usize) -> Option<(usize, usize)> {
+    match expr {
+        LogicalExpr::Pred(p) => {
+            let got = match &p.measure {
+                MeasureFunction::Percentile(r) => r.dim(),
+                MeasureFunction::TopK { v, .. } => v.len(),
+            };
+            (got != dim).then_some((dim, got))
+        }
+        LogicalExpr::And(xs) | LogicalExpr::Or(xs) => {
+            xs.iter().find_map(|x| expr_dim_mismatch(x, dim))
+        }
+    }
+}
 
 /// A combined index answering logical expressions that mix percentile and
 /// top-k preference predicates over one repository.
@@ -186,6 +222,28 @@ impl MixedQueryEngine {
         self.n_datasets
     }
 
+    /// The schema dimension `d` the engine was built over. Every
+    /// predicate in a query must carry this dimensionality; the
+    /// `try_query*` paths reject mismatches with a typed
+    /// [`EngineError::DimensionMismatch`].
+    pub fn dim(&self) -> usize {
+        self.ptile.dim()
+    }
+
+    /// Checks every expression's predicate dimensionalities against the
+    /// engine schema, reporting the first mismatch as a typed error. The
+    /// serving tier runs this up front so a whole request (batches
+    /// included) is rejected all-or-nothing before any index is touched.
+    pub fn schema_check(&self, exprs: &[LogicalExpr]) -> Result<(), EngineError> {
+        let dim = self.dim();
+        for expr in exprs {
+            if let Some((expected, got)) = expr_dim_mismatch(expr, dim) {
+                return Err(EngineError::DimensionMismatch { expected, got });
+            }
+        }
+        Ok(())
+    }
+
     /// Total underlying index queries issued so far. DNF expansion can
     /// repeat one predicate in many clauses; this counts post-memoization
     /// queries, so it measures real index work. Batch calls go through the
@@ -223,8 +281,13 @@ impl MixedQueryEngine {
     /// Read-only: the engine can be shared (`&self`, e.g. behind an `Arc`)
     /// across query threads. Allocates a fresh [`QueryScratch`] per call;
     /// query loops should prefer [`query_with`](Self::query_with).
+    ///
+    /// Equivalent to [`try_query`](Self::try_query): the historical
+    /// dimension *asserts* in the underlying indexes are wrapped by the
+    /// typed [`EngineError::DimensionMismatch`] check, so a mismatched
+    /// expression errs instead of panicking.
     pub fn query(&self, expr: &LogicalExpr) -> Result<Vec<usize>, EngineError> {
-        self.query_with(expr, &mut QueryScratch::new())
+        self.try_query(expr)
     }
 
     /// [`query`](Self::query) with caller-provided scratch: identical
@@ -235,6 +298,23 @@ impl MixedQueryEngine {
         expr: &LogicalExpr,
         scratch: &mut QueryScratch,
     ) -> Result<Vec<usize>, EngineError> {
+        self.try_query_with(expr, scratch)
+    }
+
+    /// The fallible single-expression path: schema-checks the expression
+    /// ([`EngineError::DimensionMismatch`] on a wrong-dimension predicate),
+    /// then answers it.
+    pub fn try_query(&self, expr: &LogicalExpr) -> Result<Vec<usize>, EngineError> {
+        self.try_query_with(expr, &mut QueryScratch::new())
+    }
+
+    /// [`try_query`](Self::try_query) with caller-provided scratch.
+    pub fn try_query_with(
+        &self,
+        expr: &LogicalExpr,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<usize>, EngineError> {
+        self.schema_check(std::slice::from_ref(expr))?;
         self.query_inner(&expr.to_dnf(), scratch, None)
     }
 
@@ -250,7 +330,7 @@ impl MixedQueryEngine {
     /// thread count (pinned by `tests/batch_equivalence.rs`): cached masks
     /// are exactly the masks the indexes would recompute.
     pub fn query_batch(&self, exprs: &[LogicalExpr]) -> Vec<Result<Vec<usize>, EngineError>> {
-        self.query_batch_opts(exprs, &BuildOptions::default())
+        self.try_query_batch(exprs)
     }
 
     /// [`query_batch`](Self::query_batch) with an explicit worker-pool
@@ -260,7 +340,29 @@ impl MixedQueryEngine {
         exprs: &[LogicalExpr],
         opts: &BuildOptions,
     ) -> Vec<Result<Vec<usize>, EngineError>> {
+        self.try_query_batch_opts(exprs, opts)
+    }
+
+    /// The fallible batch path: each expression is schema-checked
+    /// independently, so a wrong-dimension expression yields
+    /// `Err(DimensionMismatch)` *in its slot* while the rest of the batch
+    /// is still answered (input-ordered, like every batch path).
+    pub fn try_query_batch(&self, exprs: &[LogicalExpr]) -> Vec<Result<Vec<usize>, EngineError>> {
+        self.try_query_batch_opts(exprs, &BuildOptions::default())
+    }
+
+    /// [`try_query_batch`](Self::try_query_batch) with an explicit
+    /// worker-pool configuration.
+    pub fn try_query_batch_opts(
+        &self,
+        exprs: &[LogicalExpr],
+        opts: &BuildOptions,
+    ) -> Vec<Result<Vec<usize>, EngineError>> {
+        let dim = self.dim();
         par_map_with(opts, exprs, QueryScratch::new, |scratch, _, expr| {
+            if let Some((expected, got)) = expr_dim_mismatch(expr, dim) {
+                return Err(EngineError::DimensionMismatch { expected, got });
+            }
             self.query_inner(&expr.to_dnf(), scratch, Some(&self.mask_cache))
         })
     }
@@ -503,6 +605,61 @@ mod tests {
         let mut again = again;
         again.sort_unstable();
         assert_eq!(again, hits);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed_not_a_panic() {
+        let e = engine();
+        assert_eq!(e.dim(), 2);
+        // A 1-d rectangle against the 2-d schema: typed error on every
+        // query path, no panic.
+        let bad = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::from_bounds(&[0.0], &[1.0]),
+            0.5,
+        ));
+        let want = EngineError::DimensionMismatch {
+            expected: 2,
+            got: 1,
+        };
+        assert_eq!(e.try_query(&bad), Err(want.clone()));
+        assert_eq!(e.query(&bad), Err(want.clone()));
+        assert_eq!(
+            e.schema_check(std::slice::from_ref(&bad)),
+            Err(want.clone())
+        );
+        // Nested inside a conjunction, and via a preference vector too.
+        let nested = LogicalExpr::And(vec![
+            LogicalExpr::Pred(Predicate::percentile_at_least(region_a(), 0.5)),
+            LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0, 0.0, 0.0], 1, 0.5)),
+        ]);
+        assert_eq!(
+            e.try_query(&nested),
+            Err(EngineError::DimensionMismatch {
+                expected: 2,
+                got: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn batch_dimension_mismatch_errs_per_slot() {
+        let e = engine();
+        let good = LogicalExpr::Pred(Predicate::percentile_at_least(region_a(), 0.5));
+        let bad = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::from_bounds(&[0.0], &[1.0]),
+            0.5,
+        ));
+        let res = e.try_query_batch(&[good.clone(), bad, good]);
+        assert_eq!(res.len(), 3);
+        assert!(res[0].is_ok());
+        assert_eq!(
+            res[1],
+            Err(EngineError::DimensionMismatch {
+                expected: 2,
+                got: 1,
+            })
+        );
+        assert_eq!(res[2], res[0]);
     }
 
     #[test]

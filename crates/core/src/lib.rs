@@ -31,7 +31,8 @@
 //! (reusable per-query state behind the `&self` query paths and the
 //! `query_batch` APIs), [`cache`] (the bounded, generation-tagged
 //! cross-call predicate-mask cache), [`shard`] (the scatter/gather service
-//! layer: one engine per repository shard, stable global dataset ids).
+//! layer: one engine per repository shard, stable global dataset ids),
+//! [`error`] (the typed query/ingest error surface in one place).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +42,19 @@ pub mod bitset;
 pub mod cache;
 pub mod delay;
 pub mod engine;
+
+/// The crate's typed failure surface, unified: everything a query or an
+/// ingest can reject with, re-exported from one place.
+///
+/// Queries fail with [`error::EngineError`] (an unindexed preference
+/// rank, a wrong-dimension predicate); ingest fails with
+/// [`error::IngestError`] (id collisions, schema mismatches, arity
+/// bugs). Services and the facade prelude import both from here instead
+/// of reaching into [`engine`] and [`shard`] separately.
+pub mod error {
+    pub use crate::engine::EngineError;
+    pub use crate::shard::IngestError;
+}
 pub mod extensions;
 pub mod framework;
 pub mod guarantee;

@@ -54,7 +54,7 @@
 //! scatter units.
 
 use crate::cache::MaskCache;
-use crate::engine::{EngineError, MixedQueryEngine};
+use crate::engine::{expr_dim_mismatch, EngineError, MixedQueryEngine};
 use crate::framework::{LogicalExpr, MeasureFunction, Predicate, Repository};
 use crate::pool::{par_map_with, BuildOptions};
 use crate::pref::PrefBuildParams;
@@ -437,6 +437,24 @@ impl ShardedEngine {
         self.shards.first().map(|s| s.dim)
     }
 
+    /// Checks every expression's predicate dimensionalities against the
+    /// served schema, reporting the first mismatch as a typed
+    /// [`EngineError::DimensionMismatch`]. A no-op while no shard is
+    /// loaded (an empty service has no schema to violate). The serving
+    /// tier (`dds-server`) runs this up front so a whole request —
+    /// batches included — is rejected all-or-nothing before any scatter.
+    pub fn schema_check(&self, exprs: &[LogicalExpr]) -> Result<(), EngineError> {
+        let Some(dim) = self.dim() else {
+            return Ok(());
+        };
+        for expr in exprs {
+            if let Some((expected, got)) = expr_dim_mismatch(expr, dim) {
+                return Err(EngineError::DimensionMismatch { expected, got });
+            }
+        }
+        Ok(())
+    }
+
     /// The stable ids of shard `shard`'s datasets, in shard-local order.
     ///
     /// # Panics
@@ -509,7 +527,7 @@ impl ShardedEngine {
     /// stable global ids**. A shard error (every shard is built with the
     /// same ranks, so shards fail alike) is reported once.
     pub fn query(&self, expr: &LogicalExpr) -> Result<Vec<GlobalId>, EngineError> {
-        self.query_with(expr, &mut QueryScratch::new())
+        self.try_query(expr)
     }
 
     /// [`query`](Self::query) with caller-provided scratch (reused across
@@ -519,6 +537,24 @@ impl ShardedEngine {
         expr: &LogicalExpr,
         scratch: &mut QueryScratch,
     ) -> Result<Vec<GlobalId>, EngineError> {
+        self.try_query_with(expr, scratch)
+    }
+
+    /// The fallible single-expression path: schema-checks the expression
+    /// against the served dimension (typed
+    /// [`EngineError::DimensionMismatch`] instead of a panic deep inside a
+    /// shard's indexes), then scatters it.
+    pub fn try_query(&self, expr: &LogicalExpr) -> Result<Vec<GlobalId>, EngineError> {
+        self.try_query_with(expr, &mut QueryScratch::new())
+    }
+
+    /// [`try_query`](Self::try_query) with caller-provided scratch.
+    pub fn try_query_with(
+        &self,
+        expr: &LogicalExpr,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<GlobalId>, EngineError> {
+        self.schema_check(std::slice::from_ref(expr))?;
         // One DNF expansion per expression, shared by the routing check
         // and every shard's evaluation.
         let dnf = expr.to_dnf();
@@ -544,7 +580,7 @@ impl ShardedEngine {
     /// expression at every shard count × thread count (pinned by
     /// `tests/shard_equivalence.rs`).
     pub fn query_batch(&self, exprs: &[LogicalExpr]) -> Vec<Result<Vec<GlobalId>, EngineError>> {
-        self.query_batch_opts(exprs, &BuildOptions::default())
+        self.try_query_batch(exprs)
     }
 
     /// [`query_batch`](Self::query_batch) with an explicit worker-pool
@@ -554,18 +590,67 @@ impl ShardedEngine {
         exprs: &[LogicalExpr],
         opts: &BuildOptions,
     ) -> Vec<Result<Vec<GlobalId>, EngineError>> {
+        self.try_query_batch_opts(exprs, opts)
+    }
+
+    /// The fallible batch path: each expression is schema-checked
+    /// independently, so a wrong-dimension expression yields
+    /// `Err(DimensionMismatch)` *in its slot* while the rest of the batch
+    /// is still scattered and answered.
+    pub fn try_query_batch(
+        &self,
+        exprs: &[LogicalExpr],
+    ) -> Vec<Result<Vec<GlobalId>, EngineError>> {
+        self.try_query_batch_opts(exprs, &BuildOptions::default())
+    }
+
+    /// [`try_query_batch`](Self::try_query_batch) with an explicit
+    /// worker-pool configuration.
+    pub fn try_query_batch_opts(
+        &self,
+        exprs: &[LogicalExpr],
+        opts: &BuildOptions,
+    ) -> Vec<Result<Vec<GlobalId>, EngineError>> {
         let n_shards = self.shards.len();
         if n_shards == 0 {
             return exprs.iter().map(|_| Ok(Vec::new())).collect();
         }
+        // Per-expression schema verdicts, taken before DNF expansion or
+        // routing: a mismatched expression must neither expand nor touch
+        // shard bounding boxes built for a different dimension.
+        let dim = self.dim().unwrap_or(0);
+        let schema_errs: Vec<Option<EngineError>> = exprs
+            .iter()
+            .map(|e| {
+                expr_dim_mismatch(e, dim)
+                    .map(|(expected, got)| EngineError::DimensionMismatch { expected, got })
+            })
+            .collect();
         // One DNF expansion per expression, shared read-only by the
         // routing plans and every (expression, shard) scatter unit — the
         // workers never re-expand.
-        let dnfs: Vec<Vec<Vec<Predicate>>> = exprs.iter().map(LogicalExpr::to_dnf).collect();
+        let dnfs: Vec<Vec<Vec<Predicate>>> = exprs
+            .iter()
+            .zip(&schema_errs)
+            .map(|(e, err)| {
+                if err.is_some() {
+                    Vec::new()
+                } else {
+                    e.to_dnf()
+                }
+            })
+            .collect();
         let plans: Vec<Option<Vec<bool>>> = exprs
             .iter()
             .zip(&dnfs)
-            .map(|(e, dnf)| self.routing_skip(e, dnf))
+            .zip(&schema_errs)
+            .map(|((e, dnf), err)| {
+                if err.is_some() {
+                    None
+                } else {
+                    self.routing_skip(e, dnf)
+                }
+            })
             .collect();
         // Scatter: unit (e, s) answers expression e on shard s. Flattening
         // both dimensions keeps the pool busy even when the batch is
@@ -574,6 +659,9 @@ impl ShardedEngine {
             .flat_map(|e| (0..n_shards).map(move |s| (e, s)))
             .collect();
         let partials = par_map_with(opts, &units, QueryScratch::new, |scratch, _, &(e, s)| {
+            if let Some(err) = &schema_errs[e] {
+                return Err(err.clone());
+            }
             if plans[e].as_ref().is_some_and(|sk| sk[s]) {
                 self.routed_past.fetch_add(1, Ordering::Relaxed);
                 return Ok(Vec::new());
@@ -889,6 +977,44 @@ mod tests {
         assert_eq!(svc.dim(), None);
         assert_eq!(svc.query(&low_expr()), Ok(vec![]));
         assert_eq!(svc.query_batch(&[low_expr()]), vec![Ok(vec![])]);
+        // No shards → no schema to violate: a 3-d expression passes.
+        let wide = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::from_bounds(&[0.0; 3], &[1.0; 3]),
+            0.5,
+        ));
+        assert_eq!(svc.schema_check(std::slice::from_ref(&wide)), Ok(()));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed_on_every_query_path() {
+        let svc = service();
+        let bad = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::from_bounds(&[0.0, 0.0], &[1.0, 1.0]),
+            0.5,
+        ));
+        let want = EngineError::DimensionMismatch {
+            expected: 1,
+            got: 2,
+        };
+        assert_eq!(
+            svc.schema_check(std::slice::from_ref(&bad)),
+            Err(want.clone())
+        );
+        assert_eq!(svc.try_query(&bad), Err(want.clone()));
+        assert_eq!(svc.query(&bad), Err(want.clone()));
+        // Batch: the bad slot errs, the good slots still answer — at
+        // every thread count.
+        for threads in [1, 2, 8] {
+            let batch = svc.try_query_batch_opts(
+                &[low_expr(), bad.clone(), wide_expr()],
+                &BuildOptions::with_threads(threads),
+            );
+            assert_eq!(batch[0], Ok(vec![7]), "threads = {threads}");
+            assert_eq!(batch[1], Err(want.clone()), "threads = {threads}");
+            assert_eq!(batch[2], Ok(vec![5, 7]), "threads = {threads}");
+        }
+        // The service keeps serving afterwards.
+        assert_eq!(svc.query(&low_expr()), Ok(vec![7]));
     }
 
     #[test]

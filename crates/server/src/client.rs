@@ -7,33 +7,68 @@
 //! [`query`](DdsClient::query) returns exactly the in-process
 //! `ShardedEngine::query` result (pinned byte-identical by the loopback
 //! tests).
+//!
+//! The connection reuses one scratch buffer per direction across calls
+//! (frames are encoded with [`crate::wire::encode_frame_into`] and read
+//! with [`crate::wire::read_frame_into`]), so a warmed-up client
+//! allocates nothing per round trip — the other half of the server's
+//! zero-allocation steady state, pinned together by the `dds-bench`
+//! counting-allocator experiment.
 
 use crate::protocol::{Request, Response, ServerError, ServerStats};
 use crate::wire::{
-    read_frame, write_frame, FrameReadError, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    encode_frame_into, read_frame_into, FrameReadError, WireError, DEFAULT_MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
 use dds_core::engine::EngineError;
 use dds_core::framework::{LogicalExpr, Repository};
 use dds_core::shard::GlobalId;
 use std::fmt;
-use std::io;
+use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A query answer exactly as the in-process engine would return it.
 pub type EngineResult = Result<Vec<GlobalId>, EngineError>;
+
+/// Connection options for [`DdsClient::connect_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Socket read **and** write timeout for every call; `None` (the
+    /// default) blocks indefinitely. An expired timeout surfaces as
+    /// [`ClientError::TimedOut`] — the connection should be dropped
+    /// afterwards, since an abandoned response may still arrive and
+    /// desynchronise the stream.
+    pub timeout: Option<Duration>,
+    /// Upper bound on a frame body this client accepts and emits.
+    pub max_frame_len: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            timeout: None,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
 
 /// Why a client call failed *before* producing an engine answer.
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport failure (connect, read, write, or server closed).
     Io(io::Error),
+    /// The configured [`ClientConfig::timeout`] expired mid-call. The
+    /// connection is no longer usable: the response may arrive later and
+    /// desynchronise the stream.
+    TimedOut,
     /// The response violated the wire grammar.
     Wire(WireError),
     /// The server's admission queue was full; the request was not
     /// executed — retry later (the typed backpressure signal).
     Busy,
     /// The server answered a typed request-level error (protocol
-    /// rejection, refused ingest, shutting down).
+    /// rejection, refused ingest, rate-limit throttling, shutting down).
     Server(ServerError),
     /// The server answered with a well-formed but unexpected response
     /// kind.
@@ -49,6 +84,9 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::TimedOut => {
+                write!(f, "request timed out (ClientConfig::timeout)")
+            }
             ClientError::Wire(e) => write!(f, "wire error: {e}"),
             ClientError::Busy => write!(f, "server busy: admission queue full, retry later"),
             ClientError::Server(e) => write!(f, "server error: {e}"),
@@ -72,7 +110,17 @@ impl std::error::Error for ClientError {
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        // Platforms disagree on what an expired socket timeout reads as:
+        // Unix surfaces EAGAIN (WouldBlock), Windows WSAETIMEDOUT
+        // (TimedOut). Both mean the same thing here.
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            ClientError::TimedOut
+        } else {
+            ClientError::Io(e)
+        }
     }
 }
 
@@ -89,7 +137,7 @@ impl From<FrameReadError> for ClientError {
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             )),
-            FrameReadError::Io(e) => ClientError::Io(e),
+            FrameReadError::Io(e) => e.into(),
             FrameReadError::Wire(e) => ClientError::Wire(e),
         }
     }
@@ -100,16 +148,32 @@ impl From<FrameReadError> for ClientError {
 pub struct DdsClient {
     stream: TcpStream,
     max_frame_len: u32,
+    /// Encoded request frame, reused across calls.
+    scratch_out: Vec<u8>,
+    /// Response frame payload, reused across calls.
+    scratch_in: Vec<u8>,
 }
 
 impl DdsClient {
-    /// Connects to a server.
+    /// Connects to a server with default options (no timeout).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<DdsClient, ClientError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a server with explicit [`ClientConfig`] options.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        cfg: ClientConfig,
+    ) -> Result<DdsClient, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(cfg.timeout)?;
+        stream.set_write_timeout(cfg.timeout)?;
         Ok(DdsClient {
             stream,
-            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_frame_len: cfg.max_frame_len,
+            scratch_out: Vec::new(),
+            scratch_in: Vec::new(),
         })
     }
 
@@ -121,19 +185,19 @@ impl DdsClient {
 
     /// One request/response round trip.
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let (op, payload) = req.encode();
-        write_frame(
-            &mut self.stream,
+        encode_frame_into(
+            &mut self.scratch_out,
             PROTOCOL_VERSION,
-            op,
-            &payload,
             self.max_frame_len,
+            |w| req.encode_to(w),
         )?;
-        let frame = read_frame(&mut self.stream, self.max_frame_len)?;
-        if frame.version != PROTOCOL_VERSION {
-            return Err(WireError::UnsupportedVersion { got: frame.version }.into());
+        self.stream.write_all(&self.scratch_out)?;
+        let (version, opcode) =
+            read_frame_into(&mut self.stream, self.max_frame_len, &mut self.scratch_in)?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion { got: version }.into());
         }
-        match Response::decode(frame.opcode, &frame.payload)? {
+        match Response::decode(opcode, &self.scratch_in)? {
             Response::Busy => Err(ClientError::Busy),
             Response::Error(e) => Err(ClientError::Server(e)),
             resp => Ok(resp),

@@ -4,8 +4,8 @@
 //! The paper frames dataset search as a service a data marketplace
 //! exposes to searchers; `dds_core::shard::ShardedEngine` is that service
 //! in-process, and this crate puts it behind a wire boundary using **std
-//! only** (`std::net::TcpListener`, scoped threads — no async runtime, no
-//! serde):
+//! only** (`std::net`, a vendored `poll(2)` shim — no async runtime, no
+//! serde; POSIX-only because of the readiness loop):
 //!
 //! * [`wire`] — length-prefixed, versioned frames with checked primitive
 //!   codecs; malformed, truncated and oversized input surface as typed
@@ -14,19 +14,30 @@
 //!   errors, admin ops and the aggregated [`protocol::ServerStats`];
 //!   decoding also validates the semantic bounds that would panic the
 //!   engine (NaN intervals, DNF explosions, empty datasets).
-//! * [`server`] — [`DdsServer`]: a listener, per-connection sessions, a
-//!   **bounded admission queue** (overload answers a typed
-//!   [`protocol::Response::Busy`] instead of buffering unboundedly — the
-//!   backpressure contract), a fixed executor pool running jobs on the
+//! * [`reactor`] — the level-triggered readiness loop ([`poll(2)`] via
+//!   the vendored `poll-shim`) plus a cross-thread [`reactor::Waker`].
+//! * [`buffer`] — the size-classed session [`buffer::BufferPool`]:
+//!   steady-state serving allocates nothing per frame, and a warm pool
+//!   makes reconnect storms allocation-free too.
+//! * [`server`] — [`DdsServer`]: a listener, a fixed pool of I/O threads
+//!   driving session state machines over nonblocking sockets (thousands
+//!   of idle connections per thread), a **bounded admission queue**
+//!   (overload answers a typed [`protocol::Response::Busy`] instead of
+//!   buffering unboundedly — the backpressure contract), optional
+//!   per-session token-bucket [`RateLimit`]s (a typed `throttled` error,
+//!   never silent drops), a fixed executor pool running jobs on the
 //!   engine's `dds_pool`-backed batch paths, and graceful shutdown
 //!   (gate + drain: everything admitted is answered).
 //! * [`client`] — [`DdsClient`]: a blocking connection with single/batch
-//!   query calls and admin calls (`add_shard`, `rebuild_shard`, `stats`,
-//!   `shutdown_server`).
+//!   query calls, admin calls (`add_shard`, `rebuild_shard`, `stats`,
+//!   `shutdown_server`), and configurable socket timeouts
+//!   ([`ClientConfig`]).
 //!
 //! Served answers are **byte-identical** to in-process `ShardedEngine`
 //! answers — `EngineError`s included — under concurrent clients; the
 //! loopback integration tests pin this.
+//!
+//! [`poll(2)`]: https://man7.org/linux/man-pages/man2/poll.2.html
 //!
 //! ```no_run
 //! use dds_core::pref::PrefBuildParams;
@@ -50,12 +61,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod client;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, DdsClient, EngineResult};
+pub use client::{ClientConfig, ClientError, DdsClient, EngineResult};
 pub use protocol::{Request, Response, ServerError, ServerErrorKind, ServerStats};
-pub use server::{DdsServer, ServerConfig};
+pub use server::{DdsServer, RateLimit, ServerConfig};
 pub use wire::{WireError, PROTOCOL_VERSION};

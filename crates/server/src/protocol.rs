@@ -164,6 +164,11 @@ pub enum ServerErrorKind {
     /// executing the request, or the answer could not be shipped within
     /// the protocol's frame bound. The server itself stays up.
     Internal,
+    /// The session exhausted its token-bucket rate limit
+    /// (`ServerConfig::rate_limit`); nothing was executed or buffered.
+    /// Transient, like `Busy` — back off and retry; the bucket refills at
+    /// the configured rate.
+    Throttled,
 }
 
 impl fmt::Display for ServerErrorKind {
@@ -174,6 +179,7 @@ impl fmt::Display for ServerErrorKind {
             ServerErrorKind::Unavailable => write!(f, "unavailable"),
             ServerErrorKind::InvalidQuery => write!(f, "invalid-query"),
             ServerErrorKind::Internal => write!(f, "internal"),
+            ServerErrorKind::Throttled => write!(f, "throttled"),
         }
     }
 }
@@ -255,14 +261,20 @@ pub struct ServerStats {
     /// Datasets currently served.
     pub n_datasets: u64,
     /// Jobs whose execution panicked (answered with a typed `internal`
-    /// error; the executor survives). Serialized **last**: the stats list
-    /// extends by appending, so older clients keep decoding the prefix
-    /// they know.
+    /// error; the executor survives).
     pub executor_panics: u64,
+    /// Work requests refused with a typed `throttled` error (the
+    /// session's token bucket was empty).
+    pub sessions_throttled: u64,
+    /// Session buffers served from the [`crate::buffer::BufferPool`]
+    /// instead of the allocator. The two newest counters are serialized
+    /// **last**: the stats list extends by appending, so older clients
+    /// keep decoding the prefix they know.
+    pub buffers_reused: u64,
 }
 
 impl ServerStats {
-    fn fields(&self) -> [u64; 22] {
+    fn fields(&self) -> [u64; 24] {
         [
             self.requests,
             self.queries,
@@ -286,6 +298,8 @@ impl ServerStats {
             self.n_shards,
             self.n_datasets,
             self.executor_panics,
+            self.sessions_throttled,
+            self.buffers_reused,
         ]
     }
 
@@ -313,6 +327,8 @@ impl ServerStats {
             n_shards: f[19],
             n_datasets: f[20],
             executor_panics: f[21],
+            sessions_throttled: f[22],
+            buffers_reused: f[23],
         }
     }
 }
@@ -602,12 +618,21 @@ fn put_engine_error(w: &mut Writer, e: &EngineError) {
             w.put_u8(0x00);
             w.put_u64(*k as u64);
         }
+        EngineError::DimensionMismatch { expected, got } => {
+            w.put_u8(0x01);
+            w.put_u64(*expected as u64);
+            w.put_u64(*got as u64);
+        }
     }
 }
 
 fn get_engine_error(r: &mut Reader) -> Result<EngineError, WireError> {
     match r.u8()? {
         0x00 => Ok(EngineError::MissingRank(r.u64()? as usize)),
+        0x01 => Ok(EngineError::DimensionMismatch {
+            expected: r.u64()? as usize,
+            got: r.u64()? as usize,
+        }),
         tag => Err(WireError::BadTag {
             context: "engine error",
             tag,
@@ -657,15 +682,25 @@ impl Request {
     /// Encodes to `(opcode, payload)`.
     pub fn encode(&self) -> (u8, Vec<u8>) {
         let mut w = Writer::new();
-        let op = match self {
+        let op = self.encode_to(&mut w);
+        (op, w.into_bytes())
+    }
+
+    /// Encodes the payload into a caller-provided [`Writer`] (whose
+    /// backing buffer is typically pooled — see
+    /// [`Writer::from_vec`](crate::wire::Writer::from_vec)), returning
+    /// the opcode. The allocation-free twin of
+    /// [`encode`](Self::encode).
+    pub fn encode_to(&self, w: &mut Writer) -> u8 {
+        match self {
             Request::Query(expr) => {
-                put_expr(&mut w, expr);
+                put_expr(w, expr);
                 opcode::QUERY
             }
             Request::QueryBatch(exprs) => {
                 w.put_count(exprs.len());
                 for e in exprs {
-                    put_expr(&mut w, e);
+                    put_expr(w, e);
                 }
                 opcode::QUERY_BATCH
             }
@@ -673,7 +708,7 @@ impl Request {
                 datasets,
                 global_ids,
             } => {
-                put_shard_data(&mut w, datasets, global_ids);
+                put_shard_data(w, datasets, global_ids);
                 opcode::ADD_SHARD
             }
             Request::RebuildShard {
@@ -682,7 +717,7 @@ impl Request {
                 global_ids,
             } => {
                 w.put_u32(*shard);
-                put_shard_data(&mut w, datasets, global_ids);
+                put_shard_data(w, datasets, global_ids);
                 opcode::REBUILD_SHARD
             }
             Request::Stats => opcode::STATS,
@@ -695,8 +730,7 @@ impl Request {
                 w.put_u32(*ms);
                 opcode::SLEEP
             }
-        };
-        (op, w.into_bytes())
+        }
     }
 
     /// Decodes and validates a request payload. Rejections are typed; the
@@ -749,15 +783,23 @@ impl Response {
     /// Encodes to `(opcode, payload)`.
     pub fn encode(&self) -> (u8, Vec<u8>) {
         let mut w = Writer::new();
-        let op = match self {
+        let op = self.encode_to(&mut w);
+        (op, w.into_bytes())
+    }
+
+    /// Encodes the payload into a caller-provided [`Writer`], returning
+    /// the opcode — the allocation-free twin of [`encode`](Self::encode)
+    /// used by the session layer's pooled write buffers.
+    pub fn encode_to(&self, w: &mut Writer) -> u8 {
+        match self {
             Response::Hits(res) => {
-                put_engine_result(&mut w, res);
+                put_engine_result(w, res);
                 opcode::HITS
             }
             Response::BatchHits(results) => {
                 w.put_count(results.len());
                 for res in results {
-                    put_engine_result(&mut w, res);
+                    put_engine_result(w, res);
                 }
                 opcode::BATCH_HITS
             }
@@ -786,12 +828,12 @@ impl Response {
                     ServerErrorKind::Unavailable => 0x02,
                     ServerErrorKind::InvalidQuery => 0x03,
                     ServerErrorKind::Internal => 0x04,
+                    ServerErrorKind::Throttled => 0x05,
                 });
                 w.put_str(&e.message);
                 opcode::ERROR
             }
-        };
-        (op, w.into_bytes())
+        }
     }
 
     /// Decodes a response payload (the client side of the codec).
@@ -832,6 +874,7 @@ impl Response {
                     0x02 => ServerErrorKind::Unavailable,
                     0x03 => ServerErrorKind::InvalidQuery,
                     0x04 => ServerErrorKind::Internal,
+                    0x05 => ServerErrorKind::Throttled,
                     tag => {
                         return Err(WireError::BadTag {
                             context: "error kind",
@@ -912,18 +955,32 @@ mod tests {
         let responses = vec![
             Response::Hits(Ok(vec![1, 5, 9])),
             Response::Hits(Err(EngineError::MissingRank(7))),
-            Response::BatchHits(vec![Ok(vec![]), Err(EngineError::MissingRank(2))]),
+            Response::Hits(Err(EngineError::DimensionMismatch {
+                expected: 2,
+                got: 5,
+            })),
+            Response::BatchHits(vec![
+                Ok(vec![]),
+                Err(EngineError::MissingRank(2)),
+                Err(EngineError::DimensionMismatch {
+                    expected: 1,
+                    got: 3,
+                }),
+            ]),
             Response::ShardAdded { shard: 4 },
             Response::Done,
             Response::Stats(ServerStats {
                 requests: 10,
                 bytes_in: 999,
                 n_shards: 3,
+                sessions_throttled: 17,
+                buffers_reused: 23,
                 ..Default::default()
             }),
             Response::Pong { token: 42 },
             Response::Busy,
             Response::Error(ServerError::new(ServerErrorKind::Ingest, "id 5 in use")),
+            Response::Error(ServerError::new(ServerErrorKind::Throttled, "rate limited")),
         ];
         for resp in responses {
             let (op, bytes) = resp.encode();

@@ -1,0 +1,174 @@
+//! A minimal level-triggered readiness loop for the session I/O threads.
+//!
+//! [`Reactor::poll`] wraps POSIX `poll(2)` (via the vendored `poll-shim`
+//! crate — no async runtime, no `mio`): the caller hands it the fds it
+//! currently cares about with a read/write interest each, and gets back
+//! which of them are ready. Level-triggered on purpose: a session that
+//! consumes only part of what's pending (one frame of a pipelined burst,
+//! one `write` of a long response) sees its fd again on the next call,
+//! so the state machines in [`crate::server`] never need edge-tracking.
+//!
+//! Each reactor owns a [`Waker`] endpoint — a nonblocking
+//! `UnixStream::pair` whose read half is polled alongside the sockets —
+//! so other threads (the listener handing over a fresh connection, an
+//! executor delivering a finished job) can interrupt a blocking poll
+//! without ever touching the sockets themselves. Wakes are coalesced:
+//! any number of `wake` calls while the pipe is non-empty cost one byte
+//! and one drain.
+
+use poll_shim::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use std::io::{self, Read, Write};
+use std::os::fd::RawFd;
+use std::os::unix::net::UnixStream;
+
+/// What a source wants to hear about. Sessions want `Read` while
+/// expecting request bytes and `Write` while flushing a response; a
+/// session awaiting its executor result wants neither and is simply not
+/// submitted to [`Reactor::poll`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interest {
+    /// Readiness to read (`POLLIN`).
+    Read,
+    /// Readiness to write (`POLLOUT`).
+    Write,
+}
+
+/// One ready source, reported by [`Reactor::poll`].
+#[derive(Clone, Copy, Debug)]
+pub struct Ready {
+    /// Index of the source in the `sources` slice passed to `poll`.
+    pub token: usize,
+    /// The requested interest is satisfied (or the kernel flagged an
+    /// error/hangup condition, which a read/write will surface as `Err`
+    /// or EOF — the caller should attempt the I/O either way).
+    pub ready: bool,
+}
+
+/// The cross-thread wakeup handle paired with one [`Reactor`]. Cheap to
+/// clone the underlying socket is not — hold it in an `Arc` next to the
+/// queues it signals about.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Interrupts the paired reactor's current (or next) `poll`. Never
+    /// blocks and never fails: the write end is nonblocking, and a full
+    /// pipe already guarantees the reactor will wake.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1]);
+    }
+}
+
+/// The readiness loop state: the waker's read half plus reusable
+/// `pollfd` scratch.
+#[derive(Debug)]
+pub struct Reactor {
+    rx: UnixStream,
+    fds: Vec<PollFd>,
+}
+
+impl Reactor {
+    /// A fresh reactor and its paired [`Waker`].
+    pub fn new() -> io::Result<(Reactor, Waker)> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((
+            Reactor {
+                rx,
+                fds: Vec::new(),
+            },
+            Waker { tx },
+        ))
+    }
+
+    /// Waits up to `timeout_ms` (`-1` = indefinitely) for the waker or
+    /// any source to become ready. Ready sources are appended to `ready`
+    /// (cleared first) as indexes into `sources`; the return value says
+    /// whether the waker fired (its pipe is drained before returning, so
+    /// coalesced wakes cost one syscall).
+    pub fn poll(
+        &mut self,
+        sources: &[(RawFd, Interest)],
+        timeout_ms: i32,
+        ready: &mut Vec<Ready>,
+    ) -> io::Result<bool> {
+        use std::os::fd::AsRawFd;
+        ready.clear();
+        self.fds.clear();
+        self.fds.push(PollFd::new(self.rx.as_raw_fd(), POLLIN));
+        for &(fd, interest) in sources {
+            let events = match interest {
+                Interest::Read => POLLIN,
+                Interest::Write => POLLOUT,
+            };
+            self.fds.push(PollFd::new(fd, events));
+        }
+        poll_fds(&mut self.fds, timeout_ms)?;
+        let mut woken = false;
+        if self.fds[0].revents != 0 {
+            woken = true;
+            let mut sink = [0u8; 64];
+            while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+        for (i, slot) in self.fds.iter().enumerate().skip(1) {
+            // Error conditions count as ready even if the interest bit is
+            // absent: the caller's read/write surfaces the failure, which
+            // is how a half-dead session gets torn down.
+            if slot.revents & (POLLIN | POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0 {
+                ready.push(Ready {
+                    token: i - 1,
+                    ready: true,
+                });
+            }
+        }
+        Ok(woken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_interrupts_and_coalesces() {
+        let (mut reactor, waker) = Reactor::new().unwrap();
+        waker.wake();
+        waker.wake();
+        waker.wake();
+        let mut ready = Vec::new();
+        assert!(reactor.poll(&[], 1000, &mut ready).unwrap());
+        assert!(ready.is_empty());
+        // Drained: the next zero-timeout poll reports no wake.
+        assert!(!reactor.poll(&[], 0, &mut ready).unwrap());
+    }
+
+    #[test]
+    fn reports_socket_readiness_by_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let (mut reactor, _waker) = Reactor::new().unwrap();
+        let mut ready = Vec::new();
+        // `a` has nothing to read, but is certainly writable.
+        let sources = [
+            (a.as_raw_fd(), Interest::Read),
+            (a.as_raw_fd(), Interest::Write),
+        ];
+        reactor.poll(&sources, 1000, &mut ready).unwrap();
+        let tokens: Vec<usize> = ready.iter().map(|r| r.token).collect();
+        assert_eq!(tokens, vec![1]);
+        // After the peer writes, the read interest fires too.
+        use std::io::Write as _;
+        (&b).write_all(b"hi").unwrap();
+        reactor.poll(&sources, 1000, &mut ready).unwrap();
+        let tokens: Vec<usize> = ready.iter().map(|r| r.token).collect();
+        assert_eq!(tokens, vec![0, 1]);
+    }
+}

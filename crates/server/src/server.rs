@@ -1,20 +1,35 @@
-//! The serving loop: sessions, bounded admission, executors, shutdown.
+//! The serving loop: readiness-driven sessions, bounded admission,
+//! executors, shutdown.
 //!
 //! Thread anatomy (all `std::thread`, no async runtime):
 //!
-//! * one **listener** accepts connections and spawns a session thread per
-//!   client;
-//! * each **session** reads frames, answers the cheap control ops
-//!   (stats/ping/shutdown) in place, and pushes real work — queries,
-//!   batches, ingests — into the **bounded admission queue**
-//!   (`mpsc::sync_channel(queue_depth)`). A full queue answers
-//!   [`Response::Busy`] immediately: the server never buffers more than
-//!   `queue_depth` requests, which is the whole backpressure story;
+//! * one **listener** accepts connections, flips them nonblocking, and
+//!   hands each to an I/O thread round-robin;
+//! * a fixed pool of **I/O threads** (`cfg.io_threads`, independent of
+//!   the connection count) each run a level-triggered readiness loop
+//!   ([`crate::reactor`], `poll(2)` under the hood). Every session is a
+//!   small state machine — reading the length prefix, reading the body,
+//!   awaiting its executor result, or flushing a response — so one
+//!   thread holds thousands of idle connections at the cost of one
+//!   `pollfd` each. Cheap control ops (stats/ping/shutdown) are answered
+//!   in place; real work — queries, batches, ingests — goes into the
+//!   **bounded admission queue** (`mpsc::sync_channel(queue_depth)`). A
+//!   full queue answers [`Response::Busy`] immediately: the server never
+//!   buffers more than `queue_depth` requests, which is the whole
+//!   backpressure story. Session buffers come from a shared size-classed
+//!   [`BufferPool`], so steady-state serving allocates nothing per frame
+//!   (and, warm, nothing per session);
 //! * a fixed pool of **executors** drains the queue and runs jobs against
 //!   the shared [`ShardedEngine`] — queries under a read lock (the
 //!   engine's `&self` paths fan out over `dds_pool` internally via
 //!   `query_batch`), ingests under a write lock through the non-panicking
-//!   `try_*` paths.
+//!   `try_*` paths. Results travel back to the owning I/O thread through
+//!   its completion queue plus a waker.
+//!
+//! Optionally each session carries a token-bucket **rate limit**
+//! ([`ServerConfig::rate_limit`]): work ops beyond the budget are
+//! answered with a typed `throttled` error without ever touching the
+//! admission queue, so one hot client cannot starve the executor pool.
 //!
 //! Graceful shutdown (remote [`Request::Shutdown`] or local
 //! [`DdsServer::shutdown`]) flips the admission gate — late requests get a
@@ -22,25 +37,47 @@
 //! the gate is up *and* the queue reads empty, so everything admitted is
 //! executed and answered first (a request racing the gate edge is
 //! answered with a typed `Unavailable` when the queue drops — answered,
-//! never hung); idle sessions are unblocked by shutting their sockets
-//! down last.
+//! never hung). Only after the executors are gone do the I/O threads get
+//! the reap signal: they flush every pending response, close every
+//! session, and exit.
 
+use crate::buffer::BufferPool;
 use crate::protocol::{
     Request, Response, ServerError, ServerErrorKind, ServerStats, MAX_SLEEP_MS, PANIC_DRILL_MS,
 };
+use crate::reactor::{Interest, Reactor, Ready, Waker};
 use crate::wire::{
-    read_frame, write_frame, FrameReadError, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    encode_frame_into, WireError, DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN, PROTOCOL_VERSION,
 };
-use dds_core::framework::{LogicalExpr, MeasureFunction, Repository};
+use dds_core::framework::Repository;
 use dds_core::pool::BuildOptions;
 use dds_core::shard::ShardedEngine;
-use std::collections::HashMap;
-use std::io;
-use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A per-session token-bucket rate limit (see
+/// [`ServerConfig::rate_limit`]).
+///
+/// Each session starts with `burst` tokens; a work op costs one, and
+/// tokens flow back at `per_sec` per second up to the `burst` cap. A
+/// session out of tokens gets a typed
+/// [`throttled`](ServerErrorKind::Throttled) error — transient by
+/// contract, like `Busy`: back off and retry. Control ops (stats, ping,
+/// shutdown) are never throttled. `per_sec: 0` means the burst is all a
+/// session ever gets — useful for deterministic drills.
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimit {
+    /// Bucket capacity: the largest back-to-back run of work ops.
+    pub burst: u32,
+    /// Sustained work ops per second flowing back into the bucket.
+    pub per_sec: u32,
+}
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -50,6 +87,10 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Executor threads draining the queue.
     pub executors: usize,
+    /// Session I/O threads. Each runs a readiness loop over its share of
+    /// the connections, so this bounds I/O parallelism, **not** the
+    /// connection count — two threads serve thousands of idle sessions.
+    pub io_threads: usize,
     /// Worker threads each executed query fans out over
     /// (`ShardedEngine::query_batch_opts`); `None` uses the engine
     /// default (`DDS_THREADS` / all cores). Builds triggered by ingest use
@@ -61,6 +102,9 @@ pub struct ServerConfig {
     /// for backpressure drills in tests, and a production server must not
     /// hand unauthenticated clients a free executor-occupancy primitive.
     pub allow_sleep: bool,
+    /// Per-session work-op budget; `None` (the default) serves
+    /// unthrottled.
+    pub rate_limit: Option<RateLimit>,
 }
 
 impl Default for ServerConfig {
@@ -68,9 +112,11 @@ impl Default for ServerConfig {
         ServerConfig {
             queue_depth: 64,
             executors: 2,
+            io_threads: 2,
             query_threads: None,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             allow_sleep: false,
+            rate_limit: None,
         }
     }
 }
@@ -94,13 +140,64 @@ struct Counters {
     bytes_out: AtomicU64,
     sessions_opened: AtomicU64,
     sessions_active: AtomicU64,
+    sessions_throttled: AtomicU64,
 }
 
-/// One admitted unit of work: the decoded request plus the channel its
-/// session is waiting on.
+/// The executor side of one session's pending request: delivers the
+/// response to the owning I/O thread's completion queue. Dropping an
+/// unsent reply (executor pool died, job dropped with the queue at the
+/// drain edge) delivers a typed `Unavailable` instead — a session that
+/// got its job admitted is *answered*, never hung.
+struct JobReply {
+    io: Arc<IoShared>,
+    session: u64,
+    done: bool,
+}
+
+impl JobReply {
+    fn deliver(&self, resp: Response) {
+        self.io
+            .completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((self.session, resp));
+        self.io.waker.wake();
+    }
+
+    fn send(mut self, resp: Response) {
+        self.done = true;
+        self.deliver(resp);
+    }
+
+    /// Disarms the drop-side `Unavailable` for a job that was *not*
+    /// admitted (the session answers Busy/Unavailable itself).
+    fn defuse(mut self) {
+        self.done = true;
+    }
+}
+
+impl Drop for JobReply {
+    fn drop(&mut self) {
+        if !self.done {
+            self.deliver(unavailable());
+        }
+    }
+}
+
+/// One admitted unit of work: the decoded request plus the reply handle
+/// of the session waiting on it.
 struct Job {
     req: Request,
-    reply: SyncSender<Response>,
+    reply: JobReply,
+}
+
+/// One I/O thread's mailboxes, shared with the listener (fresh
+/// connections) and the executors (finished jobs). The waker interrupts
+/// the thread's `poll` whenever either queue gains an entry.
+struct IoShared {
+    intake: Mutex<Vec<(u64, TcpStream)>>,
+    completions: Mutex<Vec<(u64, Response)>>,
+    waker: Waker,
 }
 
 /// State shared by every server thread.
@@ -113,12 +210,18 @@ struct Shared {
     local_addr: std::net::SocketAddr,
     /// Once set, sessions stop admitting work (typed `Unavailable`).
     shutting_down: AtomicBool,
+    /// Set after the executors drained: I/O threads flush, close
+    /// everything, and exit.
+    reap: AtomicBool,
     /// Wakes [`DdsServer::wait_shutdown`] when a remote shutdown arrives.
     shutdown_cv: (Mutex<bool>, Condvar),
-    /// Live session sockets, for unblocking reads at teardown.
-    sessions: Mutex<HashMap<u64, TcpStream>>,
-    /// Admission queue sender; sessions clone it per job attempt.
+    /// Admission queue sender.
     queue: SyncSender<Job>,
+    /// One mailbox per I/O thread; the listener deals connections across
+    /// them round-robin.
+    ios: Vec<Arc<IoShared>>,
+    /// Session read/write buffers, recycled across sessions.
+    buffer_pool: BufferPool,
 }
 
 impl Shared {
@@ -178,6 +281,8 @@ impl Shared {
             bytes_out: c.bytes_out.load(Ordering::Relaxed),
             sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
             sessions_active: c.sessions_active.load(Ordering::Relaxed),
+            sessions_throttled: c.sessions_throttled.load(Ordering::Relaxed),
+            buffers_reused: self.buffer_pool.reused(),
             cache_hits: engine.cache_hits,
             cache_misses: engine.cache_misses,
             index_queries: engine.index_queries,
@@ -198,7 +303,7 @@ pub struct DdsServer {
     local_addr: std::net::SocketAddr,
     listener_thread: Option<JoinHandle<()>>,
     executor_threads: Vec<JoinHandle<()>>,
-    session_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    io_threads: Vec<JoinHandle<()>>,
 }
 
 impl DdsServer {
@@ -211,8 +316,20 @@ impl DdsServer {
     ) -> io::Result<DdsServer> {
         assert!(cfg.queue_depth >= 1, "admission queue needs depth >= 1");
         assert!(cfg.executors >= 1, "need at least one executor");
+        assert!(cfg.io_threads >= 1, "need at least one I/O thread");
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let mut reactors = Vec::with_capacity(cfg.io_threads);
+        let mut ios = Vec::with_capacity(cfg.io_threads);
+        for _ in 0..cfg.io_threads {
+            let (reactor, waker) = Reactor::new()?;
+            reactors.push(reactor);
+            ios.push(Arc::new(IoShared {
+                intake: Mutex::new(Vec::new()),
+                completions: Mutex::new(Vec::new()),
+                waker,
+            }));
+        }
         let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
         let shared = Arc::new(Shared {
             engine: RwLock::new(engine),
@@ -220,9 +337,11 @@ impl DdsServer {
             cfg,
             local_addr,
             shutting_down: AtomicBool::new(false),
+            reap: AtomicBool::new(false),
             shutdown_cv: (Mutex::new(false), Condvar::new()),
-            sessions: Mutex::new(HashMap::new()),
-            queue: queue_tx.clone(),
+            queue: queue_tx,
+            ios,
+            buffer_pool: BufferPool::new(),
         });
         let queue_rx = Arc::new(Mutex::new(queue_rx));
         let executor_threads = (0..shared.cfg.executors)
@@ -235,13 +354,23 @@ impl DdsServer {
                     .expect("spawn executor")
             })
             .collect();
-        let session_threads = Arc::new(Mutex::new(Vec::new()));
+        let io_threads = reactors
+            .into_iter()
+            .enumerate()
+            .map(|(i, reactor)| {
+                let shared = Arc::clone(&shared);
+                let io = Arc::clone(&shared.ios[i]);
+                std::thread::Builder::new()
+                    .name(format!("dds-io-{i}"))
+                    .spawn(move || io_loop(&shared, &io, reactor))
+                    .expect("spawn io thread")
+            })
+            .collect();
         let listener_thread = {
             let shared = Arc::clone(&shared);
-            let session_threads = Arc::clone(&session_threads);
             std::thread::Builder::new()
                 .name("dds-listener".into())
-                .spawn(move || listener_loop(&shared, &listener, &session_threads))
+                .spawn(move || listener_loop(&shared, &listener))
                 .expect("spawn listener")
         };
         Ok(DdsServer {
@@ -249,7 +378,7 @@ impl DdsServer {
             local_addr,
             listener_thread: Some(listener_thread),
             executor_threads,
-            session_threads,
+            io_threads,
         })
     }
 
@@ -277,9 +406,10 @@ impl DdsServer {
     /// Graceful shutdown: gate admissions, drain the queue (executors
     /// finish and answer everything still queued before exiting; a
     /// request racing the gate edge gets a typed `Unavailable`, never
-    /// silence), reap every thread, return the final stats. Idempotent
-    /// with a remote shutdown — calling this after a client-initiated
-    /// shutdown just performs the reaping half.
+    /// silence), flush and close every session, reap every thread, and
+    /// return the final stats. Idempotent with a remote shutdown —
+    /// calling this after a client-initiated shutdown just performs the
+    /// reaping half.
     pub fn shutdown(mut self) -> ServerStats {
         self.shared.signal_shutdown();
         if let Some(t) = self.listener_thread.take() {
@@ -291,23 +421,15 @@ impl DdsServer {
         for t in self.executor_threads.drain(..) {
             let _ = t.join();
         }
-        // Unblock idle sessions (blocked in read) and reap them.
-        for (_, stream) in self
-            .shared
-            .sessions
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .drain()
-        {
-            let _ = stream.shutdown(Shutdown::Both);
+        // Every response is in some completion queue by now (the last
+        // executor's exit dropped the channel, which answered any job
+        // racing the drain edge via JobReply::drop). Tell the I/O threads
+        // to deliver what is pending, flush, and close up shop.
+        self.shared.reap.store(true, Ordering::Release);
+        for io in &self.shared.ios {
+            io.waker.wake();
         }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(
-            &mut *self
-                .session_threads
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner),
-        );
-        for t in handles {
+        for t in self.io_threads.drain(..) {
             let _ = t.join();
         }
         self.shared.stats()
@@ -322,8 +444,6 @@ impl DdsServer {
 fn accept_error_is_resource_exhaustion(e: &io::Error) -> bool {
     const ENOBUFS: i32 = if cfg!(target_os = "linux") {
         105
-    } else if cfg!(windows) {
-        10055 // WSAENOBUFS
     } else {
         55 // the BSDs / macOS
     };
@@ -331,11 +451,7 @@ fn accept_error_is_resource_exhaustion(e: &io::Error) -> bool {
         || matches!(e.raw_os_error(), Some(n) if n == 23 || n == 24 || n == ENOBUFS)
 }
 
-fn listener_loop(
-    shared: &Arc<Shared>,
-    listener: &TcpListener,
-    session_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
+fn listener_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     let mut next_id = 0u64;
     for conn in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
@@ -344,8 +460,7 @@ fn listener_loop(
         let stream = match conn {
             Ok(s) => s,
             Err(e) => {
-                // Resource exhaustion (EMFILE/ENFILE — plausible here,
-                // every session clones its stream — or out-of-memory) is
+                // Resource exhaustion (EMFILE/ENFILE or out-of-memory) is
                 // persistent: without a pause the listener would spin at
                 // 100% CPU until an fd frees up. Per-connection failures
                 // (e.g. ECONNABORTED, a peer resetting mid-handshake)
@@ -354,11 +469,17 @@ fn listener_loop(
                 // shutdown gate is re-checked on the next iteration, so
                 // the pause never delays shutdown by more than one tick.
                 if accept_error_is_resource_exhaustion(&e) {
-                    std::thread::sleep(std::time::Duration::from_millis(25));
+                    std::thread::sleep(Duration::from_millis(25));
                 }
                 continue;
             }
         };
+        // The whole session layer is readiness-driven; a socket that
+        // cannot go nonblocking cannot be served.
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
         let id = next_id;
         next_id += 1;
         shared
@@ -369,62 +490,362 @@ fn listener_loop(
             .counters
             .sessions_active
             .fetch_add(1, Ordering::Relaxed);
-        // A session MUST be registered before it is spawned: shutdown()
-        // unblocks idle sessions through this map, so an unregistered
-        // session could hang the final join. If the fd table is too
-        // exhausted to clone the handle, refuse the connection instead.
-        match stream.try_clone() {
-            Ok(clone) => {
-                shared
-                    .sessions
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .insert(id, clone);
-            }
-            Err(_) => {
-                shared
-                    .counters
-                    .sessions_active
-                    .fetch_sub(1, Ordering::Relaxed);
-                continue;
-            }
-        }
-        let shared2 = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name(format!("dds-session-{id}"))
-            .spawn(move || {
-                session_loop(&shared2, stream, id);
-                shared2
-                    .sessions
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .remove(&id);
-                shared2
-                    .counters
-                    .sessions_active
-                    .fetch_sub(1, Ordering::Relaxed);
-            })
-            .expect("spawn session");
-        let mut handles = session_threads
+        let io = &shared.ios[(id % shared.ios.len() as u64) as usize];
+        io.intake
             .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        // Reap finished sessions as new ones arrive, so the handle list
-        // tracks *live* connections instead of every connection ever
-        // accepted (a churn-heavy server must not grow without bound).
-        let mut i = 0;
-        while i < handles.len() {
-            if handles[i].is_finished() {
-                let _ = handles.swap_remove(i).join();
-            } else {
-                i += 1;
-            }
-        }
-        handles.push(handle);
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((id, stream));
+        io.waker.wake();
     }
 }
 
-/// Writes one response frame, keeping the byte counter. An IO failure
-/// (client went away mid-response) just ends the session.
+/// A per-session token bucket ([`RateLimit`] instantiated). Refill
+/// happens lazily on take, capped at the burst; fractional tokens
+/// accumulate so low rates still make steady progress.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+    burst: f64,
+    per_sec: f64,
+}
+
+impl TokenBucket {
+    fn new(rl: &RateLimit) -> TokenBucket {
+        TokenBucket {
+            tokens: rl.burst as f64,
+            last: Instant::now(),
+            burst: rl.burst as f64,
+            per_sec: rl.per_sec as f64,
+        }
+    }
+
+    fn try_take(&mut self) -> bool {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.per_sec).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Where a session currently is in its request/response cycle. `Copy` on
+/// purpose: the fields are a couple of words, and the drive loop reads
+/// the state by value before mutating the session.
+#[derive(Clone, Copy, Debug)]
+enum SessionState {
+    /// Accumulating the 4-byte length prefix.
+    ReadPrefix { filled: usize },
+    /// Accumulating the frame body (`read_buf`, already sized).
+    ReadBody { filled: usize },
+    /// A job is with the executors; the session is not polled at all
+    /// until its completion arrives (one request in flight per session).
+    Awaiting,
+    /// Flushing `write_buf`; back to `ReadPrefix` when done, unless the
+    /// response closes the session (shutdown ack, header-level protocol
+    /// violations).
+    Write { written: usize, close_after: bool },
+}
+
+/// One client connection owned by an I/O thread.
+struct Session {
+    id: u64,
+    stream: TcpStream,
+    state: SessionState,
+    prefix: [u8; 4],
+    /// Frame body: version at `[0]`, opcode at `[1]`, payload after.
+    read_buf: Vec<u8>,
+    /// The encoded response frame being flushed.
+    write_buf: Vec<u8>,
+    bucket: Option<TokenBucket>,
+}
+
+/// What [`drive_session`] decided about the session's future.
+enum Drive {
+    Keep,
+    Close,
+}
+
+fn io_loop(shared: &Arc<Shared>, io: &Arc<IoShared>, mut reactor: Reactor) {
+    let mut sessions: Vec<Session> = Vec::new();
+    // Scratch, all reused across iterations (the steady-state loop
+    // allocates nothing).
+    let mut intake: Vec<(u64, TcpStream)> = Vec::new();
+    let mut completions: Vec<(u64, Response)> = Vec::new();
+    let mut sources: Vec<(RawFd, Interest)> = Vec::new();
+    let mut owners: Vec<usize> = Vec::new();
+    let mut ready: Vec<Ready> = Vec::new();
+    let mut closed: Vec<usize> = Vec::new();
+    loop {
+        // Adopt fresh connections from the listener.
+        {
+            let mut q = io.intake.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::swap(&mut *q, &mut intake);
+        }
+        for (id, stream) in intake.drain(..) {
+            sessions.push(Session {
+                id,
+                stream,
+                state: SessionState::ReadPrefix { filled: 0 },
+                prefix: [0; 4],
+                read_buf: shared.buffer_pool.acquire(1),
+                write_buf: shared.buffer_pool.acquire(1),
+                bucket: shared.cfg.rate_limit.as_ref().map(TokenBucket::new),
+            });
+        }
+        // Deliver executor completions: encode into the session's write
+        // buffer; the flush happens when poll reports the socket
+        // writable (usually the very next iteration, without waiting).
+        {
+            let mut q = io
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            std::mem::swap(&mut *q, &mut completions);
+        }
+        for (sid, resp) in completions.drain(..) {
+            // A session that died while awaiting is simply gone; its
+            // response has nowhere to go, which is the correct outcome.
+            if let Some(s) = sessions.iter_mut().find(|s| s.id == sid) {
+                respond_enqueue(shared, s, &resp, false);
+            }
+        }
+        // Reap (set only after the executors drained and exited, so the
+        // completion sweep above was the final one): flush what is
+        // pending and close every session.
+        if shared.reap.load(Ordering::Acquire) {
+            for mut s in sessions.drain(..) {
+                flush_blocking(shared, &mut s);
+                release_session(shared, s);
+            }
+            return;
+        }
+        // Poll whoever has I/O to make progress on. Awaiting sessions
+        // are not submitted: nothing they could do, and a client
+        // pipelining its next request must not burn a wakeup per tick.
+        sources.clear();
+        owners.clear();
+        for (i, s) in sessions.iter().enumerate() {
+            let interest = match s.state {
+                SessionState::ReadPrefix { .. } | SessionState::ReadBody { .. } => Interest::Read,
+                SessionState::Write { .. } => Interest::Write,
+                SessionState::Awaiting => continue,
+            };
+            sources.push((s.stream.as_raw_fd(), interest));
+            owners.push(i);
+        }
+        if reactor.poll(&sources, 250, &mut ready).is_err() {
+            // Transient poll failures (low memory) should not kill the
+            // thread and its sessions; back off a beat and retry.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        closed.clear();
+        for r in &ready {
+            let i = owners[r.token];
+            if let Drive::Close = drive_session(shared, io, &mut sessions[i]) {
+                closed.push(i);
+            }
+        }
+        // Largest index first: swap_remove must not disturb the smaller
+        // indexes still queued for removal.
+        closed.sort_unstable_by(|a, b| b.cmp(a));
+        for &i in &closed {
+            release_session(shared, sessions.swap_remove(i));
+        }
+    }
+}
+
+/// Runs a ready session's state machine until it blocks, parks on the
+/// executor pool, or ends. Level-triggered polling means a partial step
+/// is always resumed on a later tick, but the loop still drains
+/// greedily: a pipelined burst is served in one wakeup.
+fn drive_session(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) -> Drive {
+    loop {
+        match s.state {
+            SessionState::ReadPrefix { filled } => {
+                match s.stream.read(&mut s.prefix[filled..]) {
+                    // EOF here is a clean close between frames (or a
+                    // disconnect inside the prefix — either way there is
+                    // nothing to answer and nothing to count: only
+                    // header- and payload-level violations are wire
+                    // errors).
+                    Ok(0) => return Drive::Close,
+                    Ok(n) => {
+                        let filled = filled + n;
+                        if filled < s.prefix.len() {
+                            s.state = SessionState::ReadPrefix { filled };
+                            continue;
+                        }
+                        let len = u32::from_le_bytes(s.prefix);
+                        if len < FRAME_HEADER_LEN {
+                            // Header-level violation: the stream position
+                            // cannot be trusted any more. Answer the
+                            // typed error, then close.
+                            shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+                            let e = WireError::FrameTooShort { len };
+                            respond_enqueue(shared, s, &protocol_error(&e), true);
+                        } else if len > shared.cfg.max_frame_len {
+                            shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+                            let e = WireError::FrameTooLarge {
+                                len,
+                                max: shared.cfg.max_frame_len,
+                            };
+                            respond_enqueue(shared, s, &protocol_error(&e), true);
+                        } else {
+                            s.read_buf.clear();
+                            s.read_buf.resize(len as usize, 0);
+                            s.state = SessionState::ReadBody { filled: 0 };
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Drive::Keep,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return Drive::Close,
+                }
+            }
+            SessionState::ReadBody { filled } => {
+                match s.stream.read(&mut s.read_buf[filled..]) {
+                    // A disconnect inside a frame: the session just ends —
+                    // nothing to answer, nothing leaks.
+                    Ok(0) => return Drive::Close,
+                    Ok(n) => {
+                        let filled = filled + n;
+                        if filled < s.read_buf.len() {
+                            s.state = SessionState::ReadBody { filled };
+                        } else {
+                            process_frame(shared, io, s);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Drive::Keep,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return Drive::Close,
+                }
+            }
+            // Not submitted to poll while awaiting; nothing to drive.
+            SessionState::Awaiting => return Drive::Keep,
+            SessionState::Write {
+                written,
+                close_after,
+            } => match s.stream.write(&s.write_buf[written..]) {
+                Ok(0) => return Drive::Close,
+                Ok(n) => {
+                    let written = written + n;
+                    if written < s.write_buf.len() {
+                        s.state = SessionState::Write {
+                            written,
+                            close_after,
+                        };
+                    } else {
+                        shared
+                            .counters
+                            .bytes_out
+                            .fetch_add(s.write_buf.len() as u64, Ordering::Relaxed);
+                        if close_after {
+                            return Drive::Close;
+                        }
+                        s.state = SessionState::ReadPrefix { filled: 0 };
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Drive::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Drive::Close,
+            },
+        }
+    }
+}
+
+/// Handles one complete frame sitting in `s.read_buf` (version at `[0]`,
+/// opcode at `[1]`): answers control ops in place, admits work, and sets
+/// the session's next state.
+fn process_frame(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) {
+    shared
+        .counters
+        .bytes_in
+        .fetch_add(4 + s.read_buf.len() as u64, Ordering::Relaxed);
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let version = s.read_buf[0];
+    if version != PROTOCOL_VERSION {
+        shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+        let e = WireError::UnsupportedVersion { got: version };
+        respond_enqueue(shared, s, &protocol_error(&e), true);
+        return;
+    }
+    let req = match Request::decode(s.read_buf[1], &s.read_buf[2..]) {
+        Ok(r) => r,
+        // Payload-level violation: the frame boundary was intact, so the
+        // session can keep serving after the typed error.
+        Err(e) => {
+            shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+            respond_enqueue(shared, s, &protocol_error(&e), false);
+            return;
+        }
+    };
+    match req {
+        // Control ops are answered in place: they are cheap reads and
+        // must work even while the queue is saturated or the session is
+        // throttled.
+        Request::Stats => respond_enqueue(shared, s, &Response::Stats(shared.stats()), false),
+        Request::Ping { token } => respond_enqueue(shared, s, &Response::Pong { token }, false),
+        Request::Shutdown => {
+            respond_enqueue(shared, s, &Response::Done, true);
+            shared.signal_shutdown();
+        }
+        work => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                shared
+                    .counters
+                    .unavailable_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                respond_enqueue(shared, s, &unavailable(), false);
+                return;
+            }
+            if let Some(bucket) = &mut s.bucket {
+                if !bucket.try_take() {
+                    shared
+                        .counters
+                        .sessions_throttled
+                        .fetch_add(1, Ordering::Relaxed);
+                    respond_enqueue(shared, s, &throttled(), false);
+                    return;
+                }
+            }
+            let reply = JobReply {
+                io: Arc::clone(io),
+                session: s.id,
+                done: false,
+            };
+            match shared.queue.try_send(Job { req: work, reply }) {
+                Ok(()) => {
+                    shared
+                        .counters
+                        .jobs_admitted
+                        .fetch_add(1, Ordering::Relaxed);
+                    s.state = SessionState::Awaiting;
+                }
+                Err(TrySendError::Full(job)) => {
+                    job.reply.defuse();
+                    shared
+                        .counters
+                        .busy_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    respond_enqueue(shared, s, &Response::Busy, false);
+                }
+                Err(TrySendError::Disconnected(job)) => {
+                    job.reply.defuse();
+                    respond_enqueue(shared, s, &unavailable(), false);
+                }
+            }
+        }
+    }
+}
+
+/// Encodes `resp` into the session's write buffer and parks the session
+/// in `Write` state; the drive loop flushes it as the socket allows.
 ///
 /// A response that exceeds `cfg.max_frame_len` (e.g. Hits over a catalog
 /// with millions of matching ids) fails the *local* encode bound before
@@ -432,41 +853,59 @@ fn listener_loop(
 /// session answers with a small typed `internal` error instead of
 /// silently closing (which the client would see as a bare
 /// `UnexpectedEof`, indistinguishable from a crashed server).
-fn respond(shared: &Shared, stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
-    let (op, payload) = resp.encode();
-    let n = match write_frame(
-        stream,
-        PROTOCOL_VERSION,
-        op,
-        &payload,
-        shared.cfg.max_frame_len,
-    ) {
-        Ok(n) => n,
-        // write_frame checks the bound before its first write, so only
-        // its typed FrameTooLarge (io::ErrorKind::InvalidData wrapping a
-        // WireError) guarantees an untouched stream; real transport
-        // errors still end the session.
-        Err(e)
-            if e.kind() == io::ErrorKind::InvalidData
-                && e.get_ref().is_some_and(|inner| inner.is::<WireError>()) =>
-        {
-            let fallback = Response::Error(ServerError::new(
-                ServerErrorKind::Internal,
-                "response exceeds the frame bound",
-            ));
-            let (op, payload) = fallback.encode();
-            write_frame(
-                stream,
-                PROTOCOL_VERSION,
-                op,
-                &payload,
-                shared.cfg.max_frame_len,
-            )?
-        }
-        Err(e) => return Err(e),
+fn respond_enqueue(shared: &Shared, s: &mut Session, resp: &Response, close_after: bool) {
+    let bound = shared.cfg.max_frame_len;
+    if encode_frame_into(&mut s.write_buf, PROTOCOL_VERSION, bound, |w| {
+        resp.encode_to(w)
+    })
+    .is_err()
+    {
+        let fallback = Response::Error(ServerError::new(
+            ServerErrorKind::Internal,
+            "response exceeds the frame bound",
+        ));
+        encode_frame_into(&mut s.write_buf, PROTOCOL_VERSION, bound, |w| {
+            fallback.encode_to(w)
+        })
+        .expect("the fallback error frame fits any sane bound");
+    }
+    s.state = SessionState::Write {
+        written: 0,
+        close_after,
     };
-    shared.counters.bytes_out.fetch_add(n, Ordering::Relaxed);
-    Ok(())
+}
+
+/// Best-effort synchronous flush at reap time: the socket goes back to
+/// blocking with a short write timeout, so a graceful shutdown delivers
+/// every pending response without letting one dead peer stall teardown.
+fn flush_blocking(shared: &Shared, s: &mut Session) {
+    if let SessionState::Write { written, .. } = s.state {
+        let _ = s.stream.set_nonblocking(false);
+        let _ = s.stream.set_write_timeout(Some(Duration::from_secs(2)));
+        if s.stream.write_all(&s.write_buf[written..]).is_ok() {
+            shared
+                .counters
+                .bytes_out
+                .fetch_add(s.write_buf.len() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Closes a session: its buffers go home to the pool (capacity and all —
+/// this is what makes a reconnect storm allocation-free once warm), the
+/// socket drops, the active gauge falls.
+fn release_session(shared: &Shared, s: Session) {
+    let Session {
+        read_buf,
+        write_buf,
+        ..
+    } = s;
+    shared.buffer_pool.release(read_buf);
+    shared.buffer_pool.release(write_buf);
+    shared
+        .counters
+        .sessions_active
+        .fetch_sub(1, Ordering::Relaxed);
 }
 
 fn protocol_error(e: &WireError) -> Response {
@@ -480,94 +919,11 @@ fn unavailable() -> Response {
     ))
 }
 
-fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream, _id: u64) {
-    let _ = stream.set_nodelay(true);
-    loop {
-        let frame = match read_frame(&mut stream, shared.cfg.max_frame_len) {
-            Ok(f) => f,
-            // Clean close, transport failure, or a disconnect mid-frame:
-            // the session just ends — nothing to answer, nothing leaks.
-            Err(FrameReadError::Eof) | Err(FrameReadError::Io(_)) => break,
-            // Header-level violation: the stream position can't be
-            // trusted any more. Answer the typed error, then close.
-            Err(FrameReadError::Wire(e)) => {
-                shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = respond(shared, &mut stream, &protocol_error(&e));
-                break;
-            }
-        };
-        shared
-            .counters
-            .bytes_in
-            .fetch_add(frame.wire_len(), Ordering::Relaxed);
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-        if frame.version != PROTOCOL_VERSION {
-            shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
-            let e = WireError::UnsupportedVersion { got: frame.version };
-            let _ = respond(shared, &mut stream, &protocol_error(&e));
-            break;
-        }
-        let req = match Request::decode(frame.opcode, &frame.payload) {
-            Ok(r) => r,
-            // Payload-level violation: the frame boundary was intact, so
-            // the session can keep serving after the typed error.
-            Err(e) => {
-                shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
-                if respond(shared, &mut stream, &protocol_error(&e)).is_err() {
-                    break;
-                }
-                continue;
-            }
-        };
-        let resp = match req {
-            // Control ops are answered in place: they are cheap reads and
-            // must work even while the queue is saturated.
-            Request::Stats => Response::Stats(shared.stats()),
-            Request::Ping { token } => Response::Pong { token },
-            Request::Shutdown => {
-                let _ = respond(shared, &mut stream, &Response::Done);
-                shared.signal_shutdown();
-                break;
-            }
-            work => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    shared
-                        .counters
-                        .unavailable_rejections
-                        .fetch_add(1, Ordering::Relaxed);
-                    unavailable()
-                } else {
-                    let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
-                    match shared.queue.try_send(Job {
-                        req: work,
-                        reply: reply_tx,
-                    }) {
-                        Ok(()) => {
-                            shared
-                                .counters
-                                .jobs_admitted
-                                .fetch_add(1, Ordering::Relaxed);
-                            // The executor pool owns the job now; a dead
-                            // executor drops the sender and we degrade to
-                            // a typed error instead of hanging.
-                            reply_rx.recv().unwrap_or_else(|_| unavailable())
-                        }
-                        Err(TrySendError::Full(_)) => {
-                            shared
-                                .counters
-                                .busy_rejections
-                                .fetch_add(1, Ordering::Relaxed);
-                            Response::Busy
-                        }
-                        Err(TrySendError::Disconnected(_)) => unavailable(),
-                    }
-                }
-            }
-        };
-        if respond(shared, &mut stream, &resp).is_err() {
-            break;
-        }
-    }
+fn throttled() -> Response {
+    Response::Error(ServerError::new(
+        ServerErrorKind::Throttled,
+        "session rate limit exceeded; retry later",
+    ))
 }
 
 fn executor_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
@@ -579,7 +935,7 @@ fn executor_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
         // get, it adds no delivery latency).
         let job = {
             let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
-            rx.recv_timeout(std::time::Duration::from_millis(25))
+            rx.recv_timeout(Duration::from_millis(25))
         };
         match job {
             Ok(job) => run_job(shared, job),
@@ -590,9 +946,9 @@ fn executor_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
                     // admit more work after what is already queued; run
                     // the leftovers so their sessions get real answers.
                     // (A try_send racing past the drained-empty read gets
-                    // its reply sender dropped with the channel, which the
-                    // session surfaces as a typed Unavailable — answered,
-                    // never hung.)
+                    // its job dropped with the channel, which JobReply
+                    // turns into a typed Unavailable — answered, never
+                    // hung.)
                     loop {
                         let job = {
                             let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
@@ -646,9 +1002,7 @@ fn run_job(shared: &Arc<Shared>, Job { req, reply }: Job) {
         .counters
         .jobs_completed
         .fetch_add(1, Ordering::Relaxed);
-    // The session may have disconnected mid-request; dropping the
-    // response is the correct outcome then.
-    let _ = reply.send(resp);
+    reply.send(resp);
 }
 
 /// Runs one admitted job against the engine.
@@ -657,8 +1011,14 @@ fn execute(shared: &Shared, req: Request) -> Response {
         Request::Query(expr) => {
             shared.counters.queries.fetch_add(1, Ordering::Relaxed);
             let engine = shared.engine_read();
-            if let Some(resp) = schema_guard(&engine, std::slice::from_ref(&expr)) {
-                return resp;
+            // A dimension mismatch can never succeed against the served
+            // schema, so clients must not treat it as a retry-later
+            // signal: it maps to the permanent `invalid-query` kind.
+            if let Err(e) = engine.schema_check(std::slice::from_ref(&expr)) {
+                return Response::Error(ServerError::new(
+                    ServerErrorKind::InvalidQuery,
+                    e.to_string(),
+                ));
             }
             let mut results =
                 engine.query_batch_opts(std::slice::from_ref(&expr), &shared.build_opts());
@@ -674,8 +1034,11 @@ fn execute(shared: &Shared, req: Request) -> Response {
                 .batch_exprs
                 .fetch_add(exprs.len() as u64, Ordering::Relaxed);
             let engine = shared.engine_read();
-            if let Some(resp) = schema_guard(&engine, &exprs) {
-                return resp;
+            if let Err(e) = engine.schema_check(&exprs) {
+                return Response::Error(ServerError::new(
+                    ServerErrorKind::InvalidQuery,
+                    e.to_string(),
+                ));
             }
             Response::BatchHits(engine.query_batch_opts(&exprs, &shared.build_opts()))
         }
@@ -724,42 +1087,12 @@ fn execute(shared: &Shared, req: Request) -> Response {
                 // survives. Gated behind the same opt-in as Sleep itself.
                 panic!("panic drill (Sleep with ms = u32::MAX)");
             }
-            std::thread::sleep(std::time::Duration::from_millis(ms.min(MAX_SLEEP_MS) as u64));
+            std::thread::sleep(Duration::from_millis(ms.min(MAX_SLEEP_MS) as u64));
             Response::Done
         }
         // Control ops never reach the queue.
         Request::Stats | Request::Ping { .. } | Request::Shutdown => Response::Error(
             ServerError::new(ServerErrorKind::Protocol, "control op on the work queue"),
         ),
-    }
-}
-
-/// The engine's query paths assert that every predicate matches the served
-/// schema dimension; served traffic must get a typed error instead of a
-/// panicking executor. `None` means the expressions are safe to run.
-fn schema_guard(engine: &ShardedEngine, exprs: &[LogicalExpr]) -> Option<Response> {
-    let Some(dim) = engine.dim() else {
-        // No shards: every query legitimately answers empty, touching no
-        // index, so nothing can panic.
-        return None;
-    };
-    fn dims_ok(expr: &LogicalExpr, dim: usize) -> bool {
-        match expr {
-            LogicalExpr::Pred(p) => match &p.measure {
-                MeasureFunction::Percentile(r) => r.dim() == dim,
-                MeasureFunction::TopK { v, .. } => v.len() == dim,
-            },
-            LogicalExpr::And(xs) | LogicalExpr::Or(xs) => xs.iter().all(|x| dims_ok(x, dim)),
-        }
-    }
-    if exprs.iter().all(|e| dims_ok(e, dim)) {
-        None
-    } else {
-        // Permanent: this request can never succeed against the served
-        // schema, so clients must not treat it as a retry-later signal.
-        Some(Response::Error(ServerError::new(
-            ServerErrorKind::InvalidQuery,
-            format!("query dimension does not match the served schema (dim = {dim})"),
-        )))
     }
 }

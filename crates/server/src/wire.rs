@@ -192,6 +192,25 @@ pub fn write_frame(
 
 /// Reads one frame, allocating at most `max_len` bytes for the body.
 pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Frame, FrameReadError> {
+    let mut body = Vec::new();
+    let (version, opcode) = read_frame_into(r, max_len, &mut body)?;
+    Ok(Frame {
+        version,
+        opcode,
+        payload: body,
+    })
+}
+
+/// [`read_frame`] into a caller-provided payload buffer (cleared, then
+/// filled with the payload — header bytes excluded), returning
+/// `(version, opcode)`. The buffer keeps its capacity across calls, so a
+/// read loop over same-sized frames stops allocating once warm — the
+/// transport half of the session layer's zero-allocation steady state.
+pub fn read_frame_into(
+    r: &mut impl Read,
+    max_len: u32,
+    body: &mut Vec<u8>,
+) -> Result<(u8, u8), FrameReadError> {
     let mut prefix = [0u8; 4];
     // Distinguish a clean close (no bytes at all) from a mid-prefix cut.
     let mut filled = 0usize;
@@ -222,14 +241,12 @@ pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Frame, FrameReadErr
             max: max_len,
         }));
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body).map_err(FrameReadError::Io)?;
-    let payload = body.split_off(2);
-    Ok(Frame {
-        version: body[0],
-        opcode: body[1],
-        payload,
-    })
+    let mut header = [0u8; FRAME_HEADER_LEN as usize];
+    r.read_exact(&mut header).map_err(FrameReadError::Io)?;
+    body.clear();
+    body.resize(len as usize - FRAME_HEADER_LEN as usize, 0);
+    r.read_exact(body).map_err(FrameReadError::Io)?;
+    Ok((header[0], header[1]))
 }
 
 /// Payload writer: append-only primitives over a byte buffer.
@@ -242,6 +259,14 @@ impl Writer {
     /// An empty payload.
     pub fn new() -> Self {
         Writer::default()
+    }
+
+    /// A writer over a reused buffer: `buf` is cleared but keeps its
+    /// capacity, so encoding into a pooled or scratch buffer allocates
+    /// nothing once the buffer has grown to the working set.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Writer { buf }
     }
 
     /// The accumulated payload bytes.
@@ -280,6 +305,42 @@ impl Writer {
     pub fn put_count(&mut self, n: usize) {
         self.put_u32(n as u32);
     }
+}
+
+/// Encodes one complete frame — length prefix, version, opcode, payload
+/// — into `buf` (cleared first, capacity kept), where `encode` is an
+/// `encode_to`-style closure writing the payload and returning the
+/// opcode. The in-memory twin of [`write_frame`] used by the
+/// nonblocking session layer and the client's scratch buffers: encoding
+/// into a warm buffer allocates nothing, and the caller ships `buf`
+/// with plain writes whenever the socket is ready.
+///
+/// Like [`write_frame`], a body past `max_len` is refused — but only
+/// *after* encoding (the length isn't known up front), so the caller
+/// still holds the grown buffer and can re-encode a small typed error
+/// into it.
+pub fn encode_frame_into(
+    buf: &mut Vec<u8>,
+    version: u8,
+    max_len: u32,
+    encode: impl FnOnce(&mut Writer) -> u8,
+) -> Result<(), WireError> {
+    let mut w = Writer::from_vec(std::mem::take(buf));
+    w.put_u32(0); // length prefix, patched below
+    w.put_u8(version);
+    w.put_u8(0); // opcode, patched below
+    let op = encode(&mut w);
+    *buf = w.into_bytes();
+    let body_len = buf.len() - 4;
+    if body_len > max_len as usize {
+        return Err(WireError::FrameTooLarge {
+            len: body_len.min(u32::MAX as usize) as u32,
+            max: max_len,
+        });
+    }
+    buf[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    buf[5] = op;
+    Ok(())
 }
 
 /// Payload reader: a checked cursor over a byte slice. Every accessor
@@ -461,5 +522,59 @@ mod tests {
         // Writer-side bound.
         let mut out = Vec::new();
         assert!(write_frame(&mut out, PROTOCOL_VERSION, 0, &[0u8; 64], 16).is_err());
+    }
+
+    #[test]
+    fn encode_frame_into_matches_write_frame_bytes() {
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, PROTOCOL_VERSION, 0x42, b"abc", 1024).unwrap();
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, PROTOCOL_VERSION, 1024, |w| {
+            w.put_u8(b'a');
+            w.put_u8(b'b');
+            w.put_u8(b'c');
+            0x42
+        })
+        .unwrap();
+        assert_eq!(buf, streamed);
+        // Reuse: a second encode into the same buffer replaces, not
+        // appends, and an oversized body is refused with the buffer still
+        // usable.
+        encode_frame_into(&mut buf, PROTOCOL_VERSION, 1024, |_| 0x01).unwrap();
+        assert_eq!(buf.len(), 6);
+        let err = encode_frame_into(&mut buf, PROTOCOL_VERSION, 16, |w| {
+            for _ in 0..64 {
+                w.put_u8(0);
+            }
+            0x01
+        });
+        assert!(matches!(err, Err(WireError::FrameTooLarge { .. })));
+        encode_frame_into(&mut buf, PROTOCOL_VERSION, 1024, |_| 0x01).unwrap();
+        assert_eq!(buf.len(), 6);
+    }
+
+    #[test]
+    fn read_frame_into_reuses_the_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, PROTOCOL_VERSION, 0x07, b"hello", 1024).unwrap();
+        write_frame(&mut wire, PROTOCOL_VERSION, 0x08, b"x", 1024).unwrap();
+        let mut body = Vec::new();
+        let mut cursor = wire.as_slice();
+        assert_eq!(
+            read_frame_into(&mut cursor, 1024, &mut body).unwrap(),
+            (PROTOCOL_VERSION, 0x07)
+        );
+        assert_eq!(body, b"hello");
+        let cap = body.capacity();
+        assert_eq!(
+            read_frame_into(&mut cursor, 1024, &mut body).unwrap(),
+            (PROTOCOL_VERSION, 0x08)
+        );
+        assert_eq!(body, b"x");
+        assert_eq!(body.capacity(), cap);
+        assert!(matches!(
+            read_frame_into(&mut cursor, 1024, &mut body),
+            Err(FrameReadError::Eof)
+        ));
     }
 }

@@ -15,12 +15,13 @@ use dds_server::protocol::{opcode, Request, Response, ServerErrorKind, ServerSta
 use dds_server::wire::{
     read_frame, write_frame, FrameReadError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-use dds_server::{ClientError, DdsClient, DdsServer, ServerConfig};
+use dds_server::{ClientConfig, ClientError, DdsClient, DdsServer, ServerConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::Write;
 use std::net::TcpStream;
+use std::time::Duration;
 
 // ---------------------------------------------------------------------------
 // Round-trip properties
@@ -126,8 +127,13 @@ fn random_engine_result(rng: &mut StdRng) -> Result<Vec<u64>, EngineError> {
     if rng.gen_bool(0.7) {
         let n = rng.gen_range(0..6);
         Ok((0..n).map(|_| rng.gen()).collect())
-    } else {
+    } else if rng.gen_bool(0.5) {
         Err(EngineError::MissingRank(rng.gen_range(0..100)))
+    } else {
+        Err(EngineError::DimensionMismatch {
+            expected: rng.gen_range(1..10),
+            got: rng.gen_range(1..10),
+        })
     }
 }
 
@@ -152,11 +158,12 @@ fn random_response(rng: &mut StdRng) -> Response {
         5 => Response::Pong { token: rng.gen() },
         6 => Response::Busy,
         _ => Response::Error(dds_server::ServerError::new(
-            match rng.gen_range(0u8..5) {
+            match rng.gen_range(0u8..6) {
                 0 => ServerErrorKind::Protocol,
                 1 => ServerErrorKind::Ingest,
                 2 => ServerErrorKind::Unavailable,
                 3 => ServerErrorKind::InvalidQuery,
+                4 => ServerErrorKind::Throttled,
                 _ => ServerErrorKind::Internal,
             },
             "naïve message ☃",
@@ -218,7 +225,7 @@ proptest! {
 // Live-server corruption drills
 // ---------------------------------------------------------------------------
 
-fn tiny_server() -> DdsServer {
+fn tiny_server_with(cfg: ServerConfig) -> DdsServer {
     let (ptile, pref) = (
         PtileBuildParams::exact_centralized(),
         PrefBuildParams::exact_centralized(),
@@ -232,7 +239,11 @@ fn tiny_server() -> DdsServer {
         &[0],
         &BuildOptions::serial(),
     );
-    DdsServer::serve(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind")
+    DdsServer::serve(engine, "127.0.0.1:0", cfg).expect("bind")
+}
+
+fn tiny_server() -> DdsServer {
+    tiny_server_with(ServerConfig::default())
 }
 
 fn ok_query() -> LogicalExpr {
@@ -606,6 +617,73 @@ fn hostile_expressions_are_rejected_typed() {
         Response::Error(e) if e.kind == ServerErrorKind::Protocol
     ));
 
+    assert_alive(addr);
+    server.shutdown();
+}
+
+#[test]
+fn a_slow_client_cannot_stall_other_sessions() {
+    // ONE I/O thread, so the slow and the fast session share a single
+    // readiness loop: if a byte-trickled frame held the loop hostage
+    // (as a blocking `read_exact` would), every fast round trip below
+    // would stall behind it. The readiness design makes each trickled
+    // byte cost one nonblocking read, nothing more.
+    let server = tiny_server_with(ServerConfig {
+        io_threads: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut frame = Vec::new();
+    let (op, payload) = Request::Ping { token: 9 }.encode();
+    write_frame(
+        &mut frame,
+        PROTOCOL_VERSION,
+        op,
+        &payload,
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.set_nodelay(true).unwrap();
+    let mut fast = DdsClient::connect(addr).expect("fast client");
+    for byte in &frame {
+        slow.write_all(std::slice::from_ref(byte)).unwrap();
+        // A full round trip between every byte of the slow frame: the
+        // loop is demonstrably not parked on the trickler.
+        assert_eq!(fast.query(&ok_query()).expect("fast query"), Ok(vec![0]));
+    }
+    // The trickled frame completes and is answered normally.
+    let resp = read_frame(&mut slow, DEFAULT_MAX_FRAME_LEN).expect("slow pong");
+    assert_eq!(
+        Response::decode(resp.opcode, &resp.payload).unwrap(),
+        Response::Pong { token: 9 }
+    );
+    server.shutdown();
+}
+
+#[test]
+fn client_timeouts_are_typed_and_leave_the_server_standing() {
+    let server = tiny_server_with(ServerConfig {
+        allow_sleep: true,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut client = DdsClient::connect_with(
+        addr,
+        ClientConfig {
+            timeout: Some(Duration::from_millis(100)),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect with timeout");
+    // The server answers after 1.5s; the client gives up at 100ms.
+    match client.sleep(1500) {
+        Err(ClientError::TimedOut) => {}
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    drop(client); // a timed-out connection is desynchronised — discard it
     assert_alive(addr);
     server.shutdown();
 }

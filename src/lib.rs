@@ -70,11 +70,25 @@
 //!
 //! [`server`] (`dds-server`) puts a `ShardedEngine` behind a TCP
 //! boundary: a hand-rolled length-prefixed wire protocol
-//! (`crates/server/PROTOCOL.md`), a bounded admission queue whose
-//! overflow answers a typed `Busy` (backpressure with bounded memory),
-//! per-connection sessions, graceful drain-on-shutdown, and a blocking
-//! [`prelude::DdsClient`] whose served answers are **byte-identical** to
-//! the in-process engine's — `MissingRank` errors included.
+//! (`crates/server/PROTOCOL.md`), a fixed pool of readiness-driven I/O
+//! threads (nonblocking sockets over `poll(2)` — thousands of idle
+//! connections per thread, no async runtime), a size-classed session
+//! buffer pool (steady-state serving allocates nothing per frame), a
+//! bounded admission queue whose overflow answers a typed `Busy`
+//! (backpressure with bounded memory), optional per-session token-bucket
+//! rate limits ([`prelude::RateLimit`], a typed `throttled` error),
+//! graceful drain-on-shutdown, and a blocking [`prelude::DdsClient`]
+//! (socket timeouts via [`prelude::ClientConfig`]) whose served answers
+//! are **byte-identical** to the in-process engine's — typed
+//! [`prelude::EngineError`]s included.
+//!
+//! ## Errors
+//!
+//! Fallibility is typed at the core boundary: `dds_core::error` gathers
+//! [`prelude::EngineError`] (query-time: unindexed ranks, schema
+//! dimension mismatches — also available through the panic-free
+//! `try_query*` variants on both engines) and [`prelude::IngestError`]
+//! (ingest-time: duplicate or malformed shard content) in one module.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -90,6 +104,7 @@ pub mod prelude {
     pub use dds_core::bitset::BitSet;
     pub use dds_core::cache::MaskCache;
     pub use dds_core::engine::MixedQueryEngine;
+    pub use dds_core::error::{EngineError, IngestError};
     pub use dds_core::framework::{
         Dataset, Interval, LogicalExpr, MeasureFunction, Predicate, Repository,
     };
@@ -99,9 +114,11 @@ pub mod prelude {
         ExactCPtile1D, PtileBuildParams, PtileMultiIndex, PtileRangeIndex, PtileThresholdIndex,
     };
     pub use dds_core::scratch::QueryScratch;
-    pub use dds_core::shard::{GlobalId, IngestError, ShardedEngine, ShardedStats};
+    pub use dds_core::shard::{GlobalId, ShardedEngine, ShardedStats};
     pub use dds_geom::{Point, Rect};
-    pub use dds_server::{ClientError, DdsClient, DdsServer, ServerConfig, ServerStats};
+    pub use dds_server::{
+        ClientConfig, ClientError, DdsClient, DdsServer, RateLimit, ServerConfig, ServerStats,
+    };
     pub use dds_synopsis::{PercentileSynopsis, PrefSynopsis};
     pub use dds_workload::{RepoShard, RepoSpec, RequestStreamSpec};
 }

@@ -187,6 +187,52 @@ fn served_engine_through_the_facade() {
 }
 
 #[test]
+fn typed_errors_through_the_facade() {
+    // The unified error surface: `EngineError` and `IngestError` both
+    // arrive via the prelude (backed by `dds_core::error`), and the
+    // panic-free `try_query*` paths speak it on both engines.
+    let repo = repo(); // 2-d datasets
+    let engine = MixedQueryEngine::build(
+        &repo,
+        &[1],
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    );
+    let wrong_dim = LogicalExpr::Pred(Predicate::percentile_at_least(
+        Rect::interval(0.0, 1.0), // 1-d against the 2-d schema
+        0.5,
+    ));
+    match engine.try_query(&wrong_dim) {
+        Err(EngineError::DimensionMismatch { expected, got }) => {
+            assert_eq!((expected, got), (2, 1));
+        }
+        other => panic!("expected a typed dimension mismatch, got {other:?}"),
+    }
+    let mut svc = ShardedEngine::new(
+        &[1],
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    );
+    svc.add_shard(&repo, &[0, 1, 2]);
+    assert!(matches!(
+        svc.try_query(&wrong_dim),
+        Err(EngineError::DimensionMismatch {
+            expected: 2,
+            got: 1
+        })
+    ));
+    // The serving-layer knobs introduced alongside it are prelude values.
+    let _rl = RateLimit {
+        burst: 8,
+        per_sec: 2,
+    };
+    let _cc = ClientConfig {
+        timeout: Some(std::time::Duration::from_secs(1)),
+        ..ClientConfig::default()
+    };
+}
+
+#[test]
 fn quickstart_docs_scenario_through_the_facade() {
     // Mirrors the `src/lib.rs` doctest so the README/quickstart snippet is
     // also covered by `cargo test` proper.

@@ -1,0 +1,132 @@
+//! A minimal, dependency-free binding to POSIX `poll(2)` — the single
+//! readiness primitive behind `dds-server`'s reactor.
+//!
+//! The workspace builds offline, so instead of pulling in `libc` this
+//! shim declares the one foreign function it needs and wraps it in a safe
+//! slice API. Level-triggered semantics, exactly as the syscall provides
+//! them: a fd stays readable/writable until drained, so a caller that
+//! processes only part of the pending data simply sees the fd again on
+//! the next call.
+//!
+//! POSIX-only (the workspace CI runs on Linux; macOS and the BSDs share
+//! the same ABI for `poll`). The unsafety is confined to this crate —
+//! `dds-server` itself keeps `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::raw::{c_int, c_short};
+use std::os::unix::io::RawFd;
+
+/// There is data to read.
+pub const POLLIN: c_short = 0x001;
+/// Writing is possible without blocking.
+pub const POLLOUT: c_short = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: c_short = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: c_short = 0x010;
+/// Invalid fd (revents only).
+pub const POLLNVAL: c_short = 0x020;
+
+/// One entry of a `poll(2)` set: the fd, the events the caller asks
+/// about, and the events the kernel reports back. `#[repr(C)]` with the
+/// exact field order POSIX specifies, so a `&mut [PollFd]` is the
+/// syscall's `struct pollfd *`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (a negative fd is ignored by the
+    /// kernel — the POSIX idiom for a tombstoned slot).
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: c_short,
+    /// Returned events; the kernel may add `POLLERR`/`POLLHUP`/`POLLNVAL`
+    /// even when unrequested.
+    pub revents: c_short,
+}
+
+impl PollFd {
+    /// A slot asking for `events` on `fd`, with `revents` cleared.
+    pub fn new(fd: RawFd, events: c_short) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+type NfdsT = std::os::raw::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = std::os::raw::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+}
+
+/// Waits up to `timeout_ms` for readiness on any slot (`-1` blocks
+/// indefinitely, `0` polls), returning how many slots have non-zero
+/// `revents`. `EINTR` is reported as `Ok(0)` — a spurious wakeup the
+/// caller's loop handles anyway — so the only errors surfaced are real
+/// ones (`EINVAL`, `ENOMEM`).
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+    if fds.is_empty() {
+        return Ok(0);
+    }
+    // SAFETY: `PollFd` is `#[repr(C)]` and layout-identical to POSIX
+    // `struct pollfd`; the pointer/length pair comes from a live mutable
+    // slice, and the kernel writes only within those `nfds` entries.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        Ok(0)
+    } else {
+        Err(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn reports_readability_level_triggered() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        let mut set = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        // Nothing pending: a zero-timeout poll returns no ready slots.
+        assert_eq!(poll_fds(&mut set, 0).unwrap(), 0);
+        a.write_all(b"xy").unwrap();
+        set[0].revents = 0;
+        assert_eq!(poll_fds(&mut set, 1000).unwrap(), 1);
+        assert!(set[0].revents & POLLIN != 0);
+        // Level-triggered: reading one of the two bytes leaves the fd
+        // readable on the next call.
+        let mut one = [0u8; 1];
+        b.read_exact(&mut one).unwrap();
+        set[0].revents = 0;
+        assert_eq!(poll_fds(&mut set, 1000).unwrap(), 1);
+        assert!(set[0].revents & POLLIN != 0);
+    }
+
+    #[test]
+    fn reports_hangup() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(a);
+        let mut set = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut set, 1000).unwrap(), 1);
+        assert!(set[0].revents & (POLLIN | POLLHUP) != 0);
+    }
+
+    #[test]
+    fn empty_set_is_a_noop() {
+        assert_eq!(poll_fds(&mut [], 1000).unwrap(), 0);
+    }
+}
