@@ -8,7 +8,8 @@
 //! ```
 
 use dds_bench::experiments::{
-    ablations, batch, exact, federated, lowerbound, pref, ptile, scaling, serving, shard, Scale,
+    ablations, batch, churn, exact, federated, lowerbound, pref, ptile, scaling, serving, shard,
+    Scale,
 };
 use dds_bench::Table;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -116,6 +117,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "--e15",
         "Serving steady state: zero-allocation frames",
         serving::e15_serving_allocations,
+    ),
+    (
+        "--e16",
+        "Shard lifecycle under churn (split/merge/rebalance)",
+        churn::e16_shard_churn,
     ),
     (
         "--a1",

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod batch;
+pub mod churn;
 pub mod exact;
 pub mod federated;
 pub mod lowerbound;

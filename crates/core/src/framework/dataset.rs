@@ -123,6 +123,12 @@ impl Repository {
         &self.datasets
     }
 
+    /// Consumes the repository, yielding its datasets (used by services
+    /// that retain ingested data for later re-partitioning).
+    pub fn into_datasets(self) -> Vec<Dataset> {
+        self.datasets
+    }
+
     /// Iterates over the raw point sets (used by ground-truth evaluation).
     pub fn point_sets(&self) -> impl Iterator<Item = &[Point]> {
         self.datasets.iter().map(|d| d.points())

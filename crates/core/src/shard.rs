@@ -32,6 +32,26 @@
 //! invalidates **only that shard's entries** while every other shard keeps
 //! serving cached masks.
 //!
+//! # Shard lifecycle
+//!
+//! A production catalog lives under churn: hot shards divide, cold shards
+//! coalesce. Each shard retains its ingested datasets, so the lifecycle
+//! operations are self-contained —
+//! [`split_shard`](ShardedEngine::split_shard) divides one shard in two
+//! (the datasets whose ids are in the assignment move to a new shard),
+//! [`merge_shards`](ShardedEngine::merge_shards) coalesces two into one,
+//! and [`rebalance_plan`](ShardedEngine::rebalance_plan) proposes a list
+//! of such transitions from per-shard size and query-load counters. All
+//! three follow the validate→build→commit discipline of ingest: a failing
+//! transition leaves the service untouched, and because global ids are
+//! stable and sampling is seeded by global id, **no transition can change
+//! any answer** — pinned by the split ≡ rebuilt / merge ≡ rebuilt
+//! proptests and the churn soak in `tests/shard_equivalence.rs`. Cache
+//! generations travel with the transitions the same way rebuilds carry
+//! them: the surviving side of a split and the surviving slot of a merge
+//! inherit the old shard's [`MaskCache`] with its generation bumped, so
+//! invalidation stays scoped to the shards that changed.
+//!
 //! # Shard routing
 //!
 //! Ingest records, per shard, the **per-attribute value bounding box** of
@@ -55,7 +75,7 @@
 
 use crate::cache::MaskCache;
 use crate::engine::{expr_dim_mismatch, EngineError, MixedQueryEngine};
-use crate::framework::{LogicalExpr, MeasureFunction, Predicate, Repository};
+use crate::framework::{Dataset, LogicalExpr, MeasureFunction, Predicate, Repository};
 use crate::pool::{par_map_with, BuildOptions};
 use crate::pref::PrefBuildParams;
 use crate::ptile::PtileBuildParams;
@@ -112,6 +132,28 @@ pub enum IngestError {
         /// Catalog size the ingest would reach.
         prospective: usize,
     },
+    /// A split assignment names a global id the shard does not hold.
+    IdNotInShard {
+        /// The id the assignment asked to move.
+        id: GlobalId,
+        /// The shard being split.
+        shard: usize,
+    },
+    /// A split assignment would leave one side empty: it moves none, or
+    /// all, of the shard's datasets.
+    EmptySplitSide {
+        /// The shard being split.
+        shard: usize,
+        /// Datasets the assignment moves to the new shard.
+        moving: usize,
+        /// Datasets the shard holds.
+        datasets: usize,
+    },
+    /// A merge named the same shard on both sides.
+    MergeWithSelf {
+        /// The shard named twice.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -142,6 +184,21 @@ impl fmt::Display for IngestError {
                 "phi_datasets anchor ({anchor}) must be an upper bound on the catalog \
                  ({prospective} datasets after this ingest)"
             ),
+            IngestError::IdNotInShard { id, shard } => {
+                write!(f, "global id {id} is not held by shard {shard}")
+            }
+            IngestError::EmptySplitSide {
+                shard,
+                moving,
+                datasets,
+            } => write!(
+                f,
+                "split of shard {shard} leaves a side empty \
+                 (assignment moves {moving} of its {datasets} datasets)"
+            ),
+            IngestError::MergeWithSelf { shard } => {
+                write!(f, "cannot merge shard {shard} with itself")
+            }
         }
     }
 }
@@ -165,6 +222,74 @@ pub struct ShardedStats {
     pub cache_misses: u64,
     /// (expression, shard) scatter units skipped by the routing fast path.
     pub shards_routed_past: u64,
+    /// Lifecycle splits committed over the service lifetime.
+    pub splits: u64,
+    /// Lifecycle merges committed over the service lifetime.
+    pub merges: u64,
+}
+
+/// One shard's size and query load — the per-shard counters behind
+/// [`ShardedEngine::rebalance_plan`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// The shard's index.
+    pub shard: usize,
+    /// Datasets the shard holds.
+    pub datasets: usize,
+    /// (expression, shard) scatter units this shard evaluated (skipped
+    /// units don't count — routing removed their load). Carried across
+    /// rebuilds; reset to zero by a split or merge, so a transitioned
+    /// shard re-measures its load.
+    pub queries: u64,
+}
+
+/// Thresholds steering [`ShardedEngine::rebalance_plan_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceConfig {
+    /// A shard holding more datasets than this proposes a split.
+    pub max_datasets: usize,
+    /// Two shards whose combined dataset count stays within this bound
+    /// propose a merge.
+    pub merge_under: usize,
+    /// A shard whose evaluated scatter-unit count exceeds this multiple
+    /// of the per-shard mean proposes a split even within
+    /// `max_datasets` (query-load skew, not size skew).
+    pub hot_factor: f64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            max_datasets: 128,
+            merge_under: 32,
+            hot_factor: 4.0,
+        }
+    }
+}
+
+/// One proposed lifecycle transition. A plan (`Vec<RebalanceAction>`) is
+/// applied **in order** — the planner emits indices that stay valid under
+/// sequential application (splits never disturb existing indices; merges
+/// are ordered so no earlier merge shifts a later action's indices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RebalanceAction {
+    /// Split `shard`, moving the datasets named by `move_ids` to a new
+    /// shard (appended at the end of the shard list).
+    Split {
+        /// The shard to divide.
+        shard: usize,
+        /// Ids moving to the new shard — the upper half of the shard's
+        /// ids in ascending order.
+        move_ids: Vec<GlobalId>,
+    },
+    /// Merge shard `b` into shard `a` (`a < b`; the merged shard lands at
+    /// `a`, shards past `b` shift down by one).
+    Merge {
+        /// The surviving slot.
+        a: usize,
+        /// The absorbed shard.
+        b: usize,
+    },
 }
 
 /// One repository shard: its engine plus the shard map back to global ids.
@@ -181,6 +306,16 @@ struct Shard {
     /// this shard (a NaN coordinate was seen, so containment reasoning is
     /// unsound).
     bounds: Option<Vec<(f64, f64)>>,
+    /// The ingested datasets (`datasets[local]` carries id
+    /// `global_ids[local]`), retained so lifecycle transitions
+    /// (split/merge) can rebuild replacement engines without the caller
+    /// re-supplying data.
+    datasets: Vec<Dataset>,
+    /// (expression, shard) scatter units this shard evaluated — the load
+    /// signal behind `rebalance_plan`. Carried across rebuilds (the shard
+    /// keeps its identity), reset by split/merge (a transitioned shard
+    /// re-measures).
+    queries: AtomicU64,
 }
 
 /// A sharded mixed-query service: one [`MixedQueryEngine`] per repository
@@ -234,6 +369,10 @@ pub struct ShardedEngine {
     /// dependent, not timing-dependent, so the count is deterministic for
     /// a given workload.
     routed_past: AtomicU64,
+    /// Lifecycle splits committed (`&mut self` ops, so a plain counter).
+    splits: u64,
+    /// Lifecycle merges committed.
+    merges: u64,
 }
 
 impl ShardedEngine {
@@ -258,6 +397,8 @@ impl ShardedEngine {
             cache_capacity: crate::cache::DEFAULT_MASK_CACHE_CAPACITY,
             route: true,
             routed_past: AtomicU64::new(0),
+            splits: 0,
+            merges: 0,
         }
     }
 
@@ -339,6 +480,8 @@ impl ShardedEngine {
             global_ids: global_ids.to_vec(),
             dim: repo.dim(),
             bounds: shard_bounds(repo),
+            datasets: repo.datasets().to_vec(),
+            queries: AtomicU64::new(0),
         });
         Ok(self.shards.len() - 1)
     }
@@ -413,12 +556,334 @@ impl ShardedEngine {
         }
         self.ids_in_use.extend(global_ids.iter().copied());
         self.shards[shard].engine.mask_cache().invalidate();
+        let queries = self.shards[shard].queries.load(Ordering::Relaxed);
         self.shards[shard] = Shard {
             engine,
             global_ids: global_ids.to_vec(),
             dim: repo.dim(),
             bounds: shard_bounds(repo),
+            datasets: repo.datasets().to_vec(),
+            queries: AtomicU64::new(queries),
         };
+        Ok(())
+    }
+
+    /// Divides shard `shard` in two with the default worker pool: the
+    /// datasets whose global ids are in `move_ids` (the *assignment*)
+    /// move to a new shard whose index is returned; the rest stay where
+    /// they are. Ids and per-dataset sampling seeds are untouched, so no
+    /// answer changes — pinned by `tests/shard_equivalence.rs`. The
+    /// staying side inherits the shard's [`MaskCache`] with its
+    /// generation bumped; the new shard starts with a fresh cache; every
+    /// other shard's cache is untouched.
+    ///
+    /// # Panics
+    /// Panics on any [`IngestError`] (`shard` out of range, an id not
+    /// held by the shard, an assignment leaving a side empty); see
+    /// [`try_split_shard`](Self::try_split_shard) for the non-panicking
+    /// variant.
+    pub fn split_shard(&mut self, shard: usize, move_ids: &[GlobalId]) -> usize {
+        self.split_shard_opts(shard, move_ids, &BuildOptions::default())
+    }
+
+    /// [`split_shard`](Self::split_shard) with an explicit worker-pool
+    /// configuration for the two rebuilds.
+    pub fn split_shard_opts(
+        &mut self,
+        shard: usize,
+        move_ids: &[GlobalId],
+        opts: &BuildOptions,
+    ) -> usize {
+        self.try_split_shard_opts(shard, move_ids, opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`split_shard`](Self::split_shard): a rejected split
+    /// returns the typed [`IngestError`] and leaves the service —
+    /// including the shard it named — untouched.
+    pub fn try_split_shard(
+        &mut self,
+        shard: usize,
+        move_ids: &[GlobalId],
+    ) -> Result<usize, IngestError> {
+        self.try_split_shard_opts(shard, move_ids, &BuildOptions::default())
+    }
+
+    /// [`try_split_shard`](Self::try_split_shard) with an explicit
+    /// worker-pool configuration.
+    pub fn try_split_shard_opts(
+        &mut self,
+        shard: usize,
+        move_ids: &[GlobalId],
+        opts: &BuildOptions,
+    ) -> Result<usize, IngestError> {
+        if shard >= self.shards.len() {
+            return Err(IngestError::NoSuchShard {
+                shard,
+                n_shards: self.shards.len(),
+            });
+        }
+        // Validate the assignment: distinct ids, every one held by the
+        // split shard, neither side empty.
+        let src = &self.shards[shard];
+        let held: HashSet<GlobalId> = src.global_ids.iter().copied().collect();
+        let mut moving = HashSet::with_capacity(move_ids.len());
+        for &id in move_ids {
+            if !moving.insert(id) {
+                return Err(IngestError::DuplicateId(id));
+            }
+            if !held.contains(&id) {
+                return Err(IngestError::IdNotInShard { id, shard });
+            }
+        }
+        if move_ids.is_empty() || move_ids.len() == src.global_ids.len() {
+            return Err(IngestError::EmptySplitSide {
+                shard,
+                moving: move_ids.len(),
+                datasets: src.global_ids.len(),
+            });
+        }
+        // Partition in shard-local order — the staying/moving orders (and
+        // with them every observable detail of the two sides) depend only
+        // on the assignment as a *set*, not on `move_ids`' order.
+        let mut stay_sets = Vec::with_capacity(src.global_ids.len() - move_ids.len());
+        let mut stay_ids = Vec::with_capacity(stay_sets.capacity());
+        let mut move_sets = Vec::with_capacity(move_ids.len());
+        let mut moved_ids = Vec::with_capacity(move_ids.len());
+        for (ds, &id) in src.datasets.iter().zip(&src.global_ids) {
+            if moving.contains(&id) {
+                move_sets.push(ds.clone());
+                moved_ids.push(id);
+            } else {
+                stay_sets.push(ds.clone());
+                stay_ids.push(id);
+            }
+        }
+        let stay_repo = Repository::new(stay_sets);
+        let move_repo = Repository::new(move_sets);
+        // Build both replacement engines before touching any state (a
+        // build panic leaves the old shard serving).
+        let stay_cache = Arc::clone(src.engine.mask_cache());
+        let dim = src.dim;
+        let stay_engine = self
+            .build_engine(&stay_repo, &stay_ids, opts)
+            .with_mask_cache(stay_cache);
+        let move_engine = self
+            .build_engine(&move_repo, &moved_ids, opts)
+            .with_mask_cache(Arc::new(MaskCache::new(self.cache_capacity)));
+        // Commit. The id set is unchanged, so `ids_in_use` needs no edit;
+        // the carried-over cache is invalidated (generation bump) while
+        // every other shard's cache — the fresh one included — is not.
+        self.shards[shard].engine.mask_cache().invalidate();
+        let stay_bounds = shard_bounds(&stay_repo);
+        let move_bounds = shard_bounds(&move_repo);
+        self.shards[shard] = Shard {
+            engine: stay_engine,
+            global_ids: stay_ids,
+            dim,
+            bounds: stay_bounds,
+            datasets: stay_repo.into_datasets(),
+            queries: AtomicU64::new(0),
+        };
+        self.shards.push(Shard {
+            engine: move_engine,
+            global_ids: moved_ids,
+            dim,
+            bounds: move_bounds,
+            datasets: move_repo.into_datasets(),
+            queries: AtomicU64::new(0),
+        });
+        self.splits += 1;
+        Ok(self.shards.len() - 1)
+    }
+
+    /// Coalesces shards `a` and `b` into one with the default worker
+    /// pool, returning the surviving index `min(a, b)` (shards past
+    /// `max(a, b)` shift down by one; the merged shard holds the
+    /// lower-indexed shard's datasets followed by the higher-indexed
+    /// one's). No id changes, so no answer changes — pinned by
+    /// `tests/shard_equivalence.rs`. The surviving slot inherits the
+    /// lower-indexed shard's [`MaskCache`] with its generation bumped;
+    /// the absorbed shard's cache is dropped.
+    ///
+    /// # Panics
+    /// Panics on any [`IngestError`] (`a` or `b` out of range, `a == b`);
+    /// see [`try_merge_shards`](Self::try_merge_shards) for the
+    /// non-panicking variant.
+    pub fn merge_shards(&mut self, a: usize, b: usize) -> usize {
+        self.merge_shards_opts(a, b, &BuildOptions::default())
+    }
+
+    /// [`merge_shards`](Self::merge_shards) with an explicit worker-pool
+    /// configuration for the rebuild.
+    pub fn merge_shards_opts(&mut self, a: usize, b: usize, opts: &BuildOptions) -> usize {
+        self.try_merge_shards_opts(a, b, opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`merge_shards`](Self::merge_shards): a rejected
+    /// merge returns the typed [`IngestError`] and leaves the service
+    /// untouched.
+    pub fn try_merge_shards(&mut self, a: usize, b: usize) -> Result<usize, IngestError> {
+        self.try_merge_shards_opts(a, b, &BuildOptions::default())
+    }
+
+    /// [`try_merge_shards`](Self::try_merge_shards) with an explicit
+    /// worker-pool configuration.
+    pub fn try_merge_shards_opts(
+        &mut self,
+        a: usize,
+        b: usize,
+        opts: &BuildOptions,
+    ) -> Result<usize, IngestError> {
+        let n_shards = self.shards.len();
+        for &s in &[a, b] {
+            if s >= n_shards {
+                return Err(IngestError::NoSuchShard { shard: s, n_shards });
+            }
+        }
+        if a == b {
+            return Err(IngestError::MergeWithSelf { shard: a });
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        // The merged contents are lo's datasets then hi's, regardless of
+        // argument order — observable state depends on the pair, not on
+        // which side was named first.
+        let mut datasets = self.shards[lo].datasets.clone();
+        datasets.extend(self.shards[hi].datasets.iter().cloned());
+        let mut global_ids = self.shards[lo].global_ids.clone();
+        global_ids.extend_from_slice(&self.shards[hi].global_ids);
+        let repo = Repository::new(datasets);
+        let cache = Arc::clone(self.shards[lo].engine.mask_cache());
+        let dim = self.shards[lo].dim;
+        let engine = self
+            .build_engine(&repo, &global_ids, opts)
+            .with_mask_cache(cache);
+        // Commit: same id set, so `ids_in_use` is untouched; only the
+        // surviving slot's (carried) cache generation is bumped.
+        self.shards[lo].engine.mask_cache().invalidate();
+        let bounds = shard_bounds(&repo);
+        self.shards[lo] = Shard {
+            engine,
+            global_ids,
+            dim,
+            bounds,
+            datasets: repo.into_datasets(),
+            queries: AtomicU64::new(0),
+        };
+        self.shards.remove(hi);
+        self.merges += 1;
+        Ok(lo)
+    }
+
+    /// Per-shard size and query-load counters — the measurement side of
+    /// [`rebalance_plan`](Self::rebalance_plan).
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardLoad {
+                shard,
+                datasets: s.global_ids.len(),
+                queries: s.queries.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// [`rebalance_plan_with`](Self::rebalance_plan_with) under the
+    /// default [`RebalanceConfig`].
+    pub fn rebalance_plan(&self) -> Vec<RebalanceAction> {
+        self.rebalance_plan_with(&RebalanceConfig::default())
+    }
+
+    /// Proposes lifecycle transitions from the current [`ShardLoad`]
+    /// counters: oversized or query-hot shards propose a [`Split`]
+    /// (moving the upper half of their ascending ids), and pairs of small
+    /// non-splitting shards propose a [`Merge`]. The plan only *proposes*
+    /// — the caller applies it (see
+    /// [`apply_rebalance`](Self::apply_rebalance)), typically after
+    /// policy checks of its own. Actions are ordered for sequential
+    /// application: splits first (they never disturb existing indices),
+    /// then merges in descending index order (removing the highest
+    /// absorbed shard first never shifts a later pair).
+    ///
+    /// [`Split`]: RebalanceAction::Split
+    /// [`Merge`]: RebalanceAction::Merge
+    pub fn rebalance_plan_with(&self, cfg: &RebalanceConfig) -> Vec<RebalanceAction> {
+        let loads = self.shard_loads();
+        if loads.is_empty() {
+            return Vec::new();
+        }
+        let total_q: u64 = loads.iter().map(|l| l.queries).sum();
+        let mean_q = total_q as f64 / loads.len() as f64;
+        let mut plan = Vec::new();
+        let mut splitting = vec![false; loads.len()];
+        for l in &loads {
+            if l.datasets < 2 {
+                continue; // nothing to divide
+            }
+            let hot = total_q > 0 && (l.queries as f64) > cfg.hot_factor * mean_q;
+            if l.datasets > cfg.max_datasets || hot {
+                let mut ids = self.shards[l.shard].global_ids.clone();
+                ids.sort_unstable();
+                let move_ids = ids.split_off(ids.len() / 2);
+                plan.push(RebalanceAction::Split {
+                    shard: l.shard,
+                    move_ids,
+                });
+                splitting[l.shard] = true;
+            }
+        }
+        // Merge candidates: small, non-splitting shards, paired greedily
+        // smallest-first (deterministic: ties break on shard index).
+        let mut small: Vec<&ShardLoad> = loads
+            .iter()
+            .filter(|l| !splitting[l.shard] && l.datasets <= cfg.merge_under)
+            .collect();
+        small.sort_by_key(|l| (l.datasets, l.shard));
+        let mut merges: Vec<(usize, usize)> = Vec::new();
+        for pair in small.chunks_exact(2) {
+            if pair[0].datasets + pair[1].datasets <= cfg.merge_under {
+                let (x, y) = (pair[0].shard, pair[1].shard);
+                merges.push((x.min(y), x.max(y)));
+            }
+        }
+        // Descending by absorbed index: each removal leaves every
+        // remaining pair's (smaller) indices intact.
+        merges.sort_by_key(|pair| std::cmp::Reverse(pair.1));
+        plan.extend(
+            merges
+                .into_iter()
+                .map(|(a, b)| RebalanceAction::Merge { a, b }),
+        );
+        plan
+    }
+
+    /// Applies a rebalance plan in order with the default worker pool,
+    /// stopping at (and returning) the first rejection — by construction
+    /// [`rebalance_plan`](Self::rebalance_plan)'s output applies cleanly
+    /// against the state it was computed from.
+    pub fn apply_rebalance(&mut self, plan: &[RebalanceAction]) -> Result<(), IngestError> {
+        self.apply_rebalance_opts(plan, &BuildOptions::default())
+    }
+
+    /// [`apply_rebalance`](Self::apply_rebalance) with an explicit
+    /// worker-pool configuration.
+    pub fn apply_rebalance_opts(
+        &mut self,
+        plan: &[RebalanceAction],
+        opts: &BuildOptions,
+    ) -> Result<(), IngestError> {
+        for action in plan {
+            match action {
+                RebalanceAction::Split { shard, move_ids } => {
+                    self.try_split_shard_opts(*shard, move_ids, opts)?;
+                }
+                RebalanceAction::Merge { a, b } => {
+                    self.try_merge_shards_opts(*a, *b, opts)?;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -510,6 +975,8 @@ impl ShardedEngine {
             cache_hits,
             cache_misses,
             shards_routed_past: self.shards_routed_past(),
+            splits: self.splits,
+            merges: self.merges,
         }
     }
 
@@ -565,6 +1032,7 @@ impl ShardedEngine {
                 self.routed_past.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
+            shard.queries.fetch_add(1, Ordering::Relaxed);
             let hits = shard.engine.query_cached_dnf(&dnf, scratch)?;
             out.extend(hits.into_iter().map(|j| shard.global_ids[j]));
         }
@@ -667,6 +1135,7 @@ impl ShardedEngine {
                 return Ok(Vec::new());
             }
             let shard = &self.shards[s];
+            shard.queries.fetch_add(1, Ordering::Relaxed);
             shard
                 .engine
                 .query_cached_dnf(&dnfs[e], scratch)
@@ -1285,5 +1754,250 @@ mod tests {
         assert_eq!(snap.shards_routed_past, 1);
         assert_eq!(snap.cache_misses, 1);
         assert!(snap.index_queries >= 1);
+        assert_eq!((snap.splits, snap.merges), (0, 0));
+    }
+
+    #[test]
+    fn split_then_merge_preserves_answers() {
+        let mut svc = service();
+        let all = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(0.0, 100.0),
+            0.9,
+        ));
+        let before = svc.query(&all);
+        assert_eq!(before, Ok(vec![3, 5, 7]));
+        // Shard 0 holds ids {7, 3}; move 3 out into its own shard.
+        let new = svc.split_shard(0, &[3]);
+        assert_eq!(new, 2);
+        assert_eq!(svc.n_shards(), 3);
+        assert_eq!(svc.global_ids(0), &[7]);
+        assert_eq!(svc.global_ids(2), &[3]);
+        assert_eq!(svc.n_datasets(), 3, "splits conserve the catalog");
+        assert_eq!(svc.query(&all), before);
+        assert_eq!(svc.query(&low_expr()), Ok(vec![7]));
+        // Merge it back; the surviving slot is min(0, 2) = 0 and the
+        // merged shard appends the absorbed shard's datasets.
+        assert_eq!(svc.merge_shards(2, 0), 0);
+        assert_eq!(svc.n_shards(), 2);
+        assert_eq!(svc.global_ids(0), &[7, 3]);
+        assert_eq!(svc.query(&all), before);
+        let snap = svc.stats_snapshot();
+        assert_eq!((snap.splits, snap.merges), (1, 1));
+    }
+
+    #[test]
+    fn split_rejections_are_typed_and_leave_state_intact() {
+        let mut svc = service();
+        assert_eq!(
+            svc.try_split_shard(9, &[7]),
+            Err(IngestError::NoSuchShard {
+                shard: 9,
+                n_shards: 2
+            })
+        );
+        assert_eq!(
+            svc.try_split_shard(0, &[5]),
+            Err(IngestError::IdNotInShard { id: 5, shard: 0 })
+        );
+        assert_eq!(
+            svc.try_split_shard(0, &[7, 7]),
+            Err(IngestError::DuplicateId(7))
+        );
+        assert_eq!(
+            svc.try_split_shard(0, &[]),
+            Err(IngestError::EmptySplitSide {
+                shard: 0,
+                moving: 0,
+                datasets: 2
+            })
+        );
+        assert_eq!(
+            svc.try_split_shard(0, &[7, 3]),
+            Err(IngestError::EmptySplitSide {
+                shard: 0,
+                moving: 2,
+                datasets: 2
+            })
+        );
+        // A one-dataset shard can never split.
+        assert_eq!(
+            svc.try_split_shard(1, &[5]),
+            Err(IngestError::EmptySplitSide {
+                shard: 1,
+                moving: 1,
+                datasets: 1
+            })
+        );
+        assert_eq!((svc.n_shards(), svc.n_datasets()), (2, 3));
+        assert_eq!(svc.query(&low_expr()), Ok(vec![7]));
+    }
+
+    #[test]
+    fn merge_rejections_are_typed_and_leave_state_intact() {
+        let mut svc = service();
+        assert_eq!(
+            svc.try_merge_shards(0, 9),
+            Err(IngestError::NoSuchShard {
+                shard: 9,
+                n_shards: 2
+            })
+        );
+        assert_eq!(
+            svc.try_merge_shards(1, 1),
+            Err(IngestError::MergeWithSelf { shard: 1 })
+        );
+        assert_eq!((svc.n_shards(), svc.n_datasets()), (2, 3));
+        assert_eq!(svc.query(&low_expr()), Ok(vec![7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no such shard")]
+    fn split_panicking_wrapper_preserves_messages() {
+        let mut svc = service();
+        svc.split_shard(9, &[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge shard 0 with itself")]
+    fn merge_panicking_wrapper_preserves_messages() {
+        let mut svc = service();
+        svc.merge_shards(0, 0);
+    }
+
+    #[test]
+    fn transitions_scope_cache_invalidation_to_the_touched_shards() {
+        let mut svc = service();
+        let _ = svc.query_batch_opts(&[wide_expr()], &BuildOptions::serial());
+        let gen0 = svc.shard_engine(0).mask_cache().generation();
+        let gen1 = svc.shard_engine(1).mask_cache().generation();
+        // Split shard 0: its carried cache bumps, shard 1's does not, and
+        // the new shard starts on a fresh cache object.
+        svc.split_shard(0, &[3]);
+        assert_eq!(svc.shard_engine(0).mask_cache().generation(), gen0 + 1);
+        assert_eq!(svc.shard_engine(1).mask_cache().generation(), gen1);
+        assert_eq!(svc.shard_engine(2).mask_cache().len(), 0);
+        // Merge shards 1 and 2: the surviving slot (1) carries shard 1's
+        // cache bumped again; shard 0 is untouched.
+        let merged = svc.merge_shards(1, 2);
+        assert_eq!(merged, 1);
+        assert_eq!(svc.shard_engine(0).mask_cache().generation(), gen0 + 1);
+        assert_eq!(svc.shard_engine(1).mask_cache().generation(), gen1 + 1);
+    }
+
+    #[test]
+    fn shard_loads_count_evaluated_units_and_reset_on_transition() {
+        let mut svc = service();
+        // low_expr routes past shard 1, so only shard 0 records load.
+        let _ = svc.query(&low_expr());
+        let _ = svc.query_batch_opts(&[low_expr()], &BuildOptions::serial());
+        let loads = svc.shard_loads();
+        assert_eq!(loads[0].queries, 2);
+        assert_eq!(loads[1].queries, 0);
+        assert_eq!(loads[0].datasets, 2);
+        // A rebuild keeps the counter (the shard keeps its identity)...
+        svc.rebuild_shard(
+            0,
+            &Repository::new(vec![
+                dataset("low", &[1.0, 2.0, 3.0]),
+                dataset("high", &[90.0, 95.0]),
+            ]),
+            &[7, 3],
+        );
+        assert_eq!(svc.shard_loads()[0].queries, 2);
+        // ...while a split resets both sides.
+        svc.split_shard(0, &[3]);
+        assert_eq!(svc.shard_loads()[0].queries, 0);
+        assert_eq!(svc.shard_loads()[2].queries, 0);
+    }
+
+    #[test]
+    fn rebalance_plan_splits_hot_and_big_merges_small() {
+        let mut svc = ShardedEngine::new(
+            &[1],
+            PtileBuildParams::exact_centralized(),
+            PrefBuildParams::exact_centralized(),
+        )
+        .with_routing(false);
+        // Shard 0: 4 datasets (oversized for the config below); shards
+        // 1 and 2: one tiny dataset each (merge candidates).
+        svc.add_shard(
+            &Repository::new(vec![
+                dataset("a", &[1.0]),
+                dataset("b", &[2.0]),
+                dataset("c", &[3.0]),
+                dataset("d", &[4.0]),
+            ]),
+            &[10, 11, 12, 13],
+        );
+        svc.add_shard(&Repository::new(vec![dataset("e", &[5.0])]), &[20]);
+        svc.add_shard(&Repository::new(vec![dataset("f", &[6.0])]), &[21]);
+        let cfg = RebalanceConfig {
+            max_datasets: 3,
+            merge_under: 2,
+            hot_factor: 4.0,
+        };
+        let plan = svc.rebalance_plan_with(&cfg);
+        assert_eq!(
+            plan,
+            vec![
+                RebalanceAction::Split {
+                    shard: 0,
+                    move_ids: vec![12, 13],
+                },
+                RebalanceAction::Merge { a: 1, b: 2 },
+            ]
+        );
+        let all = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(0.0, 100.0),
+            0.9,
+        ));
+        let before = svc.query(&all);
+        svc.apply_rebalance(&plan).expect("plan applies cleanly");
+        assert_eq!(svc.n_shards(), 3, "0 split into {{0, 3}}, 2 merged into 1");
+        assert_eq!(svc.n_datasets(), 6, "transitions conserve the catalog");
+        assert_eq!(svc.query(&all), before);
+        // With balanced shards and no query skew, the next plan is empty.
+        assert_eq!(svc.rebalance_plan_with(&cfg), vec![]);
+    }
+
+    #[test]
+    fn rebalance_plan_detects_query_hot_shards() {
+        let mut svc = ShardedEngine::new(
+            &[1],
+            PtileBuildParams::exact_centralized(),
+            PrefBuildParams::exact_centralized(),
+        );
+        // Two same-sized shards with value-separated data, so routing
+        // concentrates load on shard 0.
+        svc.add_shard(
+            &Repository::new(vec![dataset("a", &[1.0, 2.0]), dataset("b", &[3.0, 4.0])]),
+            &[0, 1],
+        );
+        svc.add_shard(
+            &Repository::new(vec![
+                dataset("c", &[90.0, 91.0]),
+                dataset("d", &[92.0, 93.0]),
+            ]),
+            &[2, 3],
+        );
+        for _ in 0..20 {
+            let _ = svc.query(&low_expr());
+        }
+        let loads = svc.shard_loads();
+        assert_eq!((loads[0].queries, loads[1].queries), (20, 0));
+        let cfg = RebalanceConfig {
+            max_datasets: 100,
+            merge_under: 0,
+            hot_factor: 1.5,
+        };
+        // Shard 0 carries all the load: > 1.5× the mean of 10.
+        let plan = svc.rebalance_plan_with(&cfg);
+        assert_eq!(
+            plan,
+            vec![RebalanceAction::Split {
+                shard: 0,
+                move_ids: vec![1],
+            }]
+        );
     }
 }

@@ -264,6 +264,42 @@ impl DdsClient {
         }
     }
 
+    /// Divides shard `shard` in two: datasets whose global ids are in
+    /// `move_ids` land in a new shard, whose index is returned. Served
+    /// answers never change across the transition. A rejection (unknown
+    /// shard, id not held, empty side) surfaces as
+    /// [`ClientError::Server`] with kind `InvalidQuery` — the op carries
+    /// no data, so a rejection means the request named state that doesn't
+    /// match the served catalog.
+    pub fn split_shard(
+        &mut self,
+        shard: usize,
+        move_ids: &[GlobalId],
+    ) -> Result<usize, ClientError> {
+        let req = Request::SplitShard {
+            shard: shard as u32,
+            move_ids: move_ids.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::ShardAdded { shard } => Ok(shard as usize),
+            other => Self::unexpected("shard-added", other),
+        }
+    }
+
+    /// Coalesces shards `a` and `b` into one; returns the surviving
+    /// index, `min(a, b)` (shards past `max(a, b)` shift down by one).
+    /// Rejections surface like [`split_shard`](Self::split_shard)'s.
+    pub fn merge_shards(&mut self, a: usize, b: usize) -> Result<usize, ClientError> {
+        let req = Request::MergeShards {
+            a: a as u32,
+            b: b as u32,
+        };
+        match self.call(&req)? {
+            Response::ShardAdded { shard } => Ok(shard as usize),
+            other => Self::unexpected("shard-added", other),
+        }
+    }
+
     /// Fetches the server's aggregated statistics.
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         match self.call(&Request::Stats)? {

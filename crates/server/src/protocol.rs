@@ -44,6 +44,10 @@ pub mod opcode {
     pub const SHUTDOWN: u8 = 0x07;
     /// Hold an executor for a bounded time (testing aid).
     pub const SLEEP: u8 = 0x08;
+    /// Divide one shard in two (lifecycle admin op).
+    pub const SPLIT_SHARD: u8 = 0x09;
+    /// Coalesce two shards into one (lifecycle admin op).
+    pub const MERGE_SHARDS: u8 = 0x0A;
 
     /// Response: single-query answer.
     pub const HITS: u8 = 0x81;
@@ -113,6 +117,25 @@ pub enum Request {
     Sleep {
         /// Milliseconds to hold the executor.
         ms: u32,
+    },
+    /// Divide shard `shard` in two: the datasets whose global ids are in
+    /// `move_ids` land in a new shard (the `ShardAdded` answer carries
+    /// its index). Answers never change — ids are stable and sampling is
+    /// seeded by id.
+    SplitShard {
+        /// The shard to divide.
+        shard: u32,
+        /// Ids moving to the new shard.
+        move_ids: Vec<GlobalId>,
+    },
+    /// Coalesce shards `a` and `b` into one (the `ShardAdded` answer
+    /// carries the surviving index, `min(a, b)`; shards past `max(a, b)`
+    /// shift down by one).
+    MergeShards {
+        /// One shard of the pair.
+        a: u32,
+        /// The other shard.
+        b: u32,
     },
 }
 
@@ -267,14 +290,18 @@ pub struct ServerStats {
     /// session's token bucket was empty).
     pub sessions_throttled: u64,
     /// Session buffers served from the [`crate::buffer::BufferPool`]
-    /// instead of the allocator. The two newest counters are serialized
-    /// **last**: the stats list extends by appending, so older clients
-    /// keep decoding the prefix they know.
+    /// instead of the allocator.
     pub buffers_reused: u64,
+    /// Shard splits committed over the engine lifetime.
+    pub shard_splits: u64,
+    /// Shard merges committed over the engine lifetime. The newest
+    /// counters are serialized **last**: the stats list extends by
+    /// appending, so older clients keep decoding the prefix they know.
+    pub shard_merges: u64,
 }
 
 impl ServerStats {
-    fn fields(&self) -> [u64; 24] {
+    fn fields(&self) -> [u64; 26] {
         [
             self.requests,
             self.queries,
@@ -300,6 +327,8 @@ impl ServerStats {
             self.executor_panics,
             self.sessions_throttled,
             self.buffers_reused,
+            self.shard_splits,
+            self.shard_merges,
         ]
     }
 
@@ -329,6 +358,8 @@ impl ServerStats {
             executor_panics: f[21],
             sessions_throttled: f[22],
             buffers_reused: f[23],
+            shard_splits: f[24],
+            shard_merges: f[25],
         }
     }
 }
@@ -730,6 +761,19 @@ impl Request {
                 w.put_u32(*ms);
                 opcode::SLEEP
             }
+            Request::SplitShard { shard, move_ids } => {
+                w.put_u32(*shard);
+                w.put_count(move_ids.len());
+                for &id in move_ids {
+                    w.put_u64(id);
+                }
+                opcode::SPLIT_SHARD
+            }
+            Request::MergeShards { a, b } => {
+                w.put_u32(*a);
+                w.put_u32(*b);
+                opcode::MERGE_SHARDS
+            }
         }
     }
 
@@ -767,6 +811,24 @@ impl Request {
             opcode::PING => Request::Ping { token: r.u64()? },
             opcode::SHUTDOWN => Request::Shutdown,
             opcode::SLEEP => Request::Sleep { ms: r.u32()? },
+            opcode::SPLIT_SHARD => {
+                let shard = r.u32()?;
+                let n = r.count(8)?;
+                if n == 0 {
+                    return Err(WireError::BadValue {
+                        context: "a split must move at least one id",
+                    });
+                }
+                let mut move_ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    move_ids.push(r.u64()?);
+                }
+                Request::SplitShard { shard, move_ids }
+            }
+            opcode::MERGE_SHARDS => Request::MergeShards {
+                a: r.u32()?,
+                b: r.u32()?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     context: "request opcode",
@@ -948,6 +1010,24 @@ mod tests {
         round_trip_request(&Request::Ping { token: u64::MAX });
         round_trip_request(&Request::Shutdown);
         round_trip_request(&Request::Sleep { ms: 250 });
+        round_trip_request(&Request::SplitShard {
+            shard: 1,
+            move_ids: vec![9, 3, u64::MAX],
+        });
+        round_trip_request(&Request::MergeShards { a: 2, b: 0 });
+    }
+
+    #[test]
+    fn empty_splits_are_rejected_at_decode() {
+        let mut w = Writer::new();
+        w.put_u32(0); // shard
+        w.put_u32(0); // zero ids to move
+        assert!(matches!(
+            Request::decode(opcode::SPLIT_SHARD, &w.into_bytes()),
+            Err(WireError::BadValue {
+                context: "a split must move at least one id",
+            })
+        ));
     }
 
     #[test]
@@ -975,6 +1055,8 @@ mod tests {
                 n_shards: 3,
                 sessions_throttled: 17,
                 buffers_reused: 23,
+                shard_splits: 4,
+                shard_merges: 2,
                 ..Default::default()
             }),
             Response::Pong { token: 42 },

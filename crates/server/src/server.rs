@@ -289,6 +289,8 @@ impl Shared {
             shards_routed_past: engine.shards_routed_past,
             n_shards: engine.n_shards,
             n_datasets: engine.n_datasets,
+            shard_splits: engine.splits,
+            shard_merges: engine.merges,
         }
     }
 }
@@ -1072,6 +1074,37 @@ fn execute(shared: &Shared, req: Request) -> Response {
             ) {
                 Ok(()) => Response::Done,
                 Err(e) => Response::Error(ServerError::new(ServerErrorKind::Ingest, e.to_string())),
+            }
+        }
+        // Lifecycle admin ops carry no data — they reference shards and
+        // ids the server already holds, so a rejection means the request
+        // named state that doesn't match the served catalog: permanent,
+        // like a schema mismatch, hence the `invalid-query` kind (not
+        // `ingest`, which is for ops shipping data).
+        Request::SplitShard { shard, move_ids } => {
+            shared.counters.admin_ops.fetch_add(1, Ordering::Relaxed);
+            let mut engine = shared.engine_write();
+            match engine.try_split_shard_opts(shard as usize, &move_ids, &shared.build_opts()) {
+                Ok(new_shard) => Response::ShardAdded {
+                    shard: new_shard as u32,
+                },
+                Err(e) => Response::Error(ServerError::new(
+                    ServerErrorKind::InvalidQuery,
+                    e.to_string(),
+                )),
+            }
+        }
+        Request::MergeShards { a, b } => {
+            shared.counters.admin_ops.fetch_add(1, Ordering::Relaxed);
+            let mut engine = shared.engine_write();
+            match engine.try_merge_shards_opts(a as usize, b as usize, &shared.build_opts()) {
+                Ok(survivor) => Response::ShardAdded {
+                    shard: survivor as u32,
+                },
+                Err(e) => Response::Error(ServerError::new(
+                    ServerErrorKind::InvalidQuery,
+                    e.to_string(),
+                )),
             }
         }
         Request::Sleep { ms } => {

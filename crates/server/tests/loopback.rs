@@ -230,6 +230,77 @@ fn ingest_query_rebuild_stats_shutdown_round_trip() {
 }
 
 #[test]
+fn live_split_and_merge_keep_concurrent_answers_byte_identical() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let spec = RepoSpec::mixed(12, 40, 1, 0xBEEF);
+    let (local, served) = engine_pair(&spec, 2);
+    // A popular-shape stream with MissingRank probes: transitions must
+    // preserve errors exactly like hits.
+    let exprs = RequestStreamSpec::new(20, 17)
+        .with_shapes(5)
+        .with_missing_rank_every(5, 9)
+        .exprs(&spec);
+    let expected: Vec<_> = exprs.iter().map(|e| local.query(e)).collect();
+    let move_ids: Vec<u64> = {
+        // Shard 0 serves the even ids (round-robin over 2 shards); the
+        // split moves the upper half of them to a new shard.
+        let ids = spec.shards(2).swap_remove(0).global_ids;
+        ids[ids.len() / 2..].to_vec()
+    };
+    let server =
+        DdsServer::serve(served, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    let exprs = Arc::new(exprs);
+    let expected = Arc::new(expected);
+    let churned = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Readers hammer the stream for as long as the churn runs — every
+        // answer must be byte-identical to the static in-process engine,
+        // whichever side of a transition it lands on.
+        for c in 0..3 {
+            let exprs = Arc::clone(&exprs);
+            let expected = Arc::clone(&expected);
+            let churned = &churned;
+            s.spawn(move || {
+                let mut client = DdsClient::connect(addr).expect("reader connect");
+                let mut finish_after = false;
+                loop {
+                    for (j, e) in exprs.iter().enumerate() {
+                        let got = client.query(e).expect("query transport");
+                        assert_eq!(got, expected[j], "reader {c}, expr {j}");
+                    }
+                    let got = client.query_batch(&exprs).expect("batch transport");
+                    assert_eq!(&got, &*expected, "reader {c} batch");
+                    if finish_after {
+                        return;
+                    }
+                    // One more full pass after the churn completes, so the
+                    // post-merge layout is definitely exercised.
+                    finish_after = churned.load(Ordering::Acquire);
+                }
+            });
+        }
+        // The admin drives a split and a merge through the wire while the
+        // readers run.
+        let mut admin = DdsClient::connect(addr).expect("admin connect");
+        let born = admin.split_shard(0, &move_ids).expect("split");
+        assert_eq!(born, 2, "the new shard lands at the end");
+        // Let the readers observe the 3-shard layout for a moment.
+        std::thread::sleep(Duration::from_millis(50));
+        let survivor = admin.merge_shards(2, 1).expect("merge");
+        assert_eq!(survivor, 1, "merge survives at min(a, b)");
+        churned.store(true, Ordering::Release);
+    });
+    let stats = server.stats();
+    assert_eq!(stats.shard_splits, 1);
+    assert_eq!(stats.shard_merges, 1);
+    assert_eq!(stats.admin_ops, 2, "one split + one merge");
+    assert_eq!(stats.n_shards, 2, "3 after the split, 2 after the merge");
+    assert_eq!(stats.n_datasets, 12, "transitions conserve the catalog");
+    server.shutdown();
+}
+
+#[test]
 fn schema_mismatch_queries_get_typed_errors_not_panics() {
     let spec = RepoSpec::mixed(6, 30, 2, 77);
     let (_, served) = engine_pair(&spec, 2);

@@ -83,7 +83,7 @@ fn random_expr(rng: &mut StdRng, depth: usize) -> LogicalExpr {
 }
 
 fn random_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0u8..8) {
+    match rng.gen_range(0u8..10) {
         0 => Request::Query(random_expr(rng, 3)),
         1 => {
             let n = rng.gen_range(0..4);
@@ -117,8 +117,19 @@ fn random_request(rng: &mut StdRng) -> Request {
         4 => Request::Stats,
         5 => Request::Ping { token: rng.gen() },
         6 => Request::Shutdown,
-        _ => Request::Sleep {
+        7 => Request::Sleep {
             ms: rng.gen_range(0..500),
+        },
+        8 => Request::SplitShard {
+            // Hostile values round-trip like honest ones — validity
+            // against the served catalog is the server's concern, not the
+            // codec's (the decoder only rejects an *empty* assignment).
+            shard: rng.gen_range(0..100),
+            move_ids: (0..rng.gen_range(1..5usize)).map(|_| rng.gen()).collect(),
+        },
+        _ => Request::MergeShards {
+            a: rng.gen_range(0..100),
+            b: rng.gen_range(0..100),
         },
     }
 }
@@ -619,6 +630,45 @@ fn hostile_expressions_are_rejected_typed() {
 
     assert_alive(addr);
     server.shutdown();
+}
+
+#[test]
+fn hostile_lifecycle_indices_are_typed_invalid_query_never_a_panic() {
+    // The tiny server holds ONE shard with ONE dataset (global id 0), so
+    // every lifecycle request below names state that doesn't exist. Each
+    // must come back as the permanent `invalid-query` kind — the ops
+    // carry no data, so "ingest rejected" would be the wrong signal —
+    // and the server must keep serving after every one.
+    let server = tiny_server();
+    let addr = server.local_addr();
+    let mut client = DdsClient::connect(addr).expect("connect");
+
+    let expect_invalid = |result: Result<usize, ClientError>, fragment: &str| match result {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.kind, ServerErrorKind::InvalidQuery, "{}", e.message);
+            assert!(e.message.contains(fragment), "{}", e.message);
+        }
+        other => panic!("expected a typed invalid-query, got {other:?}"),
+    };
+    // Out-of-range shard index.
+    expect_invalid(client.split_shard(5, &[0]), "no such shard");
+    // An id the shard does not hold.
+    expect_invalid(client.split_shard(0, &[7]), "not held by shard");
+    // Moving everything leaves the staying side empty.
+    expect_invalid(client.split_shard(0, &[0]), "leaves a side empty");
+    // A duplicated id in the assignment.
+    expect_invalid(client.split_shard(0, &[0, 0]), "repeats");
+    // Merging a shard with itself, and with a shard that does not exist.
+    expect_invalid(client.merge_shards(0, 0), "with itself");
+    expect_invalid(client.merge_shards(0, 9), "no such shard");
+
+    // Nothing transitioned, nothing panicked, answers unchanged.
+    assert_alive(addr);
+    let stats = server.shutdown();
+    assert_eq!(stats.shard_splits, 0);
+    assert_eq!(stats.shard_merges, 0);
+    assert_eq!(stats.executor_panics, 0);
+    assert_eq!(stats.n_shards, 1);
 }
 
 #[test]

@@ -114,7 +114,9 @@ pub mod prelude {
         ExactCPtile1D, PtileBuildParams, PtileMultiIndex, PtileRangeIndex, PtileThresholdIndex,
     };
     pub use dds_core::scratch::QueryScratch;
-    pub use dds_core::shard::{GlobalId, ShardedEngine, ShardedStats};
+    pub use dds_core::shard::{
+        GlobalId, RebalanceAction, RebalanceConfig, ShardLoad, ShardedEngine, ShardedStats,
+    };
     pub use dds_geom::{Point, Rect};
     pub use dds_server::{
         ClientConfig, ClientError, DdsClient, DdsServer, RateLimit, ServerConfig, ServerStats,

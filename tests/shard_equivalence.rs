@@ -9,6 +9,13 @@
 //! cross-call mask cache stays within its capacity bound, and a shard
 //! rebuild invalidates exactly that shard's entries (requeries recompute
 //! against the new data, other shards keep hitting their caches).
+//!
+//! The lifecycle layer extends the contract to **transitions**: a split or
+//! merge must be indistinguishable from building the resulting layout from
+//! scratch (exact and φ-anchored sampled builds alike), and a long random
+//! interleaving of split/merge/rebuild/query churn must stay byte-identical
+//! to the unsharded reference throughout, with cache invalidation scoped to
+//! exactly the shards each transition touched.
 
 mod common;
 
@@ -363,6 +370,324 @@ fn routing_skips_value_separated_shards_and_spares_their_caches() {
     ));
     assert_eq!(svc.query(&far), Ok(vec![]));
     assert_eq!(svc.shards_routed_past(), 9);
+}
+
+/// A sharded engine built from scratch over an explicit shard layout
+/// (`layout[s]` = shard `s`'s global ids) — the "rebuilt" side of the
+/// transition-equivalence pins.
+fn engine_with_layout(
+    sets: &[Vec<f64>],
+    layout: &[Vec<GlobalId>],
+    ptile: &PtileBuildParams,
+    pref: &PrefBuildParams,
+) -> ShardedEngine {
+    let mut svc = ShardedEngine::new(&[1], ptile.clone(), pref.clone());
+    for ids in layout {
+        svc.add_shard_opts(
+            &Repository::new(
+                ids.iter()
+                    .map(|&i| dataset_1d(i as usize, &sets[i as usize]))
+                    .collect(),
+            ),
+            ids,
+            &BuildOptions::serial(),
+        );
+    }
+    svc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Split-then-query and merge-then-query ≡ the same layout rebuilt
+    /// from scratch (and both ≡ the unsharded reference), for exact
+    /// builds across shard counts {2, 3, 8} × thread counts {1, 4} —
+    /// including the MissingRank-carrying expressions, which transitions
+    /// must preserve exactly like hits.
+    #[test]
+    fn split_and_merge_match_rebuilt_from_scratch((sets, shapes) in repo_and_batch()) {
+        prop_assume!(sets.len() >= 2);
+        let exprs: Vec<LogicalExpr> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, w, a, bw))| mixed_expr(i, lo, w, a, bw))
+            .collect();
+        let reference_engine = unsharded(&sets);
+        let expected: Vec<_> = exprs.iter().map(|e| reference(&reference_engine, e)).collect();
+        let (ptile, pref) = build_params();
+        for k in [2usize, 3, 8] {
+            let mut svc = sharded(&sets, k);
+            // Split the first divisible shard, moving the upper half of
+            // its ascending ids to a new shard.
+            if let Some(s) = (0..svc.n_shards()).find(|&s| svc.global_ids(s).len() >= 2) {
+                let mut ids = svc.global_ids(s).to_vec();
+                ids.sort_unstable();
+                let move_ids = ids.split_off(ids.len() / 2);
+                let born = svc.split_shard_opts(s, &move_ids, &BuildOptions::serial());
+                prop_assert_eq!(born, svc.n_shards() - 1, "the new shard lands last");
+            }
+            // Merge the outermost pair, naming the higher index first —
+            // the merged result must not depend on argument order.
+            if svc.n_shards() >= 2 {
+                let survivor = svc.merge_shards_opts(svc.n_shards() - 1, 0, &BuildOptions::serial());
+                prop_assert_eq!(survivor, 0, "the merged shard lands at min(a, b)");
+            }
+            prop_assert_eq!(svc.n_datasets(), sets.len(), "transitions conserve the catalog");
+            // The exact post-transition layout, rebuilt from scratch.
+            let layout: Vec<Vec<GlobalId>> =
+                (0..svc.n_shards()).map(|s| svc.global_ids(s).to_vec()).collect();
+            let fresh = engine_with_layout(&sets, &layout, &ptile, &pref);
+            for t in [1usize, 4] {
+                let opts = BuildOptions::with_threads(t);
+                let churned = svc.query_batch_opts(&exprs, &opts);
+                prop_assert_eq!(
+                    &churned, &expected,
+                    "transitioned vs unsharded, shards = {}, threads = {}", k, t
+                );
+                prop_assert_eq!(
+                    &churned, &fresh.query_batch_opts(&exprs, &opts),
+                    "transitioned vs rebuilt-from-scratch, shards = {}, threads = {}", k, t
+                );
+            }
+        }
+    }
+
+    /// The same transition-equivalence pin for **φ-anchored sampled
+    /// builds** (ε > 0, the regime where per-shard φ accounting or
+    /// positional sampling seeds would break it): split-then-query and
+    /// merge-then-query stay bit-identical to the unsharded sampled
+    /// reference and to the post-transition layout rebuilt from scratch.
+    #[test]
+    fn sampled_split_and_merge_match_rebuilt_from_scratch(salt in 0usize..1000) {
+        let n = 6usize;
+        let sets: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..60)
+                    .map(|j| ((i * 13 + j * 7 + salt) % 97) as f64 - 20.0)
+                    .collect()
+            })
+            .collect();
+        // ε = 0.4 keeps the admissible sample below the 60-point
+        // supports, so the seeded sampling path is engaged for real; the
+        // φ-split is anchored to the catalog size.
+        let ptile = PtileBuildParams::default().with_eps(0.4).with_phi_datasets(n);
+        let pref = PrefBuildParams::exact_centralized();
+        let reference_engine = MixedQueryEngine::build_opts(
+            &Repository::new(
+                sets.iter()
+                    .enumerate()
+                    .map(|(i, xs)| dataset_1d(i, xs))
+                    .collect(),
+            ),
+            &[1],
+            ptile.clone(),
+            pref.clone(),
+            &BuildOptions::serial(),
+        );
+        prop_assert!(reference_engine.ptile_slack() > 0.0, "sampling must engage");
+        // Percentile sweep plus MissingRank probes (every third asks for
+        // an unindexed rank) — errors must survive transitions too.
+        let exprs: Vec<LogicalExpr> = (0..18)
+            .map(|q| {
+                if q % 3 == 2 {
+                    LogicalExpr::Pred(Predicate::topk_at_least(vec![1.0], 4, 0.0))
+                } else {
+                    LogicalExpr::Pred(Predicate::percentile_at_least(
+                        Rect::interval(-20.0 + q as f64 * 4.0, -8.0 + q as f64 * 4.0),
+                        0.05 * (q % 19) as f64,
+                    ))
+                }
+            })
+            .collect();
+        let expected: Vec<_> = exprs.iter().map(|e| reference(&reference_engine, e)).collect();
+        for k in [2usize, 3, 8] {
+            let k_eff = k.min(n);
+            let round_robin: Vec<Vec<GlobalId>> = (0..k_eff)
+                .map(|s| (s..n).step_by(k_eff).map(|i| i as GlobalId).collect())
+                .collect();
+            let mut svc = engine_with_layout(&sets, &round_robin, &ptile, &pref);
+            prop_assert!(svc.ptile_slack() > 0.0, "shards sample too (k = {})", k);
+            if let Some(s) = (0..svc.n_shards()).find(|&s| svc.global_ids(s).len() >= 2) {
+                let mut ids = svc.global_ids(s).to_vec();
+                ids.sort_unstable();
+                let move_ids = ids.split_off(ids.len() / 2);
+                svc.split_shard_opts(s, &move_ids, &BuildOptions::serial());
+            }
+            if svc.n_shards() >= 2 {
+                svc.merge_shards_opts(svc.n_shards() - 1, 0, &BuildOptions::serial());
+            }
+            let layout: Vec<Vec<GlobalId>> =
+                (0..svc.n_shards()).map(|s| svc.global_ids(s).to_vec()).collect();
+            let fresh = engine_with_layout(&sets, &layout, &ptile, &pref);
+            for t in [1usize, 4] {
+                let opts = BuildOptions::with_threads(t);
+                let churned = svc.query_batch_opts(&exprs, &opts);
+                prop_assert_eq!(
+                    &churned, &expected,
+                    "sampled transition vs unsharded, shards = {}, threads = {}", k, t
+                );
+                prop_assert_eq!(
+                    &churned, &fresh.query_batch_opts(&exprs, &opts),
+                    "sampled transition vs rebuilt, shards = {}, threads = {}", k, t
+                );
+            }
+        }
+    }
+}
+
+/// The churn soak: a long random interleaving of split / merge / rebuild /
+/// query-batch steps stays byte-identical to an unsharded reference engine
+/// throughout, every transition's cache invalidation is scoped to exactly
+/// the shards it touched, and a repeated batch is answered entirely from
+/// warm caches (`index_queries` advances by 0).
+#[test]
+fn churn_soak_stays_byte_identical_to_unsharded_reference() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    // 8 datasets keyed by global id; rebuild steps mutate them in place.
+    let mut sets: Vec<Vec<f64>> = (0..8usize)
+        .map(|i| {
+            (0..6)
+                .map(|j| ((i * 11 + j * 5) % 37) as f64 - 10.0)
+                .collect()
+        })
+        .collect();
+    let mut svc = sharded(&sets, 3);
+    let mut reference_engine = unsharded(&sets);
+    // Mixed workload, MissingRank probes included (every third shape).
+    let exprs: Vec<LogicalExpr> = (0..9)
+        .map(|i| mixed_expr(i, -12.0 + i as f64 * 3.0, 8.0, 0.1 * (i % 7) as f64, 0.3))
+        .collect();
+    let generations = |svc: &ShardedEngine| -> Vec<u64> {
+        (0..svc.n_shards())
+            .map(|s| svc.shard_engine(s).mask_cache().generation())
+            .collect()
+    };
+    let mut performed = 0usize;
+    for step in 0..70 {
+        let action = rng.gen_range(0u8..4);
+        let before = generations(&svc);
+        if action == 0 && svc.n_shards() < 6 {
+            // Split a random divisible shard, moving a uniform random
+            // strict subset of its ids.
+            let divisible: Vec<usize> = (0..svc.n_shards())
+                .filter(|&s| svc.global_ids(s).len() >= 2)
+                .collect();
+            if let Some(&s) = divisible
+                .get(rng.gen_range(0..divisible.len().max(1)))
+                .filter(|_| !divisible.is_empty())
+            {
+                let mut ids = svc.global_ids(s).to_vec();
+                let m = rng.gen_range(1..ids.len());
+                for i in 0..m {
+                    let j = rng.gen_range(i..ids.len());
+                    ids.swap(i, j);
+                }
+                svc.split_shard_opts(s, &ids[..m], &BuildOptions::serial());
+                let after = generations(&svc);
+                // Only the split shard's (carried) cache was invalidated;
+                // the new shard starts with an empty cache.
+                for i in 0..before.len() {
+                    if i == s {
+                        assert!(after[i] > before[i], "step {step}: split bumps shard {s}");
+                    } else {
+                        assert_eq!(after[i], before[i], "step {step}: shard {i} untouched");
+                    }
+                }
+                assert_eq!(
+                    svc.shard_engine(svc.n_shards() - 1).mask_cache().len(),
+                    0,
+                    "step {step}: the new shard's cache starts empty"
+                );
+                performed += 1;
+            }
+        } else if action == 1 && svc.n_shards() >= 2 {
+            // Merge a random distinct pair.
+            let a = rng.gen_range(0..svc.n_shards());
+            let b = (a + 1 + rng.gen_range(0..svc.n_shards() - 1)) % svc.n_shards();
+            let (lo, hi) = (a.min(b), a.max(b));
+            let survivor = svc.merge_shards_opts(a, b, &BuildOptions::serial());
+            assert_eq!(survivor, lo, "step {step}: survivor is min(a, b)");
+            let after = generations(&svc);
+            // Survivor bumped; every other shard's cache untouched
+            // (indices past the absorbed shard shift down by one).
+            for (i, gen) in after.iter().enumerate() {
+                let old = if i < hi { i } else { i + 1 };
+                if i == lo {
+                    assert!(*gen > before[old], "step {step}: merge bumps {lo}");
+                } else {
+                    assert_eq!(*gen, before[old], "step {step}: shard {i} untouched");
+                }
+            }
+            performed += 1;
+        } else if action == 2 {
+            // Re-land a random shard under its own ids with every value
+            // shifted — a real data change, so the reference moves too.
+            let s = rng.gen_range(0..svc.n_shards());
+            let ids = svc.global_ids(s).to_vec();
+            for &id in &ids {
+                for x in &mut sets[id as usize] {
+                    *x += 1.0;
+                }
+            }
+            svc.rebuild_shard_opts(
+                s,
+                &Repository::new(
+                    ids.iter()
+                        .map(|&i| dataset_1d(i as usize, &sets[i as usize]))
+                        .collect(),
+                ),
+                &ids,
+                &BuildOptions::serial(),
+            );
+            reference_engine = unsharded(&sets);
+            let after = generations(&svc);
+            for i in 0..before.len() {
+                if i == s {
+                    assert!(after[i] > before[i], "step {step}: rebuild bumps shard {s}");
+                } else {
+                    assert_eq!(after[i], before[i], "step {step}: shard {i} untouched");
+                }
+            }
+            performed += 1;
+        } else {
+            // Query step: the churned engine answers byte-identically to
+            // the unsharded reference, and a repeat batch is pure cache
+            // (index_queries advances by 0, answers still identical).
+            let threads = if rng.gen_range(0u8..2) == 0 { 1 } else { 4 };
+            let opts = BuildOptions::with_threads(threads);
+            let expected: Vec<_> = exprs
+                .iter()
+                .map(|e| reference(&reference_engine, e))
+                .collect();
+            let got = svc.query_batch_opts(&exprs, &opts);
+            assert_eq!(got, expected, "step {step}: churned ≡ unsharded");
+            let warm_index_queries = svc.index_queries();
+            let repeat = svc.query_batch_opts(&exprs, &opts);
+            assert_eq!(repeat, expected, "step {step}: warm repeat identical");
+            assert_eq!(
+                svc.index_queries(),
+                warm_index_queries,
+                "step {step}: a repeated batch is answered entirely from cache"
+            );
+            performed += 1;
+        }
+        assert_eq!(
+            svc.n_datasets(),
+            sets.len(),
+            "step {step}: catalog conserved"
+        );
+    }
+    assert!(
+        performed >= 50,
+        "the soak must actually churn ({performed} steps)"
+    );
+    let stats = svc.stats_snapshot();
+    assert!(
+        stats.splits >= 1 && stats.merges >= 1,
+        "both transition kinds occurred"
+    );
 }
 
 /// The cross-call cache respects its capacity bound under a workload with
