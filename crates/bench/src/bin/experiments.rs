@@ -8,8 +8,8 @@
 //! ```
 
 use dds_bench::experiments::{
-    ablations, batch, churn, exact, federated, lowerbound, pref, ptile, scaling, serving, shard,
-    Scale,
+    ablations, batch, churn, exact, fault, federated, lowerbound, pref, ptile, scaling, serving,
+    shard, Scale,
 };
 use dds_bench::Table;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -122,6 +122,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "--e16",
         "Shard lifecycle under churn (split/merge/rebalance)",
         churn::e16_shard_churn,
+    ),
+    (
+        "--e17",
+        "Fault soak (chaos proxy + self-healing client)",
+        fault::e17_fault_soak,
     ),
     (
         "--a1",

@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod batch;
 pub mod churn;
 pub mod exact;
+pub mod fault;
 pub mod federated;
 pub mod lowerbound;
 pub mod pref;

@@ -14,8 +14,24 @@
 //! allocates nothing per round trip — the other half of the server's
 //! zero-allocation steady state, pinned together by the `dds-bench`
 //! counting-allocator experiment.
+//!
+//! # Self-healing
+//!
+//! With a [`RetryPolicy`] installed ([`DdsClient::with_retry`]) the
+//! client heals around transport faults: a dead connection is dropped and
+//! re-dialed, attempts back off exponentially with deterministic jitter,
+//! and the whole loop is bounded by a deadline and an attempt cap. What
+//! may be *re-sent* is governed by the wire op's
+//! [`RetrySafety`](crate::protocol::RetrySafety) class — reads and
+//! data-free admin ops always, ingests only under a dedup `request_id`
+//! (which this client stamps automatically), `Shutdown`/`Sleep` never.
+//! An answered transient rejection (`Busy`, `throttled`, `unavailable`)
+//! executed nothing and is retryable for any op. A call that exhausts its
+//! budget surfaces [`ClientError::DeadlineExceeded`] wrapping the last
+//! underlying failure.
 
-use crate::protocol::{Request, Response, ServerError, ServerStats};
+use crate::fault::{ConnPlan, FaultPlan, FaultStream};
+use crate::protocol::{Request, Response, RetrySafety, ServerError, ServerStats};
 use crate::wire::{
     encode_frame_into, read_frame_into, FrameReadError, WireError, DEFAULT_MAX_FRAME_LEN,
     PROTOCOL_VERSION,
@@ -25,8 +41,8 @@ use dds_core::framework::{LogicalExpr, Repository};
 use dds_core::shard::GlobalId;
 use std::fmt;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// A query answer exactly as the in-process engine would return it.
 pub type EngineResult = Result<Vec<GlobalId>, EngineError>;
@@ -35,10 +51,12 @@ pub type EngineResult = Result<Vec<GlobalId>, EngineError>;
 #[derive(Clone, Copy, Debug)]
 pub struct ClientConfig {
     /// Socket read **and** write timeout for every call; `None` (the
-    /// default) blocks indefinitely. An expired timeout surfaces as
-    /// [`ClientError::TimedOut`] — the connection should be dropped
-    /// afterwards, since an abandoned response may still arrive and
-    /// desynchronise the stream.
+    /// default) blocks indefinitely — unless a [`RetryPolicy`] is
+    /// installed, in which case a per-attempt timeout is derived from the
+    /// policy so one stalled attempt cannot eat the whole deadline. An
+    /// expired timeout surfaces as [`ClientError::TimedOut`] — the
+    /// connection is dropped afterwards, since an abandoned response may
+    /// still arrive and desynchronise the stream.
     pub timeout: Option<Duration>,
     /// Upper bound on a frame body this client accepts and emits.
     pub max_frame_len: u32,
@@ -53,15 +71,53 @@ impl Default for ClientConfig {
     }
 }
 
+/// How a [`DdsClient`] retries around transport faults and transient
+/// rejections. Install with [`DdsClient::with_retry`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total budget for one logical call, attempts and backoffs
+    /// included. Past it the call fails with
+    /// [`ClientError::DeadlineExceeded`].
+    pub deadline: Duration,
+    /// Most attempts one logical call makes (≥ 1; the first attempt
+    /// counts).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt (capped at
+    /// 1 s), with deterministic jitter in `[base/2, base)` of the
+    /// current value.
+    pub base_backoff: Duration,
+    /// Seeds the jitter sequence **and** the `request_id` generator for
+    /// deduplicated ingests — two clients retrying the same workload
+    /// from the same seed behave identically.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_secs(10),
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(20),
+            jitter_seed: 0x5EED_5EED,
+        }
+    }
+}
+
 /// Why a client call failed *before* producing an engine answer.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport failure (connect, read, write, or server closed).
+    /// Transport failure other than the peer going away (connect refused,
+    /// a genuine local I/O fault).
     Io(io::Error),
-    /// The configured [`ClientConfig::timeout`] expired mid-call. The
-    /// connection is no longer usable: the response may arrive later and
-    /// desynchronise the stream.
+    /// The socket timeout expired mid-call (explicit
+    /// [`ClientConfig::timeout`], or the per-attempt timeout a
+    /// [`RetryPolicy`] derives). The connection is no longer usable: the
+    /// response may arrive later and desynchronise the stream.
     TimedOut,
+    /// The peer went away: a clean close between frames, a reset, or a
+    /// broken pipe. Distinct from [`Io`](Self::Io) so a retry layer can
+    /// tell "reconnect and try again" from "something is locally wrong".
+    ConnectionClosed,
     /// The response violated the wire grammar.
     Wire(WireError),
     /// The server's admission queue was full; the request was not
@@ -78,6 +134,40 @@ pub enum ClientError {
         /// What arrived instead (debug rendering).
         got: String,
     },
+    /// The [`RetryPolicy`] budget ran out. `last` is the failure of the
+    /// final attempt — the thing that would have been returned without a
+    /// policy.
+    DeadlineExceeded {
+        /// Attempts made (the first one included).
+        attempts: u32,
+        /// The final attempt's failure.
+        last: Box<ClientError>,
+    },
+}
+
+impl ClientError {
+    /// Whether retrying *could* help: the fault was in transport or an
+    /// explicitly transient server answer (`Busy`,
+    /// `unavailable`/`throttled`), rather than a permanent rejection, a
+    /// grammar violation, or an already-exhausted retry budget.
+    ///
+    /// Note this classifies the **error**, not the op: a transient error
+    /// after an op of unknown fate is only actually retryable if the op
+    /// is retry-safe (see
+    /// [`RetrySafety`](crate::protocol::RetrySafety)) — the retry loop
+    /// enforces that half.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(_)
+            | ClientError::TimedOut
+            | ClientError::ConnectionClosed
+            | ClientError::Busy => true,
+            ClientError::Server(e) => e.kind.is_transient(),
+            ClientError::Wire(_)
+            | ClientError::UnexpectedResponse { .. }
+            | ClientError::DeadlineExceeded { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -87,11 +177,20 @@ impl fmt::Display for ClientError {
             ClientError::TimedOut => {
                 write!(f, "request timed out (ClientConfig::timeout)")
             }
+            ClientError::ConnectionClosed => {
+                write!(f, "the server closed the connection")
+            }
             ClientError::Wire(e) => write!(f, "wire error: {e}"),
             ClientError::Busy => write!(f, "server busy: admission queue full, retry later"),
             ClientError::Server(e) => write!(f, "server error: {e}"),
             ClientError::UnexpectedResponse { expected, got } => {
                 write!(f, "expected a {expected} response, got {got}")
+            }
+            ClientError::DeadlineExceeded { attempts, last } => {
+                write!(
+                    f,
+                    "retry deadline exceeded after {attempts} attempts: {last}"
+                )
             }
         }
     }
@@ -103,6 +202,7 @@ impl std::error::Error for ClientError {
             ClientError::Io(e) => Some(e),
             ClientError::Wire(e) => Some(e),
             ClientError::Server(e) => Some(e),
+            ClientError::DeadlineExceeded { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -113,13 +213,10 @@ impl From<io::Error> for ClientError {
         // Platforms disagree on what an expired socket timeout reads as:
         // Unix surfaces EAGAIN (WouldBlock), Windows WSAETIMEDOUT
         // (TimedOut). Both mean the same thing here.
-        if matches!(
-            e.kind(),
-            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-        ) {
-            ClientError::TimedOut
-        } else {
-            ClientError::Io(e)
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::TimedOut,
+            k if crate::wire::is_disconnect_kind(k) => ClientError::ConnectionClosed,
+            _ => ClientError::Io(e),
         }
     }
 }
@@ -133,21 +230,55 @@ impl From<WireError> for ClientError {
 impl From<FrameReadError> for ClientError {
     fn from(e: FrameReadError) -> Self {
         match e {
-            FrameReadError::Eof => ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )),
+            FrameReadError::Eof => ClientError::ConnectionClosed,
             FrameReadError::Io(e) => e.into(),
             FrameReadError::Wire(e) => ClientError::Wire(e),
         }
     }
 }
 
+/// Where an attempt's failure left the request — the input to the
+/// retry-safety decision.
+enum Fate {
+    /// The connection could not even be established: nothing was sent,
+    /// so a retry is always safe.
+    NotSent,
+    /// The transport died after (part of) the frame went out and before
+    /// an answer came back. Re-sending is gated on the op's
+    /// [`RetrySafety`].
+    Unknown,
+    /// The server *answered* — with `Busy` or a typed error. Nothing is
+    /// pending; whether to retry depends only on the answer's
+    /// transience.
+    Answered,
+}
+
+struct AttemptError {
+    err: ClientError,
+    fate: Fate,
+}
+
 /// A blocking connection to a [`DdsServer`](crate::DdsServer).
+///
+/// The transport is always a [`FaultStream`]: under a clean plan (the
+/// normal case) it is a transparent passthrough; under
+/// [`with_faults`](Self::with_faults) each successive connection suffers
+/// its seeded [`ConnPlan`] — the client-side half of the fault-injection
+/// story, letting tests drive the *production* retry loop through
+/// deterministic chaos.
 #[derive(Debug)]
 pub struct DdsClient {
-    stream: TcpStream,
-    max_frame_len: u32,
+    conn: Option<FaultStream>,
+    /// The resolved peer, kept for reconnects.
+    peer: SocketAddr,
+    cfg: ClientConfig,
+    retry: Option<RetryPolicy>,
+    faults: Option<FaultPlan>,
+    /// Connections dialed so far — indexes [`FaultPlan::conn`].
+    conn_seq: u64,
+    /// splitmix64 state for jitter and request-id generation.
+    rng: u64,
+    retries: u64,
     /// Encoded request frame, reused across calls.
     scratch_out: Vec<u8>,
     /// Response frame payload, reused across calls.
@@ -155,7 +286,8 @@ pub struct DdsClient {
 }
 
 impl DdsClient {
-    /// Connects to a server with default options (no timeout).
+    /// Connects to a server with default options (no timeout, no
+    /// retries).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<DdsClient, ClientError> {
         Self::connect_with(addr, ClientConfig::default())
     }
@@ -165,42 +297,206 @@ impl DdsClient {
         addr: impl ToSocketAddrs,
         cfg: ClientConfig,
     ) -> Result<DdsClient, ClientError> {
+        // Dial once eagerly (callers expect connect errors here, not on
+        // the first call) and remember the resolved peer for reconnects.
         let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        stream.set_read_timeout(cfg.timeout)?;
-        stream.set_write_timeout(cfg.timeout)?;
-        Ok(DdsClient {
-            stream,
-            max_frame_len: cfg.max_frame_len,
+        let peer = stream.peer_addr()?;
+        let mut client = DdsClient {
+            conn: None,
+            peer,
+            cfg,
+            retry: None,
+            faults: None,
+            conn_seq: 1,
+            rng: 0x5EED_5EED,
+            retries: 0,
             scratch_out: Vec::new(),
             scratch_in: Vec::new(),
-        })
+        };
+        client.configure(&stream)?;
+        client.conn = Some(FaultStream::new(stream, ConnPlan::CLEAN));
+        Ok(client)
     }
 
     /// Lowers (or raises) the frame bound this client accepts and emits.
     pub fn with_max_frame_len(mut self, max_frame_len: u32) -> Self {
-        self.max_frame_len = max_frame_len;
+        self.cfg.max_frame_len = max_frame_len;
         self
     }
 
-    /// One request/response round trip.
-    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+    /// Installs a [`RetryPolicy`]: calls reconnect and retry around
+    /// transport faults within the policy's budget, and ingest calls are
+    /// stamped with dedup `request_id`s so their retries are safe.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.rng = policy.jitter_seed;
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Injects client-side faults: connection `i` (dial order, the
+    /// eager connect from [`connect_with`](Self::connect_with) counts as
+    /// `0`) suffers `plan.conn(i)`. The current connection is dropped so
+    /// the very first faulty plan applies from the next call. Testing
+    /// aid — this is how the suite drives the retry loop through
+    /// deterministic chaos without a proxy.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.conn = None;
+        self.conn_seq = 0;
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Transport-level retries performed so far (reconnect + re-send
+    /// cycles and backoffs after transient rejections; successful first
+    /// attempts don't count).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A fresh nonzero dedup token for one logical ingest call (reused
+    /// verbatim across that call's attempts).
+    fn next_request_id(&mut self) -> u64 {
+        loop {
+            let id = self.next_rand();
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Applies socket options to a fresh connection. With a retry policy
+    /// and no explicit timeout, each attempt gets `deadline /
+    /// max_attempts` (floored at 10 ms) so a stalled attempt cannot eat
+    /// the whole budget.
+    fn configure(&self, stream: &TcpStream) -> Result<(), ClientError> {
+        let _ = stream.set_nodelay(true);
+        let timeout = self.cfg.timeout.or_else(|| {
+            self.retry
+                .map(|p| (p.deadline / p.max_attempts.max(1)).max(Duration::from_millis(10)))
+        });
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Dials the remembered peer, applying the next fault plan if one is
+    /// installed.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let plan = match self.faults {
+            Some(f) => f.conn(self.conn_seq),
+            None => ConnPlan::CLEAN,
+        };
+        self.conn_seq += 1;
+        if plan.connect_delay_ms > 0 {
+            // The delayed-connect fault: dialing takes its time.
+            std::thread::sleep(Duration::from_millis(u64::from(plan.connect_delay_ms)));
+        }
+        let stream = TcpStream::connect(self.peer)?;
+        self.configure(&stream)?;
+        self.conn = Some(FaultStream::new(stream, plan));
+        Ok(())
+    }
+
+    /// One wire round trip on the current connection.
+    fn exchange(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let conn = self.conn.as_mut().expect("exchange requires a connection");
         encode_frame_into(
             &mut self.scratch_out,
             PROTOCOL_VERSION,
-            self.max_frame_len,
+            self.cfg.max_frame_len,
             |w| req.encode_to(w),
         )?;
-        self.stream.write_all(&self.scratch_out)?;
+        conn.write_all(&self.scratch_out)?;
         let (version, opcode) =
-            read_frame_into(&mut self.stream, self.max_frame_len, &mut self.scratch_in)?;
+            read_frame_into(conn, self.cfg.max_frame_len, &mut self.scratch_in)?;
         if version != PROTOCOL_VERSION {
             return Err(WireError::UnsupportedVersion { got: version }.into());
         }
-        match Response::decode(opcode, &self.scratch_in)? {
-            Response::Busy => Err(ClientError::Busy),
-            Response::Error(e) => Err(ClientError::Server(e)),
-            resp => Ok(resp),
+        Ok(Response::decode(opcode, &self.scratch_in)?)
+    }
+
+    /// One attempt: ensure a connection, do the round trip, classify the
+    /// failure's fate. Any transport or wire failure poisons the
+    /// connection (the stream can no longer be trusted to be in sync).
+    fn attempt(&mut self, req: &Request) -> Result<Response, AttemptError> {
+        if self.conn.is_none() {
+            self.reconnect().map_err(|err| AttemptError {
+                err,
+                fate: Fate::NotSent,
+            })?;
+        }
+        match self.exchange(req) {
+            Ok(Response::Busy) => Err(AttemptError {
+                err: ClientError::Busy,
+                fate: Fate::Answered,
+            }),
+            Ok(Response::Error(e)) => Err(AttemptError {
+                err: ClientError::Server(e),
+                fate: Fate::Answered,
+            }),
+            Ok(resp) => Ok(resp),
+            Err(err) => {
+                self.conn = None;
+                Err(AttemptError {
+                    err,
+                    fate: Fate::Unknown,
+                })
+            }
+        }
+    }
+
+    /// One request/response round trip, healed by the retry policy when
+    /// one is installed.
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let policy = match self.retry {
+            Some(p) => p,
+            None => return self.attempt(req).map_err(|a| a.err),
+        };
+        // Whether this op may be re-sent when its fate is unknown.
+        let resend_safe = match req.retry_safety() {
+            RetrySafety::Safe => true,
+            RetrySafety::SafeIfDeduped => req.dedup_id().is_some(),
+            RetrySafety::Unsafe => false,
+        };
+        let start = Instant::now();
+        let mut attempts = 0u32;
+        let mut backoff = policy.base_backoff.max(Duration::from_millis(1));
+        loop {
+            attempts += 1;
+            let AttemptError { err, fate } = match self.attempt(req) {
+                Ok(resp) => return Ok(resp),
+                Err(a) => a,
+            };
+            let retryable = match fate {
+                Fate::NotSent => err.is_transient(),
+                Fate::Answered => err.is_transient(),
+                Fate::Unknown => resend_safe && err.is_transient(),
+            };
+            if !retryable {
+                return Err(err);
+            }
+            if attempts >= policy.max_attempts.max(1) || start.elapsed() >= policy.deadline {
+                return Err(ClientError::DeadlineExceeded {
+                    attempts,
+                    last: Box::new(err),
+                });
+            }
+            self.retries += 1;
+            // Deterministic decorrelated jitter in [backoff/2, backoff),
+            // clipped to what is left of the deadline.
+            let half = (backoff / 2).as_millis().max(1) as u64;
+            let jittered = Duration::from_millis(half + self.next_rand() % half);
+            let remaining = policy.deadline.saturating_sub(start.elapsed());
+            std::thread::sleep(jittered.min(remaining));
+            backoff = (backoff * 2).min(Duration::from_secs(1));
         }
     }
 
@@ -230,13 +526,37 @@ impl DdsClient {
 
     /// Ingests a new shard; returns its index for later rebuilds. A
     /// rejected ingest surfaces as
-    /// [`ClientError::Server`] with kind `Ingest`.
+    /// [`ClientError::Server`] with kind `Ingest`. With a retry policy
+    /// installed the request carries a generated dedup `request_id`, so
+    /// its retries cannot double-ingest.
     pub fn add_shard(
         &mut self,
         repo: &Repository,
         global_ids: &[GlobalId],
     ) -> Result<usize, ClientError> {
+        let request_id = if self.retry.is_some() {
+            self.next_request_id()
+        } else {
+            0
+        };
+        self.add_shard_with_id(request_id, repo, global_ids)
+    }
+
+    /// [`add_shard`](Self::add_shard) under an explicit caller-chosen
+    /// `request_id` (`0` = no dedup). Callers that retry a failed
+    /// logical ingest **across calls** should pass the same id each
+    /// time: the server's dedup window then guarantees at most one
+    /// ingest no matter how many times the request is re-sent —
+    /// uniqueness across *distinct* ingests is the caller's
+    /// responsibility.
+    pub fn add_shard_with_id(
+        &mut self,
+        request_id: u64,
+        repo: &Repository,
+        global_ids: &[GlobalId],
+    ) -> Result<usize, ClientError> {
         let req = Request::AddShard {
+            request_id,
             datasets: repo.datasets().to_vec(),
             global_ids: global_ids.to_vec(),
         };
@@ -246,15 +566,22 @@ impl DdsClient {
         }
     }
 
-    /// Replaces shard `shard`'s contents.
+    /// Replaces shard `shard`'s contents. Dedup `request_id` handling as
+    /// in [`add_shard`](Self::add_shard).
     pub fn rebuild_shard(
         &mut self,
         shard: usize,
         repo: &Repository,
         global_ids: &[GlobalId],
     ) -> Result<(), ClientError> {
+        let request_id = if self.retry.is_some() {
+            self.next_request_id()
+        } else {
+            0
+        };
         let req = Request::RebuildShard {
             shard: shard as u32,
+            request_id,
             datasets: repo.datasets().to_vec(),
             global_ids: global_ids.to_vec(),
         };
@@ -318,7 +645,8 @@ impl DdsClient {
     }
 
     /// Asks the server to shut down gracefully (admitted work is drained
-    /// and answered before the server exits).
+    /// and answered before the server exits). Never re-sent by the retry
+    /// policy — a duplicate would hit the next server generation.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Shutdown)? {
             Response::Done => Ok(()),
@@ -327,7 +655,8 @@ impl DdsClient {
     }
 
     /// Holds one executor for `ms` milliseconds (capped server-side) — a
-    /// testing aid for backpressure drills.
+    /// testing aid for backpressure drills. Never re-sent by the retry
+    /// policy.
     pub fn sleep(&mut self, ms: u32) -> Result<(), ClientError> {
         match self.call(&Request::Sleep { ms })? {
             Response::Done => Ok(()),

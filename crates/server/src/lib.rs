@@ -30,8 +30,15 @@
 //!   (gate + drain: everything admitted is answered).
 //! * [`client`] — [`DdsClient`]: a blocking connection with single/batch
 //!   query calls, admin calls (`add_shard`, `rebuild_shard`, `stats`,
-//!   `shutdown_server`), and configurable socket timeouts
-//!   ([`ClientConfig`]).
+//!   `shutdown_server`), configurable socket timeouts ([`ClientConfig`]),
+//!   and an optional self-healing [`RetryPolicy`] (reconnect, exponential
+//!   backoff with deterministic jitter, deadline, and dedup `request_id`s
+//!   so retried ingests cannot double-apply).
+//! * [`fault`] — deterministic fault injection: a seeded
+//!   [`fault::FaultPlan`] (torn writes, resets, stalls, trickle,
+//!   delayed connects) applied by a [`fault::FaultStream`] wrapper and a
+//!   [`fault::ChaosProxy`] harness, so every network failure a test
+//!   exercises is reproducible from its seed.
 //!
 //! Served answers are **byte-identical** to in-process `ShardedEngine`
 //! answers — `EngineError`s included — under concurrent clients; the
@@ -63,12 +70,14 @@
 
 pub mod buffer;
 pub mod client;
+pub mod fault;
 pub mod protocol;
 pub mod reactor;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientConfig, ClientError, DdsClient, EngineResult};
-pub use protocol::{Request, Response, ServerError, ServerErrorKind, ServerStats};
+pub use client::{ClientConfig, ClientError, DdsClient, EngineResult, RetryPolicy};
+pub use fault::{ChaosProxy, ConnPlan, Fault, FaultPlan, FaultStream};
+pub use protocol::{Request, Response, RetrySafety, ServerError, ServerErrorKind, ServerStats};
 pub use server::{DdsServer, RateLimit, ServerConfig};
 pub use wire::{WireError, PROTOCOL_VERSION};

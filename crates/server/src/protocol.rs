@@ -86,6 +86,11 @@ pub enum Request {
     QueryBatch(Vec<LogicalExpr>),
     /// Ingest a new shard under caller-assigned stable global ids.
     AddShard {
+        /// Client-chosen retry token; `0` means "no dedup". A nonzero id
+        /// is remembered by the server's dedup window: a retransmission
+        /// (same id) replays the recorded answer instead of ingesting
+        /// twice, which is what makes a retried `AddShard` safe.
+        request_id: u64,
         /// The shard's datasets (validated: non-empty, one schema, finite
         /// coordinates).
         datasets: Vec<Dataset>,
@@ -96,6 +101,8 @@ pub enum Request {
     RebuildShard {
         /// Index returned by the original AddShard.
         shard: u32,
+        /// Retry token, like [`Request::AddShard`]'s (`0` = no dedup).
+        request_id: u64,
         /// Replacement datasets.
         datasets: Vec<Dataset>,
         /// Replacement ids (re-using the replaced shard's ids is normal).
@@ -137,6 +144,64 @@ pub enum Request {
         /// The other shard.
         b: u32,
     },
+}
+
+/// Whether a request whose **fate is unknown** (the connection died
+/// after the frame — or part of it — went out, and no answer came back)
+/// may be re-sent. This is the contract every retrying layer — the
+/// client's [`RetryPolicy`](crate::client::RetryPolicy) today, a routing
+/// tier re-issuing requests tomorrow — keys off; the full table lives in
+/// `PROTOCOL.md`.
+///
+/// Note the asymmetry with *answered* rejections: `Busy`, `throttled`
+/// and `unavailable` answers mean nothing was executed or buffered, so
+/// after one of those **any** op may be retried. Classification only
+/// gates the unknown-fate case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetrySafety {
+    /// Re-sending can never change served state beyond what one
+    /// execution would: reads (`Query`, `QueryBatch`, `Stats`, `Ping`)
+    /// and the data-free lifecycle admin ops (`SplitShard`,
+    /// `MergeShards`), whose rejections are permanent-error-typed — a
+    /// duplicate of a committed transition names stale state and is
+    /// answered with the same `invalid-query` error every time.
+    Safe,
+    /// Safe **only** when the request carries a nonzero `request_id` for
+    /// the server's dedup window (`AddShard`, `RebuildShard`): without
+    /// one, a retry of an applied-but-unanswered ingest double-ingests.
+    SafeIfDeduped,
+    /// Never re-send on unknown fate: `Shutdown` (a duplicate hits the
+    /// next server generation) and `Sleep` (occupies an executor per
+    /// copy).
+    Unsafe,
+}
+
+impl Request {
+    /// This op's [`RetrySafety`] class.
+    pub fn retry_safety(&self) -> RetrySafety {
+        match self {
+            Request::Query(_)
+            | Request::QueryBatch(_)
+            | Request::Stats
+            | Request::Ping { .. }
+            | Request::SplitShard { .. }
+            | Request::MergeShards { .. } => RetrySafety::Safe,
+            Request::AddShard { .. } | Request::RebuildShard { .. } => RetrySafety::SafeIfDeduped,
+            Request::Shutdown | Request::Sleep { .. } => RetrySafety::Unsafe,
+        }
+    }
+
+    /// The nonzero retry token of a dedup-capable op, if it carries one.
+    pub fn dedup_id(&self) -> Option<u64> {
+        match self {
+            Request::AddShard { request_id, .. } | Request::RebuildShard { request_id, .. }
+                if *request_id != 0 =>
+            {
+                Some(*request_id)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// A server response.
@@ -192,6 +257,20 @@ pub enum ServerErrorKind {
     /// Transient, like `Busy` — back off and retry; the bucket refills at
     /// the configured rate.
     Throttled,
+}
+
+impl ServerErrorKind {
+    /// Whether this kind means "the server refused to do the work right
+    /// now, try again" (`Unavailable`, `Throttled`) rather than "this
+    /// request can never succeed as sent" (everything else). Transient
+    /// answers executed and buffered **nothing**, so any op — ingest
+    /// included — may be retried after one.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServerErrorKind::Unavailable | ServerErrorKind::Throttled
+        )
+    }
 }
 
 impl fmt::Display for ServerErrorKind {
@@ -294,14 +373,26 @@ pub struct ServerStats {
     pub buffers_reused: u64,
     /// Shard splits committed over the engine lifetime.
     pub shard_splits: u64,
-    /// Shard merges committed over the engine lifetime. The newest
-    /// counters are serialized **last**: the stats list extends by
-    /// appending, so older clients keep decoding the prefix they know.
+    /// Shard merges committed over the engine lifetime.
     pub shard_merges: u64,
+    /// Sessions closed by the stall deadline
+    /// (`ServerConfig::stall_timeout`): the peer sat mid-frame or
+    /// mid-flush past the deadline and its slot was reclaimed.
+    pub sessions_reaped: u64,
+    /// Work requests recognized as retransmissions — a nonzero
+    /// `request_id` the dedup window had already seen (whether the
+    /// original was still in flight or already answered).
+    pub retries_attempted: u64,
+    /// Retransmissions answered by **replaying** the recorded response
+    /// instead of executing again — the duplicate ingests that did not
+    /// happen. The newest counters are serialized **last**: the stats
+    /// list extends by appending, so older clients keep decoding the
+    /// prefix they know.
+    pub requests_deduped: u64,
 }
 
 impl ServerStats {
-    fn fields(&self) -> [u64; 26] {
+    fn fields(&self) -> [u64; 29] {
         [
             self.requests,
             self.queries,
@@ -329,6 +420,9 @@ impl ServerStats {
             self.buffers_reused,
             self.shard_splits,
             self.shard_merges,
+            self.sessions_reaped,
+            self.retries_attempted,
+            self.requests_deduped,
         ]
     }
 
@@ -360,6 +454,9 @@ impl ServerStats {
             buffers_reused: f[23],
             shard_splits: f[24],
             shard_merges: f[25],
+            sessions_reaped: f[26],
+            retries_attempted: f[27],
+            requests_deduped: f[28],
         }
     }
 }
@@ -736,18 +833,22 @@ impl Request {
                 opcode::QUERY_BATCH
             }
             Request::AddShard {
+                request_id,
                 datasets,
                 global_ids,
             } => {
+                w.put_u64(*request_id);
                 put_shard_data(w, datasets, global_ids);
                 opcode::ADD_SHARD
             }
             Request::RebuildShard {
                 shard,
+                request_id,
                 datasets,
                 global_ids,
             } => {
                 w.put_u32(*shard);
+                w.put_u64(*request_id);
                 put_shard_data(w, datasets, global_ids);
                 opcode::REBUILD_SHARD
             }
@@ -792,17 +893,21 @@ impl Request {
                 Request::QueryBatch(exprs)
             }
             opcode::ADD_SHARD => {
+                let request_id = r.u64()?;
                 let (datasets, global_ids) = get_shard_data(&mut r)?;
                 Request::AddShard {
+                    request_id,
                     datasets,
                     global_ids,
                 }
             }
             opcode::REBUILD_SHARD => {
                 let shard = r.u32()?;
+                let request_id = r.u64()?;
                 let (datasets, global_ids) = get_shard_data(&mut r)?;
                 Request::RebuildShard {
                     shard,
+                    request_id,
                     datasets,
                     global_ids,
                 }
@@ -995,14 +1100,21 @@ mod tests {
         round_trip_request(&Request::Query(expr()));
         round_trip_request(&Request::QueryBatch(vec![expr(), expr()]));
         round_trip_request(&Request::AddShard {
+            request_id: 0,
             datasets: vec![
                 Dataset::from_rows("a", vec![vec![1.0, 2.0], vec![3.0, 4.0]]),
                 Dataset::from_rows("ü", vec![vec![-5.0, 0.5]]),
             ],
             global_ids: vec![3, 9],
         });
+        round_trip_request(&Request::AddShard {
+            request_id: u64::MAX,
+            datasets: vec![Dataset::from_rows("dedup", vec![vec![1.0]])],
+            global_ids: vec![11],
+        });
         round_trip_request(&Request::RebuildShard {
             shard: 2,
+            request_id: 0xDEAD_BEEF,
             datasets: vec![Dataset::from_rows("b", vec![vec![0.0]])],
             global_ids: vec![7],
         });
@@ -1057,6 +1169,9 @@ mod tests {
                 buffers_reused: 23,
                 shard_splits: 4,
                 shard_merges: 2,
+                sessions_reaped: 6,
+                retries_attempted: 12,
+                requests_deduped: 8,
                 ..Default::default()
             }),
             Response::Pong { token: 42 },
@@ -1124,6 +1239,7 @@ mod tests {
         ));
         // An empty dataset would panic Dataset::new.
         let mut w = Writer::new();
+        w.put_u64(0); // request_id (no dedup)
         w.put_u32(1); // one dataset
         w.put_str("empty");
         w.put_u32(1); // dim
@@ -1176,6 +1292,60 @@ mod tests {
         // refuses the expression up front instead of OOMing — pinned by
         // `dnf_bound_is_checked_before_expansion` in dds_core.
         assert!(bomb.dnf_clause_bound() > MAX_DNF_CLAUSES);
+    }
+
+    #[test]
+    fn retry_safety_classification_matches_the_protocol_table() {
+        let shard = (vec![Dataset::from_rows("d", vec![vec![1.0]])], vec![0u64]);
+        let cases: Vec<(Request, RetrySafety, Option<u64>)> = vec![
+            (Request::Query(expr()), RetrySafety::Safe, None),
+            (Request::QueryBatch(vec![expr()]), RetrySafety::Safe, None),
+            (Request::Stats, RetrySafety::Safe, None),
+            (Request::Ping { token: 1 }, RetrySafety::Safe, None),
+            (
+                Request::SplitShard {
+                    shard: 0,
+                    move_ids: vec![1],
+                },
+                RetrySafety::Safe,
+                None,
+            ),
+            (Request::MergeShards { a: 0, b: 1 }, RetrySafety::Safe, None),
+            (
+                Request::AddShard {
+                    request_id: 0,
+                    datasets: shard.0.clone(),
+                    global_ids: shard.1.clone(),
+                },
+                RetrySafety::SafeIfDeduped,
+                None,
+            ),
+            (
+                Request::AddShard {
+                    request_id: 42,
+                    datasets: shard.0.clone(),
+                    global_ids: shard.1.clone(),
+                },
+                RetrySafety::SafeIfDeduped,
+                Some(42),
+            ),
+            (
+                Request::RebuildShard {
+                    shard: 0,
+                    request_id: 7,
+                    datasets: shard.0,
+                    global_ids: shard.1,
+                },
+                RetrySafety::SafeIfDeduped,
+                Some(7),
+            ),
+            (Request::Shutdown, RetrySafety::Unsafe, None),
+            (Request::Sleep { ms: 1 }, RetrySafety::Unsafe, None),
+        ];
+        for (req, safety, dedup) in cases {
+            assert_eq!(req.retry_safety(), safety, "{req:?}");
+            assert_eq!(req.dedup_id(), dedup, "{req:?}");
+        }
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! without ever touching the sockets themselves. Wakes are coalesced:
 //! any number of `wake` calls while the pipe is non-empty cost one byte
 //! and one drain.
+//!
+//! Callers always pass `poll` a finite timeout (the I/O loop uses
+//! 250 ms), so time-based housekeeping — notably the mid-I/O stall
+//! sweep behind `ServerConfig::stall_timeout` — runs on every loop
+//! iteration even when no fd ever becomes ready: a completely silent
+//! stalled peer still gets reaped within one poll interval of its
+//! deadline.
 
 use poll_shim::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use std::io::{self, Read, Write};

@@ -105,6 +105,15 @@ pub struct ServerConfig {
     /// Per-session work-op budget; `None` (the default) serves
     /// unthrottled.
     pub rate_limit: Option<RateLimit>,
+    /// How long a session may sit **mid-I/O** without moving a byte
+    /// before it is reaped: stuck inside a frame (a partial prefix or
+    /// body that never completes — a torn client write looks exactly
+    /// like this from the server) or stuck flushing a response to a
+    /// peer that stopped reading. Fully idle sessions (between frames)
+    /// and sessions awaiting an executor are exempt — idle connections
+    /// stay cheap and long-running jobs don't kill their session. Reaped
+    /// sessions increment the `sessions_reaped` counter.
+    pub stall_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +126,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             allow_sleep: false,
             rate_limit: None,
+            stall_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -141,6 +151,62 @@ struct Counters {
     sessions_opened: AtomicU64,
     sessions_active: AtomicU64,
     sessions_throttled: AtomicU64,
+    sessions_reaped: AtomicU64,
+    retries_attempted: AtomicU64,
+    requests_deduped: AtomicU64,
+}
+
+/// Most request ids the dedup window remembers; beyond this the oldest
+/// entries age out (a retransmission older than a thousand ingests is a
+/// bug in the client, not a duplicate the server still owes an answer).
+const DEDUP_WINDOW_CAP: usize = 1024;
+
+/// One remembered retry token.
+enum DedupEntry {
+    /// The original is still executing; a duplicate arriving now is
+    /// answered with a transient `unavailable` ("still in flight") so
+    /// the client backs off and re-asks — replaying would require
+    /// blocking an executor on another executor's job.
+    InFlight,
+    /// The original finished; duplicates replay this recorded answer
+    /// (boxed: answers dwarf the zero-sized `InFlight` marker).
+    Done(Box<Response>),
+}
+
+/// The server-global ingest dedup window: `request_id` → fate.
+///
+/// Server-global, not per-session, on purpose: a retry that follows a
+/// torn write arrives on a **fresh connection** (the old one is dead —
+/// that is why the client is retrying), so a per-session window could
+/// never catch the duplicate. Bounded FIFO: insertion order is tracked
+/// and the oldest entries fall out past [`DEDUP_WINDOW_CAP`].
+#[derive(Default)]
+struct DedupWindow {
+    map: std::collections::HashMap<u64, DedupEntry>,
+    order: std::collections::VecDeque<u64>,
+}
+
+impl DedupWindow {
+    fn insert(&mut self, id: u64, entry: DedupEntry) {
+        if self.map.insert(id, entry).is_none() {
+            self.order.push_back(id);
+        }
+        while self.map.len() > DEDUP_WINDOW_CAP {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Drops an `InFlight` entry whose execution panicked: ingest is
+    /// validate→build→commit, so a panicking ingest committed nothing
+    /// and the retry must be allowed to execute for real.
+    fn forget(&mut self, id: u64) {
+        self.map.remove(&id);
+    }
 }
 
 /// The executor side of one session's pending request: delivers the
@@ -222,6 +288,8 @@ struct Shared {
     ios: Vec<Arc<IoShared>>,
     /// Session read/write buffers, recycled across sessions.
     buffer_pool: BufferPool,
+    /// Ingest retry tokens → fate (see [`DedupWindow`]).
+    dedup: Mutex<DedupWindow>,
 }
 
 impl Shared {
@@ -282,6 +350,9 @@ impl Shared {
             sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
             sessions_active: c.sessions_active.load(Ordering::Relaxed),
             sessions_throttled: c.sessions_throttled.load(Ordering::Relaxed),
+            sessions_reaped: c.sessions_reaped.load(Ordering::Relaxed),
+            retries_attempted: c.retries_attempted.load(Ordering::Relaxed),
+            requests_deduped: c.requests_deduped.load(Ordering::Relaxed),
             buffers_reused: self.buffer_pool.reused(),
             cache_hits: engine.cache_hits,
             cache_misses: engine.cache_misses,
@@ -344,6 +415,7 @@ impl DdsServer {
             queue: queue_tx,
             ios,
             buffer_pool: BufferPool::new(),
+            dedup: Mutex::new(DedupWindow::default()),
         });
         let queue_rx = Arc::new(Mutex::new(queue_rx));
         let executor_threads = (0..shared.cfg.executors)
@@ -565,6 +637,11 @@ struct Session {
     /// The encoded response frame being flushed.
     write_buf: Vec<u8>,
     bucket: Option<TokenBucket>,
+    /// Last instant this session moved a byte (or changed state). The
+    /// stall sweep reaps sessions stuck mid-frame or mid-flush past
+    /// `ServerConfig::stall_timeout`; idle-between-frames and
+    /// awaiting-an-executor don't count as stalled.
+    last_progress: Instant,
 }
 
 /// What [`drive_session`] decided about the session's future.
@@ -598,6 +675,7 @@ fn io_loop(shared: &Arc<Shared>, io: &Arc<IoShared>, mut reactor: Reactor) {
                 read_buf: shared.buffer_pool.acquire(1),
                 write_buf: shared.buffer_pool.acquire(1),
                 bucket: shared.cfg.rate_limit.as_ref().map(TokenBucket::new),
+                last_progress: Instant::now(),
             });
         }
         // Deliver executor completions: encode into the session's write
@@ -654,6 +732,32 @@ fn io_loop(shared: &Arc<Shared>, io: &Arc<IoShared>, mut reactor: Reactor) {
                 closed.push(i);
             }
         }
+        // Stall sweep: a peer stuck **mid-I/O** — inside a frame it never
+        // finishes sending (a torn client write looks exactly like this),
+        // or refusing to drain its response — is reaped past the
+        // deadline, so a half-dead connection can't pin a session slot
+        // (or wedge a flush) forever. The poll timeout above bounds how
+        // late the sweep can run. Sessions idle *between* frames or
+        // awaiting an executor are never stall-reaped: idle connections
+        // stay cheap, and a long job is the executor's business.
+        let now = Instant::now();
+        for (i, s) in sessions.iter().enumerate() {
+            let mid_io = match s.state {
+                SessionState::ReadPrefix { filled } => filled > 0,
+                SessionState::ReadBody { .. } | SessionState::Write { .. } => true,
+                SessionState::Awaiting => false,
+            };
+            if mid_io
+                && now.duration_since(s.last_progress) >= shared.cfg.stall_timeout
+                && !closed.contains(&i)
+            {
+                shared
+                    .counters
+                    .sessions_reaped
+                    .fetch_add(1, Ordering::Relaxed);
+                closed.push(i);
+            }
+        }
         // Largest index first: swap_remove must not disturb the smaller
         // indexes still queued for removal.
         closed.sort_unstable_by(|a, b| b.cmp(a));
@@ -679,6 +783,7 @@ fn drive_session(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) -> D
                     // errors).
                     Ok(0) => return Drive::Close,
                     Ok(n) => {
+                        s.last_progress = Instant::now();
                         let filled = filled + n;
                         if filled < s.prefix.len() {
                             s.state = SessionState::ReadPrefix { filled };
@@ -716,6 +821,7 @@ fn drive_session(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) -> D
                     // nothing to answer, nothing leaks.
                     Ok(0) => return Drive::Close,
                     Ok(n) => {
+                        s.last_progress = Instant::now();
                         let filled = filled + n;
                         if filled < s.read_buf.len() {
                             s.state = SessionState::ReadBody { filled };
@@ -736,6 +842,7 @@ fn drive_session(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) -> D
             } => match s.stream.write(&s.write_buf[written..]) {
                 Ok(0) => return Drive::Close,
                 Ok(n) => {
+                    s.last_progress = Instant::now();
                     let written = written + n;
                     if written < s.write_buf.len() {
                         s.state = SessionState::Write {
@@ -753,8 +860,14 @@ fn drive_session(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) -> D
                         s.state = SessionState::ReadPrefix { filled: 0 };
                     }
                 }
+                // Would-block is the only "try again later" signal: the
+                // flush resumes on the next writable tick.
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Drive::Keep,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // A dead reader (reset, broken pipe) cannot wedge a
+                // flush: the session is dropped the moment the fault
+                // surfaces rather than spinning on a doomed socket.
+                Err(e) if crate::wire::is_disconnect_kind(e.kind()) => return Drive::Close,
                 Err(_) => return Drive::Close,
             },
         }
@@ -875,6 +988,9 @@ fn respond_enqueue(shared: &Shared, s: &mut Session, resp: &Response, close_afte
         written: 0,
         close_after,
     };
+    // A fresh response restarts the stall clock — the peer gets the full
+    // deadline to start draining it.
+    s.last_progress = Instant::now();
 }
 
 /// Best-effort synchronous flush at reap time: the socket goes back to
@@ -984,12 +1100,82 @@ fn run_job(shared: &Arc<Shared>, Job { req, reply }: Job) {
         .counters
         .jobs_dequeued
         .fetch_add(1, Ordering::Relaxed);
-    let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, req)))
-        .unwrap_or_else(|_| {
+    // Dedup-capable ingests check the retry window first: a token the
+    // server has already answered replays the recorded response without
+    // touching the engine — the retried AddShard that must not
+    // double-ingest. A token still in flight gets a transient
+    // `unavailable` (back off and re-ask) rather than a second
+    // execution or an executor blocked on another executor's job.
+    let dedup_id = req.dedup_id();
+    if let Some(id) = dedup_id {
+        let mut window = shared.dedup.lock().unwrap_or_else(PoisonError::into_inner);
+        match window.map.get(&id) {
+            Some(DedupEntry::Done(resp)) => {
+                let resp = (**resp).clone();
+                drop(window);
+                shared
+                    .counters
+                    .retries_attempted
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .requests_deduped
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                reply.send(resp);
+                return;
+            }
+            Some(DedupEntry::InFlight) => {
+                drop(window);
+                shared
+                    .counters
+                    .retries_attempted
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                reply.send(Response::Error(ServerError::new(
+                    ServerErrorKind::Unavailable,
+                    "request id is still in flight; retry",
+                )));
+                return;
+            }
+            None => window.insert(id, DedupEntry::InFlight),
+        }
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, req)));
+    let resp = match outcome {
+        Ok(resp) => {
+            if let Some(id) = dedup_id {
+                // Any produced answer — success or typed rejection — is
+                // recorded: both are deterministic fates a duplicate
+                // must observe consistently.
+                shared
+                    .dedup
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(id, DedupEntry::Done(Box::new(resp.clone())));
+            }
+            resp
+        }
+        Err(_) => {
             shared
                 .counters
                 .executor_panics
                 .fetch_add(1, Ordering::Relaxed);
+            if let Some(id) = dedup_id {
+                // Ingest is validate→build→commit: a panicking ingest
+                // committed nothing, so the retry must execute for real.
+                shared
+                    .dedup
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .forget(id);
+            }
             // The panic text is NOT echoed to the (untrusted) client:
             // engine assertion messages can embed internal state, and a
             // client probing for panics must not get free introspection.
@@ -999,7 +1185,8 @@ fn run_job(shared: &Arc<Shared>, Job { req, reply }: Job) {
                 ServerErrorKind::Internal,
                 "request execution panicked (details in the server log)",
             ))
-        });
+        }
+    };
     shared
         .counters
         .jobs_completed
@@ -1045,6 +1232,7 @@ fn execute(shared: &Shared, req: Request) -> Response {
             Response::BatchHits(engine.query_batch_opts(&exprs, &shared.build_opts()))
         }
         Request::AddShard {
+            request_id: _,
             datasets,
             global_ids,
         } => {
@@ -1060,6 +1248,7 @@ fn execute(shared: &Shared, req: Request) -> Response {
         }
         Request::RebuildShard {
             shard,
+            request_id: _,
             datasets,
             global_ids,
         } => {

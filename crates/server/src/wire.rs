@@ -23,6 +23,21 @@ pub const DEFAULT_MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
 /// Frame header bytes preceding the payload (version + opcode).
 pub const FRAME_HEADER_LEN: u32 = 2;
 
+/// Whether an I/O error kind means "the peer went away" (clean or
+/// abrupt), as opposed to a genuinely local fault. The client folds
+/// these into [`ClientError::ConnectionClosed`](crate::ClientError) and
+/// the server's write path uses the same test to tell a dead reader from
+/// a stalled one.
+pub fn is_disconnect_kind(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
+}
+
 /// A typed wire-format violation. Decoding never panics: malformed,
 /// truncated and oversized input all land here.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,0 +1,186 @@
+//! Error-surface contracts: every variant of the user-facing error
+//! types renders a non-empty, distinct `Display`, chains its cause
+//! through `source()` where one exists, and classifies transient vs
+//! permanent the way the retry layer depends on.
+
+use dds_core::engine::EngineError;
+use dds_core::shard::IngestError;
+use dds_server::wire::WireError;
+use dds_server::{ClientError, ServerError, ServerErrorKind};
+use std::error::Error as _;
+use std::io;
+
+/// Every [`ClientError`] variant, one of each.
+fn all_client_errors() -> Vec<ClientError> {
+    vec![
+        ClientError::Io(io::Error::new(io::ErrorKind::AddrInUse, "port taken")),
+        ClientError::TimedOut,
+        ClientError::ConnectionClosed,
+        ClientError::Wire(WireError::BadUtf8),
+        ClientError::Busy,
+        ClientError::Server(ServerError {
+            kind: ServerErrorKind::Throttled,
+            message: "rate limit".to_string(),
+        }),
+        ClientError::UnexpectedResponse {
+            expected: "pong",
+            got: "Done".to_string(),
+        },
+        ClientError::DeadlineExceeded {
+            attempts: 4,
+            last: Box::new(ClientError::ConnectionClosed),
+        },
+    ]
+}
+
+#[test]
+fn every_client_error_displays_non_empty_and_distinct() {
+    let rendered: Vec<String> = all_client_errors().iter().map(|e| e.to_string()).collect();
+    for (i, s) in rendered.iter().enumerate() {
+        assert!(!s.is_empty(), "variant {i} renders empty");
+        for (j, other) in rendered.iter().enumerate() {
+            assert!(i == j || s != other, "variants {i} and {j} render alike");
+        }
+    }
+    // The wrapper includes its cause in the rendering, so a log line
+    // alone tells the whole story.
+    let last = rendered.last().expect("non-empty set");
+    assert!(last.contains("4 attempts"), "{last}");
+    assert!(last.contains("closed the connection"), "{last}");
+}
+
+#[test]
+fn client_error_sources_chain_where_a_cause_exists() {
+    for e in all_client_errors() {
+        match &e {
+            ClientError::Io(_)
+            | ClientError::Wire(_)
+            | ClientError::Server(_)
+            | ClientError::DeadlineExceeded { .. } => {
+                let src = e.source().unwrap_or_else(|| panic!("{e} must chain"));
+                assert!(!src.to_string().is_empty());
+            }
+            _ => assert!(e.source().is_none(), "{e} has no cause to chain"),
+        }
+    }
+    // The chain is walkable end to end.
+    let deadline = ClientError::DeadlineExceeded {
+        attempts: 2,
+        last: Box::new(ClientError::Server(ServerError {
+            kind: ServerErrorKind::Unavailable,
+            message: "shutting down".to_string(),
+        })),
+    };
+    let mid = deadline.source().expect("wrapper chains");
+    assert!(mid.source().is_some(), "the server error chains once more");
+}
+
+#[test]
+fn transience_classification_matches_the_retry_contract() {
+    // Transient: transport faults and explicit back-off answers.
+    for e in [
+        ClientError::Io(io::Error::new(io::ErrorKind::AddrInUse, "x")),
+        ClientError::TimedOut,
+        ClientError::ConnectionClosed,
+        ClientError::Busy,
+        ClientError::Server(ServerError {
+            kind: ServerErrorKind::Unavailable,
+            message: String::new(),
+        }),
+        ClientError::Server(ServerError {
+            kind: ServerErrorKind::Throttled,
+            message: String::new(),
+        }),
+    ] {
+        assert!(e.is_transient(), "{e} must be transient");
+    }
+    // Permanent: grammar violations, typed rejections, exhausted budget.
+    for kind in [
+        ServerErrorKind::Protocol,
+        ServerErrorKind::Ingest,
+        ServerErrorKind::InvalidQuery,
+        ServerErrorKind::Internal,
+    ] {
+        let e = ClientError::Server(ServerError {
+            kind,
+            message: String::new(),
+        });
+        assert!(!e.is_transient(), "{e} must be permanent");
+    }
+    for e in [
+        ClientError::Wire(WireError::BadUtf8),
+        ClientError::UnexpectedResponse {
+            expected: "pong",
+            got: "Done".to_string(),
+        },
+        ClientError::DeadlineExceeded {
+            attempts: 1,
+            last: Box::new(ClientError::TimedOut),
+        },
+    ] {
+        assert!(!e.is_transient(), "{e} must be permanent");
+    }
+    // The same split at the kind level (what the server-side mapping and
+    // the client agree on).
+    assert!(ServerErrorKind::Unavailable.is_transient());
+    assert!(ServerErrorKind::Throttled.is_transient());
+    assert!(!ServerErrorKind::Protocol.is_transient());
+    assert!(!ServerErrorKind::Ingest.is_transient());
+    assert!(!ServerErrorKind::InvalidQuery.is_transient());
+    assert!(!ServerErrorKind::Internal.is_transient());
+}
+
+#[test]
+fn every_ingest_error_displays_non_empty_and_distinct() {
+    let variants: Vec<IngestError> = vec![
+        IngestError::ArityMismatch {
+            datasets: 3,
+            ids: 2,
+        },
+        IngestError::SchemaMismatch {
+            expected: 2,
+            got: 3,
+        },
+        IngestError::DuplicateId(7),
+        IngestError::IdInUse(7),
+        IngestError::NoSuchShard {
+            shard: 9,
+            n_shards: 2,
+        },
+        IngestError::PhiAnchorExceeded {
+            anchor: 10,
+            prospective: 11,
+        },
+        IngestError::IdNotInShard { id: 7, shard: 1 },
+        IngestError::EmptySplitSide {
+            shard: 1,
+            moving: 0,
+            datasets: 4,
+        },
+        IngestError::MergeWithSelf { shard: 1 },
+    ];
+    let rendered: Vec<String> = variants.iter().map(|e| e.to_string()).collect();
+    for (i, s) in rendered.iter().enumerate() {
+        assert!(!s.is_empty(), "variant {i} renders empty");
+        for (j, other) in rendered.iter().enumerate() {
+            assert!(i == j || s != other, "variants {i} and {j} render alike");
+        }
+        // Leaf errors: Display is the whole story, nothing to chain.
+        assert!(variants[i].source().is_none());
+    }
+}
+
+#[test]
+fn every_engine_error_displays_non_empty_and_distinct() {
+    let variants = [
+        EngineError::MissingRank(5),
+        EngineError::DimensionMismatch {
+            expected: 2,
+            got: 3,
+        },
+    ];
+    let rendered: Vec<String> = variants.iter().map(|e| e.to_string()).collect();
+    assert!(rendered.iter().all(|s| !s.is_empty()));
+    assert_ne!(rendered[0], rendered[1]);
+    assert!(variants.iter().all(|e| e.source().is_none()));
+}

@@ -103,12 +103,14 @@ fn random_request(rng: &mut StdRng) -> Request {
             let global_ids: Vec<u64> = (0..rng.gen_range(0..5u64)).map(|i| i * 3).collect();
             if rng.gen_bool(0.5) {
                 Request::AddShard {
+                    request_id: rng.gen(),
                     datasets,
                     global_ids,
                 }
             } else {
                 Request::RebuildShard {
                     shard: rng.gen_range(0..9),
+                    request_id: rng.gen(),
                     datasets,
                     global_ids,
                 }

@@ -13,6 +13,32 @@ use dds_core::framework::{Interval, LogicalExpr, Predicate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// A deterministic fault schedule to drive a request stream through:
+/// consumers map it onto `dds_server::FaultPlan::seeded(seed)` (adjusted
+/// to `fault_per_mille`) and run the stream behind a chaos proxy or a
+/// fault-injecting client. Kept as a plain spec here so the workload
+/// crate stays server-agnostic — it describes *what chaos*, not *how*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultScheduleSpec {
+    /// Seed every injected fault derives from (same seed ⇒ same faults,
+    /// connection by connection).
+    pub seed: u64,
+    /// Per-mille of connections that suffer a fault (`0..=1000`).
+    pub fault_per_mille: u32,
+}
+
+impl FaultScheduleSpec {
+    /// A schedule faulting roughly 40% of connections — aggressive
+    /// enough that soaks exercise every fault kind, sparse enough that
+    /// retries find clean connections.
+    pub fn seeded(seed: u64) -> Self {
+        FaultScheduleSpec {
+            seed,
+            fault_per_mille: 400,
+        }
+    }
+}
+
 /// Specification of a deterministic request stream over a repository's
 /// value space: `n_requests` expressions cycling through `n_shapes`
 /// popular shapes, optionally salting in queries for an unindexed rank.
@@ -32,6 +58,10 @@ pub struct RequestStreamSpec {
     pub missing_rank: usize,
     /// RNG seed for the shape pool.
     pub seed: u64,
+    /// Optional fault schedule for consumers that serve this stream over
+    /// a faulty transport; `None` (the default) means a clean network.
+    /// Purely descriptive — [`exprs`](Self::exprs) ignores it.
+    pub faults: Option<FaultScheduleSpec>,
 }
 
 impl RequestStreamSpec {
@@ -45,7 +75,15 @@ impl RequestStreamSpec {
             missing_rank_every: 0,
             missing_rank: 7,
             seed,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault schedule (builder-style): consumers serving this
+    /// stream over the network inject `schedule`'s seeded chaos.
+    pub fn with_faults(mut self, schedule: FaultScheduleSpec) -> Self {
+        self.faults = Some(schedule);
+        self
     }
 
     /// Sets the popular-shape pool size (builder-style).
@@ -142,6 +180,21 @@ mod tests {
         // Shape cycle: request 0 and 4 share a shape, 0 and 1 do not.
         assert_eq!(format!("{:?}", a[0]), format!("{:?}", a[4]));
         assert_ne!(format!("{:?}", a[0]), format!("{:?}", a[1]));
+    }
+
+    #[test]
+    fn fault_schedules_are_value_types_and_do_not_perturb_the_stream() {
+        let repo = RepoSpec::mixed(4, 30, 1, 5);
+        let clean = RequestStreamSpec::new(12, 7);
+        let faulty = RequestStreamSpec::new(12, 7).with_faults(FaultScheduleSpec::seeded(42));
+        // Attaching a schedule never changes the expressions themselves.
+        assert_eq!(
+            format!("{:?}", clean.exprs(&repo)),
+            format!("{:?}", faulty.exprs(&repo))
+        );
+        assert_eq!(faulty.faults, Some(FaultScheduleSpec::seeded(42)));
+        assert_eq!(FaultScheduleSpec::seeded(42), FaultScheduleSpec::seeded(42));
+        assert_ne!(FaultScheduleSpec::seeded(42), FaultScheduleSpec::seeded(43));
     }
 
     #[test]

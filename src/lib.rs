@@ -119,8 +119,9 @@ pub mod prelude {
     };
     pub use dds_geom::{Point, Rect};
     pub use dds_server::{
-        ClientConfig, ClientError, DdsClient, DdsServer, RateLimit, ServerConfig, ServerStats,
+        ChaosProxy, ClientConfig, ClientError, DdsClient, DdsServer, FaultPlan, RateLimit,
+        RetryPolicy, ServerConfig, ServerStats,
     };
     pub use dds_synopsis::{PercentileSynopsis, PrefSynopsis};
-    pub use dds_workload::{RepoShard, RepoSpec, RequestStreamSpec};
+    pub use dds_workload::{FaultScheduleSpec, RepoShard, RepoSpec, RequestStreamSpec};
 }
