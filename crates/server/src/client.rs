@@ -41,8 +41,9 @@ use dds_core::framework::{LogicalExpr, Repository};
 use dds_core::shard::GlobalId;
 use std::fmt;
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::net::{IpAddr, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// A query answer exactly as the in-process engine would return it.
 pub type EngineResult = Result<Vec<GlobalId>, EngineError>;
@@ -86,9 +87,15 @@ pub struct RetryPolicy {
     /// 1 s), with deterministic jitter in `[base/2, base)` of the
     /// current value.
     pub base_backoff: Duration,
-    /// Seeds the jitter sequence **and** the `request_id` generator for
-    /// deduplicated ingests — two clients retrying the same workload
-    /// from the same seed behave identically.
+    /// Seeds the backoff-jitter sequence — two clients retrying the
+    /// same failure pattern from the same seed sleep identically.
+    ///
+    /// Deliberately **not** used for `request_id` generation: the
+    /// server's dedup window is shared by every client, so ids drawn
+    /// from a shared default seed would collide across clients and a
+    /// second client's ingest would be misread as a retransmission of
+    /// the first's. Request ids come from a per-client entropy-seeded
+    /// generator instead (see [`DdsClient::connect_with`]).
     pub jitter_seed: u64,
 }
 
@@ -258,6 +265,48 @@ struct AttemptError {
     fate: Fate,
 }
 
+/// Advances a splitmix64 state and returns the next output.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-client entropy seeding the `request_id` generator.
+///
+/// The server's dedup window is shared by **all** clients, so request
+/// ids must be unique across clients, not just within one — a collision
+/// makes a fresh ingest read as a retransmission, silently replaying
+/// another client's answer. Three independent sources are mixed so no
+/// single coincidence collides two clients: a process-unique counter
+/// (two clients in one process always differ), the connection's local
+/// ephemeral port + address (two single-client processes on one host
+/// differ), and the wall clock at nanosecond grain (distinct hosts
+/// differ).
+fn request_id_seed(stream: &TcpStream) -> u64 {
+    static CLIENT_SEQ: AtomicU64 = AtomicU64::new(1);
+    let mut seq = CLIENT_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut seed = splitmix_next(&mut seq);
+    if let Ok(t) = SystemTime::now().duration_since(UNIX_EPOCH) {
+        let mut clock = t.as_nanos() as u64;
+        seed ^= splitmix_next(&mut clock);
+    }
+    if let Ok(local) = stream.local_addr() {
+        let mut addr = u64::from(local.port());
+        match local.ip() {
+            IpAddr::V4(ip) => addr ^= u64::from(u32::from(ip)) << 16,
+            IpAddr::V6(ip) => {
+                let bits = u128::from(ip);
+                addr ^= (bits as u64) ^ ((bits >> 64) as u64);
+            }
+        }
+        seed ^= splitmix_next(&mut addr);
+    }
+    seed
+}
+
 /// A blocking connection to a [`DdsServer`](crate::DdsServer).
 ///
 /// The transport is always a [`FaultStream`]: under a clean plan (the
@@ -276,8 +325,15 @@ pub struct DdsClient {
     faults: Option<FaultPlan>,
     /// Connections dialed so far — indexes [`FaultPlan::conn`].
     conn_seq: u64,
-    /// splitmix64 state for jitter and request-id generation.
+    /// splitmix64 state for backoff jitter (seeded by
+    /// [`RetryPolicy::jitter_seed`]).
     rng: u64,
+    /// splitmix64 state for `request_id` generation, seeded with
+    /// per-client entropy at connect time. Request ids land in the
+    /// server's **shared** dedup window, so two clients must never emit
+    /// the same id stream — which is why this state is independent of
+    /// the (defaultable, hence collidable) `jitter_seed`.
+    id_rng: u64,
     retries: u64,
     /// Encoded request frame, reused across calls.
     scratch_out: Vec<u8>,
@@ -301,6 +357,7 @@ impl DdsClient {
         // the first call) and remember the resolved peer for reconnects.
         let stream = TcpStream::connect(addr)?;
         let peer = stream.peer_addr()?;
+        let id_rng = request_id_seed(&stream);
         let mut client = DdsClient {
             conn: None,
             peer,
@@ -309,6 +366,7 @@ impl DdsClient {
             faults: None,
             conn_seq: 1,
             rng: 0x5EED_5EED,
+            id_rng,
             retries: 0,
             scratch_out: Vec::new(),
             scratch_in: Vec::new(),
@@ -354,42 +412,48 @@ impl DdsClient {
     }
 
     fn next_rand(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        splitmix_next(&mut self.rng)
     }
 
     /// A fresh nonzero dedup token for one logical ingest call (reused
-    /// verbatim across that call's attempts).
+    /// verbatim across that call's attempts). Drawn from the
+    /// entropy-seeded per-client stream, never from the jitter rng —
+    /// see [`request_id_seed`].
     fn next_request_id(&mut self) -> u64 {
         loop {
-            let id = self.next_rand();
+            let id = splitmix_next(&mut self.id_rng);
             if id != 0 {
                 return id;
             }
         }
     }
 
-    /// Applies socket options to a fresh connection. With a retry policy
-    /// and no explicit timeout, each attempt gets `deadline /
-    /// max_attempts` (floored at 10 ms) so a stalled attempt cannot eat
-    /// the whole budget.
-    fn configure(&self, stream: &TcpStream) -> Result<(), ClientError> {
-        let _ = stream.set_nodelay(true);
-        let timeout = self.cfg.timeout.or_else(|| {
+    /// The socket budget for one attempt: the explicit
+    /// [`ClientConfig::timeout`], or — with a retry policy and none set
+    /// — `deadline / max_attempts` (floored at 10 ms) so a stalled
+    /// attempt cannot eat the whole budget.
+    fn attempt_timeout(&self) -> Option<Duration> {
+        self.cfg.timeout.or_else(|| {
             self.retry
                 .map(|p| (p.deadline / p.max_attempts.max(1)).max(Duration::from_millis(10)))
-        });
+        })
+    }
+
+    /// Applies socket options to a fresh connection.
+    fn configure(&self, stream: &TcpStream) -> Result<(), ClientError> {
+        let _ = stream.set_nodelay(true);
+        let timeout = self.attempt_timeout();
         stream.set_read_timeout(timeout)?;
         stream.set_write_timeout(timeout)?;
         Ok(())
     }
 
     /// Dials the remembered peer, applying the next fault plan if one is
-    /// installed.
-    fn reconnect(&mut self) -> Result<(), ClientError> {
+    /// installed. The dial itself is bounded by the per-attempt timeout
+    /// clipped to `remaining` (what is left of the retry deadline): a
+    /// black-holed peer that silently drops SYNs fails this attempt
+    /// within budget instead of blocking for the OS connect timeout.
+    fn reconnect(&mut self, remaining: Option<Duration>) -> Result<(), ClientError> {
         let plan = match self.faults {
             Some(f) => f.conn(self.conn_seq),
             None => ConnPlan::CLEAN,
@@ -399,7 +463,17 @@ impl DdsClient {
             // The delayed-connect fault: dialing takes its time.
             std::thread::sleep(Duration::from_millis(u64::from(plan.connect_delay_ms)));
         }
-        let stream = TcpStream::connect(self.peer)?;
+        let budget = match (self.attempt_timeout(), remaining) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let stream = match budget {
+            // connect_timeout rejects a zero duration, and a nearly-spent
+            // deadline should still buy one real dial — floor at 10 ms
+            // (the deadline check in the retry loop ends the call).
+            Some(t) => TcpStream::connect_timeout(&self.peer, t.max(Duration::from_millis(10)))?,
+            None => TcpStream::connect(self.peer)?,
+        };
         self.configure(&stream)?;
         self.conn = Some(FaultStream::new(stream, plan));
         Ok(())
@@ -426,9 +500,15 @@ impl DdsClient {
     /// One attempt: ensure a connection, do the round trip, classify the
     /// failure's fate. Any transport or wire failure poisons the
     /// connection (the stream can no longer be trusted to be in sync).
-    fn attempt(&mut self, req: &Request) -> Result<Response, AttemptError> {
+    /// `remaining` bounds a reconnect dial (what is left of the retry
+    /// deadline; `None` = no deadline).
+    fn attempt(
+        &mut self,
+        req: &Request,
+        remaining: Option<Duration>,
+    ) -> Result<Response, AttemptError> {
         if self.conn.is_none() {
-            self.reconnect().map_err(|err| AttemptError {
+            self.reconnect(remaining).map_err(|err| AttemptError {
                 err,
                 fate: Fate::NotSent,
             })?;
@@ -458,7 +538,7 @@ impl DdsClient {
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
         let policy = match self.retry {
             Some(p) => p,
-            None => return self.attempt(req).map_err(|a| a.err),
+            None => return self.attempt(req, None).map_err(|a| a.err),
         };
         // Whether this op may be re-sent when its fate is unknown.
         let resend_safe = match req.retry_safety() {
@@ -471,7 +551,8 @@ impl DdsClient {
         let mut backoff = policy.base_backoff.max(Duration::from_millis(1));
         loop {
             attempts += 1;
-            let AttemptError { err, fate } = match self.attempt(req) {
+            let remaining = policy.deadline.saturating_sub(start.elapsed());
+            let AttemptError { err, fate } = match self.attempt(req, Some(remaining)) {
                 Ok(resp) => return Ok(resp),
                 Err(a) => a,
             };
@@ -662,5 +743,49 @@ impl DdsClient {
             Response::Done => Ok(()),
             other => Self::unexpected("done", other),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Two clients built with the **default** retry policy must not emit
+    /// the same `request_id` stream: the server's dedup window is shared
+    /// across clients, so a collision would misread one client's ingest
+    /// as a retransmission of the other's and silently replay the wrong
+    /// answer (the cross-client dedup-collision bug).
+    #[test]
+    fn default_policy_clients_draw_disjoint_request_id_streams() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // Keep the accepted sockets alive so connects succeed.
+        let mut accepted = Vec::new();
+        let mut ids = |_: ()| -> Vec<u64> {
+            let mut c = DdsClient::connect(addr).expect("connect");
+            accepted.push(listener.accept().expect("accept").0);
+            c = c.with_retry(RetryPolicy::default());
+            (0..32).map(|_| c.next_request_id()).collect()
+        };
+        let a = ids(());
+        let b = ids(());
+        assert_ne!(a, b, "identical id streams collide in the dedup window");
+        let overlap: Vec<_> = a.iter().filter(|id| b.contains(id)).collect();
+        assert!(
+            overlap.is_empty(),
+            "cross-client request_id overlap: {overlap:?}"
+        );
+        // And the jitter sequence stays deterministic from its seed —
+        // entropy went into the id stream, not the backoff schedule.
+        let mut j1 = DdsClient::connect(addr).expect("connect");
+        accepted.push(listener.accept().expect("accept").0);
+        let mut j2 = DdsClient::connect(addr).expect("connect");
+        accepted.push(listener.accept().expect("accept").0);
+        j1 = j1.with_retry(RetryPolicy::default());
+        j2 = j2.with_retry(RetryPolicy::default());
+        let s1: Vec<u64> = (0..8).map(|_| j1.next_rand()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| j2.next_rand()).collect();
+        assert_eq!(s1, s2, "jitter must stay seed-deterministic");
     }
 }

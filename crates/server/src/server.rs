@@ -179,7 +179,12 @@ enum DedupEntry {
 /// torn write arrives on a **fresh connection** (the old one is dead —
 /// that is why the client is retrying), so a per-session window could
 /// never catch the duplicate. Bounded FIFO: insertion order is tracked
-/// and the oldest entries fall out past [`DEDUP_WINDOW_CAP`].
+/// and the oldest **finished** entries fall out past
+/// [`DEDUP_WINDOW_CAP`]. `InFlight` entries are never evicted — aging
+/// one out while its ingest still executes would let a duplicate
+/// re-execute concurrently, the exact double-ingest the window exists to
+/// prevent; their count is bounded by the executor pool, far below the
+/// cap, so exempting them cannot grow the window unboundedly.
 #[derive(Default)]
 struct DedupWindow {
     map: std::collections::HashMap<u64, DedupEntry>,
@@ -191,11 +196,20 @@ impl DedupWindow {
         if self.map.insert(id, entry).is_none() {
             self.order.push_back(id);
         }
-        while self.map.len() > DEDUP_WINDOW_CAP {
+        // Evict the oldest Done entries past the cap; InFlight entries
+        // rotate to the back instead (re-examined once they finish). The
+        // rotation budget bounds the scan so a window somehow full of
+        // InFlight ids degrades to exceeding the cap, never to spinning.
+        let mut rotations = self.order.len();
+        while self.map.len() > DEDUP_WINDOW_CAP && rotations > 0 {
+            rotations -= 1;
             match self.order.pop_front() {
-                Some(old) => {
-                    self.map.remove(&old);
-                }
+                Some(old) => match self.map.get(&old) {
+                    Some(DedupEntry::InFlight) => self.order.push_back(old),
+                    _ => {
+                        self.map.remove(&old);
+                    }
+                },
                 None => break,
             }
         }
@@ -1316,5 +1330,55 @@ fn execute(shared: &Shared, req: Request) -> Response {
         Request::Stats | Request::Ping { .. } | Request::Shutdown => Response::Error(
             ServerError::new(ServerErrorKind::Protocol, "control op on the work queue"),
         ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done() -> DedupEntry {
+        DedupEntry::Done(Box::new(Response::Done))
+    }
+
+    /// FIFO eviction must never age out an `InFlight` entry: a slow
+    /// ingest overtaken by > CAP fresh ids would otherwise lose its
+    /// marker, and a duplicate arriving afterwards would re-execute
+    /// concurrently with the original — the double-ingest the window
+    /// exists to prevent.
+    #[test]
+    fn eviction_skips_in_flight_entries() {
+        let mut w = DedupWindow::default();
+        w.insert(1, DedupEntry::InFlight);
+        for id in 2..(2 + 2 * DEDUP_WINDOW_CAP as u64) {
+            w.insert(id, done());
+        }
+        assert!(
+            matches!(w.map.get(&1), Some(DedupEntry::InFlight)),
+            "the in-flight marker survived {} insertions",
+            2 * DEDUP_WINDOW_CAP
+        );
+        assert!(w.map.len() <= DEDUP_WINDOW_CAP);
+        assert_eq!(w.order.len(), w.map.len());
+        // Once finished it becomes ordinary and ages out like any other.
+        w.insert(1, done());
+        for id in 100_000..(100_000 + DEDUP_WINDOW_CAP as u64) {
+            w.insert(id, done());
+        }
+        assert!(!w.map.contains_key(&1), "a Done entry ages out normally");
+        assert!(w.map.len() <= DEDUP_WINDOW_CAP);
+    }
+
+    /// The rotation budget keeps a (theoretical) window full of
+    /// `InFlight` ids from spinning the eviction scan forever — it
+    /// degrades to exceeding the cap instead.
+    #[test]
+    fn all_in_flight_window_exceeds_cap_without_spinning() {
+        let mut w = DedupWindow::default();
+        for id in 1..(2 + DEDUP_WINDOW_CAP as u64) {
+            w.insert(id, DedupEntry::InFlight);
+        }
+        assert_eq!(w.map.len(), DEDUP_WINDOW_CAP + 1);
+        assert!(w.map.values().all(|e| matches!(e, DedupEntry::InFlight)));
     }
 }

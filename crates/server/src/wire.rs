@@ -13,7 +13,14 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// History: v1 was the original frame grammar; v2 added the
+/// `request_id:u64` dedup token to the `AddShard`/`RebuildShard`
+/// payloads — a breaking body change, so the version was bumped rather
+/// than letting a v1 peer's first 8 payload bytes be silently consumed
+/// as a request id. Peers speaking another version get a typed
+/// `UnsupportedVersion` error and the connection closes.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Default upper bound on a frame body (version + opcode + payload).
 /// Ingest frames carry whole shards, so the default is generous; servers
