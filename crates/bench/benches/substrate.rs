@@ -228,6 +228,45 @@ fn bench_sharded_query(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+    let n = 1000;
+    let spec = dds_workload::RepoSpec::mixed(n, 300, 1, 0xE18);
+    let params = || {
+        PtileBuildParams::default()
+            .with_rect_budget(496)
+            .with_phi_datasets(n)
+    };
+    let pref = || PrefBuildParams::exact_centralized().with_eps(0.05);
+    // Selective traffic (narrow interior rectangles, θ lower bound far
+    // above the sampling margin): the regime the synopsis tier prunes.
+    let exprs: Vec<LogicalExpr> =
+        dds_workload::RequestStreamSpec::selective(128, 0xE18).exprs(&spec);
+    for shards in [2usize, 8] {
+        let build = |synopsis: bool| {
+            let mut svc =
+                ShardedEngine::new(&[1], params(), pref()).with_synopsis_routing(synopsis);
+            for shard in spec.shards(shards) {
+                svc.add_shard(&Repository::from_point_sets(shard.sets), &shard.global_ids);
+            }
+            // Warm the caches: these rows compare steady-state routing,
+            // not first-touch mask computation.
+            let _ = svc.query_batch_opts(&exprs, &BuildOptions::with_threads(4));
+            svc
+        };
+        let box_only = build(false);
+        group.bench_function(BenchmarkId::new("box_only_warm", shards), |b| {
+            b.iter(|| box_only.query_batch_opts(&exprs, &BuildOptions::with_threads(4)))
+        });
+        let full = build(true);
+        group.bench_function(BenchmarkId::new("synopsis_warm", shards), |b| {
+            b.iter(|| full.query_batch_opts(&exprs, &BuildOptions::with_threads(4)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_backends,
@@ -235,6 +274,7 @@ criterion_group!(
     bench_exact1d,
     bench_pool,
     bench_batch_query,
-    bench_sharded_query
+    bench_sharded_query,
+    bench_routing
 );
 criterion_main!(benches);

@@ -8,8 +8,8 @@
 //! ```
 
 use dds_bench::experiments::{
-    ablations, batch, churn, exact, fault, federated, lowerbound, pref, ptile, scaling, serving,
-    shard, Scale,
+    ablations, batch, churn, exact, fault, federated, lowerbound, pref, ptile, routing, scaling,
+    serving, shard, Scale,
 };
 use dds_bench::Table;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -127,6 +127,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "--e17",
         "Fault soak (chaos proxy + self-healing client)",
         fault::e17_fault_soak,
+    ),
+    (
+        "--e18",
+        "Synopsis routing: selectivity × shards skip rates (box vs mass bound, =unrouted)",
+        routing::e18_selective_routing,
     ),
     (
         "--a1",

@@ -9,6 +9,7 @@ pub mod federated;
 pub mod lowerbound;
 pub mod pref;
 pub mod ptile;
+pub mod routing;
 pub mod scaling;
 pub mod serving;
 pub mod setup;

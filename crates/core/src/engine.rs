@@ -269,6 +269,16 @@ impl MixedQueryEngine {
         self.ptile.margin()
     }
 
+    /// The Ptile build's routing synopsis (per-axis mass-bound envelope
+    /// over the weight samples), if one could be built — `None` when a
+    /// sample coordinate was `NaN`. The shard routing fast path
+    /// (`dds_core::shard`) combines it with
+    /// [`ptile_margin`](Self::ptile_margin) to prove shards silent for
+    /// selective percentile predicates.
+    pub fn routing_synopsis(&self) -> Option<&crate::ptile::RoutingSynopsis> {
+        self.ptile.routing_synopsis()
+    }
+
     /// The Pref guarantee band for rank `k` (if indexed).
     pub fn pref_slack(&self, k: usize) -> Option<f64> {
         self.pref.get(&k).map(PrefIndex::slack)

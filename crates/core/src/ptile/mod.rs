@@ -20,6 +20,7 @@ mod exact1d;
 mod multi;
 mod params;
 mod range;
+mod routing;
 mod threshold;
 
 pub use dynamic::DynamicPtileIndex;
@@ -27,4 +28,5 @@ pub use exact1d::ExactCPtile1D;
 pub use multi::{MultiQueryError, PtileMultiIndex};
 pub use params::PtileBuildParams;
 pub use range::PtileRangeIndex;
+pub use routing::RoutingSynopsis;
 pub use threshold::PtileThresholdIndex;

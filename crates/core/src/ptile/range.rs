@@ -32,6 +32,7 @@
 //!   answers never overlap.
 
 use super::coreset::{build_coreset, rect_weights};
+use super::routing::{sorted_sample_axes, RoutingSynopsis};
 use super::PtileBuildParams;
 use crate::framework::Interval;
 use crate::pool::{par_map, BuildOptions};
@@ -52,6 +53,9 @@ struct RangePart {
     slabs: Vec<Vec<Vec<f64>>>,
     eps_i: f64,
     delta_i: f64,
+    /// Per-axis sorted weight-sample coordinates, feeding the build-wide
+    /// [`RoutingSynopsis`]; `None` when the sample carries a `NaN`.
+    axes: Option<Vec<Vec<f64>>>,
 }
 
 /// Approximate percentile-range index (Theorem 4.11).
@@ -91,6 +95,9 @@ pub struct PtileRangeIndex {
     /// Per dimension: empty-slab triples `(c_j, c_{j+1}, ε_i + δ_i)`.
     aux: Vec<KdTree>,
     aux_owner: Vec<Vec<u32>>,
+    /// Mass-bound synopsis over the weight samples, for the shard routing
+    /// fast path; `None` when a sample coordinate was `NaN`.
+    routing: Option<RoutingSynopsis>,
 }
 
 impl PtileRangeIndex {
@@ -199,11 +206,13 @@ impl PtileRangeIndex {
                 slabs_h.push(vec![lo, hi, c_i]);
             }
         }
+        let axes = sorted_sample_axes(dim, &cs.sample);
         RangePart {
             lifted,
             slabs,
             eps_i,
             delta_i,
+            axes,
         }
     }
 
@@ -220,7 +229,9 @@ impl PtileRangeIndex {
         let mut combined: Vec<f64> = Vec::with_capacity(n);
         let mut eps_max: f64 = 0.0;
         let mut delta_max: f64 = 0.0;
+        let mut sample_axes: Vec<Option<Vec<Vec<f64>>>> = Vec::with_capacity(n);
         for (i, mut part) in parts.into_iter().enumerate() {
+            sample_axes.push(part.axes.take());
             eps_max = eps_max.max(part.eps_i);
             delta_max = delta_max.max(part.delta_i);
             combined.push(part.eps_i + part.delta_i);
@@ -238,6 +249,7 @@ impl PtileRangeIndex {
             .map(|pts| KdTree::build_par(3, pts, threads))
             .collect();
         let max_combined = combined.iter().fold(0.0f64, |a, &b| a.max(b));
+        let routing = RoutingSynopsis::from_sorted_samples(dim, &sample_axes);
         PtileRangeIndex {
             dim,
             n_datasets: n,
@@ -250,6 +262,7 @@ impl PtileRangeIndex {
             owner,
             aux,
             aux_owner,
+            routing,
         }
     }
 
@@ -276,6 +289,14 @@ impl PtileRangeIndex {
     /// Worst-case query margin `max_i (ε_i + δ_i)`.
     pub fn margin(&self) -> f64 {
         self.max_combined
+    }
+
+    /// The build's [`RoutingSynopsis`] — a sound upper bound on the
+    /// fraction of any one dataset's weight sample inside a rectangle,
+    /// consumed by the shard routing fast path. `None` when a sample
+    /// coordinate was `NaN` (interval reasoning would be unsound).
+    pub fn routing_synopsis(&self) -> Option<&RoutingSynopsis> {
+        self.routing.as_ref()
     }
 
     /// Global guarantee band (Lemma 4.8 / Remark 2): every reported `j` has

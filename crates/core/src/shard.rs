@@ -54,24 +54,58 @@
 //!
 //! # Shard routing
 //!
-//! Ingest records, per shard, the **per-attribute value bounding box** of
-//! its raw points. A conjunctive percentile predicate whose query
-//! rectangle is disjoint from a shard's box (in some attribute) *provably*
-//! matches nothing in that shard — every grid coordinate of every member
-//! dataset is a raw data coordinate, so no canonical rectangle fits inside
-//! the query — **provided** the zero-mass corner case cannot fire, i.e.
-//! the predicate's clamped lower bound exceeds the shard's worst
-//! per-dataset budget `max_i (ε_i + δ_i)`
-//! ([`MixedQueryEngine::ptile_margin`]). Query paths skip such shards
-//! outright (and skip an expression's scatter onto a shard only when
-//! *every* DNF clause contains such a predicate), which is answer-
-//! preserving bit for bit — pinned routed ≡ unrouted by
-//! `tests/shard_equivalence.rs`. Routing never engages for expressions
-//! that would error (an unindexed preference rank must still be reported
-//! even if every shard is otherwise skippable). [`with_routing`]
-//! (ShardedEngine::with_routing) disables it; [`shards_routed_past`]
-//! (ShardedEngine::shards_routed_past) counts skipped (expression, shard)
-//! scatter units.
+//! Every shard records two ingest-time summaries: the **per-attribute
+//! value bounding box** of its raw points, and a **routing synopsis** —
+//! per attribute, equi-depth histogram bins over the build's per-dataset
+//! weight samples with a per-bin *max-mass envelope* (the largest
+//! fraction of any one member dataset's sample inside the bin; built by
+//! the shard's Ptile index, [`RoutingSynopsis`](crate::ptile::RoutingSynopsis)).
+//!
+//! **The mass-bound contract.** The range index reports dataset `j` for a
+//! percentile predicate `(R, θ)` through its main structure only when
+//! some canonical rectangle `ρ ⊆ R` has sample weight
+//! `w(ρ) = |ρ ∩ S_j| / |S_j|` with `w(ρ) + (ε_j + δ_j) ≥ a_θ` (the
+//! per-dataset budgets are pre-folded into the lifted weight
+//! coordinates), and through the zero-mass empty-slab path only when
+//! `a_θ ≤ ε_j + δ_j`. Both are impossible — for **every** member dataset
+//! at once — whenever an upper bound `U ≥ max_j |R ∩ S_j| / |S_j|`
+//! satisfies `U + margin < a_θ` (clamped to `a_θ ≥ 0`, with `margin =
+//! max_j (ε_j + δ_j)`, [`MixedQueryEngine::ptile_margin`]): the main path
+//! needs `w(ρ) ≥ a_θ − c_j > U ≥ w(ρ)`, a contradiction, and the aux
+//! path needs `a_θ ≤ c_j ≤ margin < a_θ`, likewise. So the skip can
+//! never route away a hit — soundness needs only that `U` really is an
+//! upper bound, which the synopsis guarantees by construction: partial
+//! bins are counted fully (an interval sums the envelope over every bin
+//! it touches), axes combine by `min` (a rectangle is contained in each
+//! of its axis slabs; a product would *under*-state correlated data),
+//! and the envelope is computed over the same weight samples the lifted
+//! weights are measured against.
+//!
+//! Box disjointness is the degenerate zero-mass case: a query rectangle
+//! disjoint from the raw-point box in some attribute is disjoint from
+//! every sample range (samples are raw points), so `U = 0` and the rule
+//! reduces to `a_θ > margin` — exactly the historical box test, which
+//! the implementation still evaluates first.
+//! [`shards_routed_past`](ShardedEngine::shards_routed_past) keeps its
+//! historical meaning (units the box alone skips);
+//! [`shards_routed_by_synopsis`](ShardedEngine::shards_routed_by_synopsis)
+//! counts the *additional* units only the mass bound skips.
+//!
+//! An expression's scatter onto a shard is skipped only when **every**
+//! DNF clause contains a skip-proving percentile literal; the per-clause
+//! interval clamps are computed **once per query** and reused across
+//! shards. Routing is answer-preserving bit for bit — pinned routed ≡
+//! unrouted by `tests/shard_equivalence.rs` — and never engages for
+//! expressions that would error (an unindexed preference rank must still
+//! be reported even if every shard is otherwise skippable). A `NaN`
+//! coordinate disables both summaries for its shard (scatter-everywhere,
+//! answers unaffected). [`with_routing`](ShardedEngine::with_routing)
+//! disables routing entirely;
+//! [`with_synopsis_routing`](ShardedEngine::with_synopsis_routing) keeps
+//! the box test but disables the mass bound (the A/B lever of the E18
+//! experiment). The summaries thread through the whole lifecycle for
+//! free: add/rebuild/split/merge each rebuild the shard's engine, and
+//! the engine's Ptile build carries its synopsis with it.
 
 use crate::cache::MaskCache;
 use crate::engine::{expr_dim_mismatch, EngineError, MixedQueryEngine};
@@ -220,8 +254,12 @@ pub struct ShardedStats {
     pub cache_hits: u64,
     /// Mask-cache misses summed across shards.
     pub cache_misses: u64,
-    /// (expression, shard) scatter units skipped by the routing fast path.
+    /// (expression, shard) scatter units skipped by the bounding-box
+    /// routing tier alone.
     pub shards_routed_past: u64,
+    /// Scatter units additionally skipped by the synopsis mass bound
+    /// (units the box tier could not prove silent).
+    pub shards_routed_by_synopsis: u64,
     /// Lifecycle splits committed over the service lifetime.
     pub splits: u64,
     /// Lifecycle merges committed over the service lifetime.
@@ -318,6 +356,36 @@ struct Shard {
     queries: AtomicU64,
 }
 
+/// How the routing fast path disposed of one (expression, shard) unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Skip {
+    /// Not provably silent — evaluate the shard.
+    No,
+    /// Skipped by the bounding-box tier (counted by
+    /// [`ShardedEngine::shards_routed_past`], preserving its historical
+    /// meaning).
+    Box,
+    /// Skipped only by the synopsis mass bound (counted by
+    /// [`ShardedEngine::shards_routed_by_synopsis`]).
+    Synopsis,
+}
+
+/// One routable percentile literal, pre-clamped for the per-shard loop:
+/// the clamped threshold lower bound and the query rectangle as per-axis
+/// intervals.
+struct RoutingLit {
+    lo: f64,
+    rect: Vec<(f64, f64)>,
+}
+
+/// One DNF clause as the router sees it, computed once per query.
+enum PlanClause {
+    /// An empty clause — trivially proven silent on every shard.
+    Vacuous,
+    /// The clause's routable percentile literals (non-empty).
+    Lits(Vec<RoutingLit>),
+}
+
 /// A sharded mixed-query service: one [`MixedQueryEngine`] per repository
 /// shard, scatter/gather query paths, stable [`GlobalId`] answers and
 /// per-shard cross-call [`MaskCache`]s.
@@ -362,13 +430,20 @@ pub struct ShardedEngine {
     pref_params: PrefBuildParams,
     /// Per-shard mask-cache bound (entries, not bytes).
     cache_capacity: usize,
-    /// Bounding-box routing fast path (see the module docs). On by
-    /// default; [`with_routing`](Self::with_routing) disables it.
+    /// Routing fast path (see the module docs). On by default;
+    /// [`with_routing`](Self::with_routing) disables it.
     route: bool,
-    /// (expression, shard) scatter units skipped by routing. Data-
+    /// Synopsis mass-bound tier of the routing fast path. On by default;
+    /// [`with_synopsis_routing`](Self::with_synopsis_routing) disables
+    /// just this tier, leaving the box tier in place.
+    synopsis_route: bool,
+    /// (expression, shard) scatter units skipped by the box tier. Data-
     /// dependent, not timing-dependent, so the count is deterministic for
     /// a given workload.
     routed_past: AtomicU64,
+    /// Scatter units skipped by the synopsis tier only (disjoint from
+    /// `routed_past`; total skipped is the sum).
+    routed_by_synopsis: AtomicU64,
     /// Lifecycle splits committed (`&mut self` ops, so a plain counter).
     splits: u64,
     /// Lifecycle merges committed.
@@ -396,7 +471,9 @@ impl ShardedEngine {
             pref_params,
             cache_capacity: crate::cache::DEFAULT_MASK_CACHE_CAPACITY,
             route: true,
+            synopsis_route: true,
             routed_past: AtomicU64::new(0),
+            routed_by_synopsis: AtomicU64::new(0),
             splits: 0,
             merges: 0,
         }
@@ -413,12 +490,22 @@ impl ShardedEngine {
         self
     }
 
-    /// Enables or disables the bounding-box routing fast path
+    /// Enables or disables the routing fast path — both tiers at once
     /// (builder-style; default enabled). Routing never changes answers —
     /// disabling it only exists for A/B measurement and for the
     /// routed ≡ unrouted equivalence tests.
     pub fn with_routing(mut self, enabled: bool) -> Self {
         self.route = enabled;
+        self
+    }
+
+    /// Enables or disables just the synopsis mass-bound tier of routing
+    /// (builder-style; default enabled). With it off the box tier still
+    /// runs — the configuration the pre-synopsis engine shipped, kept as
+    /// the A/B lever for measuring how much the mass bound adds (E18).
+    /// Never changes answers.
+    pub fn with_synopsis_routing(mut self, enabled: bool) -> Self {
+        self.synopsis_route = enabled;
         self
     }
 
@@ -958,10 +1045,18 @@ impl ShardedEngine {
         })
     }
 
-    /// (expression, shard) scatter units the routing fast path skipped
-    /// over the service lifetime.
+    /// (expression, shard) scatter units the bounding-box routing tier
+    /// skipped over the service lifetime.
     pub fn shards_routed_past(&self) -> u64 {
         self.routed_past.load(Ordering::Relaxed)
+    }
+
+    /// Scatter units the synopsis mass bound skipped that the box tier
+    /// could not (disjoint from
+    /// [`shards_routed_past`](Self::shards_routed_past); total skipped is
+    /// the sum).
+    pub fn shards_routed_by_synopsis(&self) -> u64 {
+        self.routed_by_synopsis.load(Ordering::Relaxed)
     }
 
     /// A cheap counter snapshot (no index structure is touched) — the
@@ -975,6 +1070,7 @@ impl ShardedEngine {
             cache_hits,
             cache_misses,
             shards_routed_past: self.shards_routed_past(),
+            shards_routed_by_synopsis: self.shards_routed_by_synopsis(),
             splits: self.splits,
             merges: self.merges,
         }
@@ -1028,9 +1124,16 @@ impl ShardedEngine {
         let skip = self.routing_skip(expr, &dnf);
         let mut out = Vec::new();
         for (s, shard) in self.shards.iter().enumerate() {
-            if skip.as_ref().is_some_and(|sk| sk[s]) {
-                self.routed_past.fetch_add(1, Ordering::Relaxed);
-                continue;
+            match skip.as_ref().map_or(Skip::No, |sk| sk[s]) {
+                Skip::Box => {
+                    self.routed_past.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Skip::Synopsis => {
+                    self.routed_by_synopsis.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Skip::No => {}
             }
             shard.queries.fetch_add(1, Ordering::Relaxed);
             let hits = shard.engine.query_cached_dnf(&dnf, scratch)?;
@@ -1108,7 +1211,7 @@ impl ShardedEngine {
                 }
             })
             .collect();
-        let plans: Vec<Option<Vec<bool>>> = exprs
+        let plans: Vec<Option<Vec<Skip>>> = exprs
             .iter()
             .zip(&dnfs)
             .zip(&schema_errs)
@@ -1130,9 +1233,16 @@ impl ShardedEngine {
             if let Some(err) = &schema_errs[e] {
                 return Err(err.clone());
             }
-            if plans[e].as_ref().is_some_and(|sk| sk[s]) {
-                self.routed_past.fetch_add(1, Ordering::Relaxed);
-                return Ok(Vec::new());
+            match plans[e].as_ref().map_or(Skip::No, |sk| sk[s]) {
+                Skip::Box => {
+                    self.routed_past.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Vec::new());
+                }
+                Skip::Synopsis => {
+                    self.routed_by_synopsis.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Vec::new());
+                }
+                Skip::No => {}
             }
             let shard = &self.shards[s];
             shard.queries.fetch_add(1, Ordering::Relaxed);
@@ -1168,22 +1278,113 @@ impl ShardedEngine {
         results
     }
 
-    /// The routing plan for one expression (whose caller-expanded DNF is
-    /// passed in, so the expansion is paid once per query): `skip[s]` says
-    /// shard `s` provably contributes nothing. `None` means "scatter
-    /// everywhere" (routing disabled, nothing skippable, or the expression
-    /// may error — error answers must come from the shards, not be routed
-    /// away).
-    fn routing_skip(&self, expr: &LogicalExpr, dnf: &[Vec<Predicate>]) -> Option<Vec<bool>> {
+    /// The routing verdicts for one expression (whose caller-expanded DNF
+    /// is passed in, so the expansion is paid once per query): `skip[s]`
+    /// says how shard `s` was proven silent, if it was. `None` means
+    /// "scatter everywhere" (routing disabled, nothing skippable, or the
+    /// expression may error — error answers must come from the shards,
+    /// not be routed away).
+    fn routing_skip(&self, expr: &LogicalExpr, dnf: &[Vec<Predicate>]) -> Option<Vec<Skip>> {
         if !self.route || self.shards.is_empty() || !self.ranks_indexed(expr) {
             return None;
         }
-        let skip: Vec<bool> = self
+        let plan = self.routing_plan(dnf)?;
+        let skip: Vec<Skip> = self
             .shards
             .iter()
-            .map(|s| Self::shard_unmatchable(dnf, s))
+            .map(|s| Self::shard_skip(&plan, s, self.synopsis_route))
             .collect();
-        skip.iter().any(|&b| b).then_some(skip)
+        skip.iter().any(|&v| v != Skip::No).then_some(skip)
+    }
+
+    /// Pre-clamps one expression's DNF into per-clause routable literals,
+    /// hoisting the θ clamp and the per-axis query intervals out of the
+    /// per-shard loop. `None` means some clause has no routable percentile
+    /// literal of the served dimension — that clause can never be proven
+    /// silent, so no shard is skippable and the per-shard work would be
+    /// wasted.
+    fn routing_plan(&self, dnf: &[Vec<Predicate>]) -> Option<Vec<PlanClause>> {
+        let dim = self.dim()?;
+        let mut clauses = Vec::with_capacity(dnf.len());
+        for clause in dnf {
+            // An empty clause contributes nothing by the DNF evaluation
+            // contract, so it never blocks a skip.
+            if clause.is_empty() {
+                clauses.push(PlanClause::Vacuous);
+                continue;
+            }
+            let mut lits: Vec<RoutingLit> = Vec::new();
+            for p in clause {
+                if let MeasureFunction::Percentile(r) = &p.measure {
+                    // A dimension mismatch panics in the engine; never
+                    // route it away.
+                    if r.dim() == dim {
+                        lits.push(RoutingLit {
+                            // Mirrors the θ clamp of the engine's mask
+                            // computation exactly.
+                            lo: p.theta.lo.max(0.0),
+                            rect: (0..dim).map(|h| (r.lo_at(h), r.hi_at(h))).collect(),
+                        });
+                    }
+                }
+            }
+            if lits.is_empty() {
+                return None;
+            }
+            clauses.push(PlanClause::Lits(lits));
+        }
+        Some(clauses)
+    }
+
+    /// The verdict for one shard against a pre-clamped plan. The box tier
+    /// runs first and reproduces the historical rule exactly (so
+    /// `shards_routed_past` keeps its meaning); the synopsis tier only
+    /// sees shards the box could not prove silent. Both require every
+    /// clause to carry a skip-proving literal; see the module docs for the
+    /// soundness argument.
+    fn shard_skip(plan: &[PlanClause], shard: &Shard, synopsis_route: bool) -> Skip {
+        let Some(bounds) = &shard.bounds else {
+            // A NaN coordinate was seen: containment reasoning is unsound
+            // (and the engine carries no synopsis either).
+            return Skip::No;
+        };
+        let margin = shard.engine.ptile_margin();
+        let box_skip = plan.iter().all(|c| match c {
+            PlanClause::Vacuous => true,
+            PlanClause::Lits(lits) => lits.iter().any(|l| {
+                // Disjoint from the raw-point box in some attribute, and
+                // the clamped lower bound clears the zero-mass path.
+                l.lo > margin
+                    && l.rect
+                        .iter()
+                        .zip(bounds)
+                        .any(|(q, b)| q.1 < b.0 || q.0 > b.1)
+            }),
+        });
+        if box_skip {
+            return Skip::Box;
+        }
+        if !synopsis_route {
+            return Skip::No;
+        }
+        let Some(syn) = shard.engine.routing_synopsis() else {
+            return Skip::No;
+        };
+        let syn_skip = plan.iter().all(|c| match c {
+            PlanClause::Vacuous => true,
+            PlanClause::Lits(lits) => lits.iter().any(|l| {
+                // U + margin < a_θ: neither the main reporting path nor
+                // the zero-mass empty-slab path can fire for any member
+                // dataset (at U = 0 this is exactly the box tier's
+                // `margin < lo` precondition).
+                syn.mass_bound(&l.rect) + margin < l.lo
+            }),
+        });
+        if syn_skip {
+            Skip::Synopsis
+        } else {
+            Skip::No
+        }
     }
 
     /// True iff every preference rank the expression uses is indexed —
@@ -1196,48 +1397,6 @@ impl ShardedEngine {
                 MeasureFunction::Percentile(_) => true,
             },
             LogicalExpr::And(xs) | LogicalExpr::Or(xs) => xs.iter().all(|x| self.ranks_indexed(x)),
-        }
-    }
-
-    /// True iff the shard provably answers the whole DNF with no hits:
-    /// every clause contains a predicate the shard cannot match (an empty
-    /// clause contributes nothing by the DNF evaluation contract, so it
-    /// never blocks a skip).
-    fn shard_unmatchable(dnf: &[Vec<Predicate>], shard: &Shard) -> bool {
-        let Some(bounds) = &shard.bounds else {
-            return false;
-        };
-        let margin = shard.engine.ptile_margin();
-        dnf.iter().all(|clause| {
-            clause.is_empty()
-                || clause
-                    .iter()
-                    .any(|p| Self::pred_unmatchable(p, bounds, margin))
-        })
-    }
-
-    /// True iff the shard provably reports no dataset for this predicate:
-    /// the query rectangle is disjoint from the shard's value box in some
-    /// attribute (no canonical rectangle of any member dataset fits inside
-    /// it — grid coordinates are raw data coordinates) **and** the clamped
-    /// lower bound exceeds the shard's worst per-dataset budget, so the
-    /// zero-mass empty-slab path cannot fire either. Mirrors the θ clamp
-    /// of the engine's mask computation exactly.
-    fn pred_unmatchable(pred: &Predicate, bounds: &[(f64, f64)], margin: f64) -> bool {
-        match &pred.measure {
-            MeasureFunction::Percentile(r) => {
-                if r.dim() != bounds.len() {
-                    // A dimension mismatch panics in the engine; never
-                    // route it away.
-                    return false;
-                }
-                let lo_clamped = pred.theta.lo.max(0.0);
-                if lo_clamped <= margin {
-                    return false;
-                }
-                (0..bounds.len()).any(|h| r.hi_at(h) < bounds[h].0 || r.lo_at(h) > bounds[h].1)
-            }
-            MeasureFunction::TopK { .. } => false,
         }
     }
 
@@ -1745,6 +1904,75 @@ mod tests {
     }
 
     #[test]
+    fn nan_points_disable_routing_bounds() {
+        // NaN data cannot currently be *built* (the coordinate grids
+        // reject it), so the scatter-everywhere guard is pinned at the
+        // summary level: a NaN anywhere in the shard yields no bounding
+        // box, and `shard_skip` returns `Skip::No` for a boundless shard
+        // before consulting margins or synopses. The synopsis side of the
+        // same guard is pinned in `ptile::routing`.
+        let nan_repo = Repository::new(vec![Dataset::from_rows(
+            "nan",
+            vec![vec![0.0], vec![f64::NAN], vec![2.0]],
+        )]);
+        assert!(shard_bounds(&nan_repo).is_none());
+        let clean = Repository::new(vec![dataset("clean", &[1.0, 2.0])]);
+        assert_eq!(shard_bounds(&clean), Some(vec![(1.0, 2.0)]));
+    }
+
+    #[test]
+    fn synopsis_routes_past_interior_gaps_the_box_cannot_see() {
+        // Shard 0's datasets sit at the two extremes of the value range,
+        // so its bounding box [0, 100] overlaps an interior query the
+        // shard can never answer — only the mass bound can prove it
+        // silent. Shard 1 lives inside the query and answers it.
+        let build = || {
+            let mut svc = ShardedEngine::new(
+                &[1],
+                PtileBuildParams::exact_centralized(),
+                PrefBuildParams::exact_centralized(),
+            );
+            svc.add_shard(
+                &Repository::new(vec![
+                    dataset("lo", &[0.0, 1.0, 2.0, 3.0]),
+                    dataset("hi", &[97.0, 98.0, 99.0, 100.0]),
+                ]),
+                &[1, 2],
+            );
+            svc.add_shard(
+                &Repository::new(vec![dataset("mid", &[49.0, 50.0, 51.0])]),
+                &[3],
+            );
+            svc
+        };
+        let interior = LogicalExpr::Pred(Predicate::percentile_at_least(
+            Rect::interval(40.0, 60.0),
+            0.6,
+        ));
+        let svc = build();
+        assert_eq!(svc.query(&interior), Ok(vec![3]));
+        assert_eq!(svc.shards_routed_past(), 0, "the box overlaps [40, 60]");
+        assert_eq!(svc.shards_routed_by_synopsis(), 1);
+        // The batch path classifies identically, and the skipped shard's
+        // cache is never touched.
+        let _ = svc.query_batch_opts(std::slice::from_ref(&interior), &BuildOptions::serial());
+        assert_eq!(svc.shards_routed_by_synopsis(), 2);
+        let (_, m) = svc.cache_stats();
+        assert_eq!(m, 1, "only shard 1 ever computed a mask");
+        // The box-only configuration still answers identically — the
+        // synopsis tier is pure pruning.
+        let box_only = build().with_synopsis_routing(false);
+        assert_eq!(box_only.query(&interior), Ok(vec![3]));
+        assert_eq!(box_only.shards_routed_by_synopsis(), 0);
+        assert_eq!(box_only.shards_routed_past(), 0);
+        assert_eq!(
+            svc.stats_snapshot().shards_routed_by_synopsis,
+            2,
+            "snapshot carries the new counter"
+        );
+    }
+
+    #[test]
     fn stats_snapshot_aggregates_counters() {
         let svc = service();
         let _ = svc.query(&low_expr());
@@ -1752,6 +1980,10 @@ mod tests {
         assert_eq!(snap.n_shards, 2);
         assert_eq!(snap.n_datasets, 3);
         assert_eq!(snap.shards_routed_past, 1);
+        assert_eq!(
+            snap.shards_routed_by_synopsis, 0,
+            "a box-tier skip never counts against the synopsis tier"
+        );
         assert_eq!(snap.cache_misses, 1);
         assert!(snap.index_queries >= 1);
         assert_eq!((snap.splits, snap.merges), (0, 0));

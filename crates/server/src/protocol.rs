@@ -205,6 +205,11 @@ impl Request {
 }
 
 /// A server response.
+// `Stats` dwarfs the other variants (one u64 per counter, newest-last),
+// but responses are short-lived stack temporaries encoded straight onto
+// the wire — boxing would buy nothing except an allocation on the stats
+// path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     /// Single-query answer — exactly the in-process
@@ -389,10 +394,15 @@ pub struct ServerStats {
     /// list extends by appending, so older clients keep decoding the
     /// prefix they know.
     pub requests_deduped: u64,
+    /// (expression, shard) scatter units skipped by the synopsis
+    /// mass-bound routing tier — pruning the bounding-box tier
+    /// (`shards_routed_past`) could not prove. Appended after
+    /// `requests_deduped` per the newest-last rule.
+    pub shards_routed_by_synopsis: u64,
 }
 
 impl ServerStats {
-    fn fields(&self) -> [u64; 29] {
+    fn fields(&self) -> [u64; 30] {
         [
             self.requests,
             self.queries,
@@ -423,6 +433,7 @@ impl ServerStats {
             self.sessions_reaped,
             self.retries_attempted,
             self.requests_deduped,
+            self.shards_routed_by_synopsis,
         ]
     }
 
@@ -457,6 +468,7 @@ impl ServerStats {
             sessions_reaped: f[26],
             retries_attempted: f[27],
             requests_deduped: f[28],
+            shards_routed_by_synopsis: f[29],
         }
     }
 }
@@ -1172,6 +1184,7 @@ mod tests {
                 sessions_reaped: 6,
                 retries_attempted: 12,
                 requests_deduped: 8,
+                shards_routed_by_synopsis: 17,
                 ..Default::default()
             }),
             Response::Pong { token: 42 },

@@ -372,6 +372,7 @@ impl Shared {
             cache_misses: engine.cache_misses,
             index_queries: engine.index_queries,
             shards_routed_past: engine.shards_routed_past,
+            shards_routed_by_synopsis: engine.shards_routed_by_synopsis,
             n_shards: engine.n_shards,
             n_datasets: engine.n_datasets,
             shard_splits: engine.splits,

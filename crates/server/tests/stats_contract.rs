@@ -38,6 +38,7 @@ const FIELD_ORDER: &[&str] = &[
     "sessions_reaped",
     "retries_attempted",
     "requests_deduped",
+    "shards_routed_by_synopsis",
 ];
 
 /// A stats value whose every counter holds its own 1-based position in
@@ -74,6 +75,7 @@ fn position_stamped() -> ServerStats {
         sessions_reaped: 27,
         retries_attempted: 28,
         requests_deduped: 29,
+        shards_routed_by_synopsis: 30,
     }
 }
 
@@ -102,13 +104,18 @@ fn stats_frame_serializes_every_counter_in_protocol_md_order() {
 
 #[test]
 fn newest_counters_sit_at_the_end_of_the_frame() {
-    // The append-only rule in action: this PR's counters are the LAST
-    // three slots, so a pre-existing client decoding only the prefix it
-    // knows still reads every older counter correctly.
-    let tail = &FIELD_ORDER[FIELD_ORDER.len() - 3..];
+    // The append-only rule in action: the newest counter is the LAST
+    // slot, so a pre-existing client decoding only the prefix it knows
+    // still reads every older counter correctly.
+    let tail = &FIELD_ORDER[FIELD_ORDER.len() - 4..];
     assert_eq!(
         tail,
-        &["sessions_reaped", "retries_attempted", "requests_deduped"]
+        &[
+            "sessions_reaped",
+            "retries_attempted",
+            "requests_deduped",
+            "shards_routed_by_synopsis"
+        ]
     );
 }
 

@@ -32,6 +32,6 @@ pub mod scenario;
 pub mod setint;
 
 pub use repository::{RepoFlavor, RepoShard, RepoSpec};
-pub use requests::{FaultScheduleSpec, RequestStreamSpec};
+pub use requests::{FaultScheduleSpec, RequestStreamSpec, SelectiveShape};
 pub use scenario::CityScenario;
 pub use setint::UniformSetInstance;

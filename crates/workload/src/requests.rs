@@ -39,6 +39,29 @@ impl FaultScheduleSpec {
     }
 }
 
+/// Shape parameters of a *selective* request stream: narrow interior
+/// rectangles with a threshold lower bound chosen well above typical
+/// sampling margins. This is the regime where the routing synopsis earns
+/// its keep — most shards hold little mass inside so small a window, yet
+/// at realistic shard mixes every shard's bounding box still overlaps it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelectiveShape {
+    /// Per-axis rectangle width as a fraction of the repository span
+    /// (`0 < width_pct ≤ 1`).
+    pub width_pct: f64,
+    /// Threshold lower bound every shape asks for (`percentile_at_least`).
+    pub theta_lo: f64,
+}
+
+impl Default for SelectiveShape {
+    fn default() -> Self {
+        SelectiveShape {
+            width_pct: 0.03,
+            theta_lo: 0.6,
+        }
+    }
+}
+
 /// Specification of a deterministic request stream over a repository's
 /// value space: `n_requests` expressions cycling through `n_shapes`
 /// popular shapes, optionally salting in queries for an unindexed rank.
@@ -62,6 +85,10 @@ pub struct RequestStreamSpec {
     /// a faulty transport; `None` (the default) means a clean network.
     /// Purely descriptive — [`exprs`](Self::exprs) ignores it.
     pub faults: Option<FaultScheduleSpec>,
+    /// `Some` switches the shape pool to pure narrow-rectangle
+    /// percentile shapes (see [`SelectiveShape`]); `None` (the default)
+    /// keeps the mixed `(percentile ∧ top-k) ∨ percentile` pool.
+    pub selective: Option<SelectiveShape>,
 }
 
 impl RequestStreamSpec {
@@ -76,7 +103,36 @@ impl RequestStreamSpec {
             missing_rank: 7,
             seed,
             faults: None,
+            selective: None,
         }
+    }
+
+    /// A *selective* stream of `n_requests` over 6 narrow interior
+    /// percentile shapes (default [`SelectiveShape`]), no error salting —
+    /// the routing-heavy traffic of the E18 experiment and the synopsis
+    /// equivalence proptests.
+    pub fn selective(n_requests: usize, seed: u64) -> Self {
+        let mut spec = RequestStreamSpec::new(n_requests, seed);
+        spec.selective = Some(SelectiveShape::default());
+        spec
+    }
+
+    /// Overrides the selective shape parameters (builder-style); also
+    /// switches the stream to selective shapes if it wasn't already.
+    ///
+    /// # Panics
+    /// Panics unless `0 < width_pct ≤ 1` and `0 ≤ theta_lo ≤ 1`.
+    pub fn with_selective_shape(mut self, shape: SelectiveShape) -> Self {
+        assert!(
+            shape.width_pct > 0.0 && shape.width_pct <= 1.0,
+            "width_pct must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&shape.theta_lo),
+            "theta_lo must be in [0, 1]"
+        );
+        self.selective = Some(shape);
+        self
     }
 
     /// Attaches a fault schedule (builder-style): consumers serving this
@@ -114,6 +170,33 @@ impl RequestStreamSpec {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let bbox = repo.bbox();
         let dim = repo.dim;
+        if let Some(shape) = self.selective {
+            // Narrow rectangles centered on interior points (20–80% of
+            // each axis span): they overlap typical shard bounding boxes
+            // while holding little of any one dataset's mass.
+            let shapes: Vec<LogicalExpr> = (0..self.n_shapes)
+                .map(|_| {
+                    let mut lo = Vec::with_capacity(dim);
+                    let mut hi = Vec::with_capacity(dim);
+                    for h in 0..dim {
+                        let span = bbox.hi_at(h) - bbox.lo_at(h);
+                        let c = bbox.lo_at(h) + span * rng.gen_range(0.2..0.8);
+                        let half = 0.5 * shape.width_pct * span;
+                        lo.push(c - half);
+                        hi.push(c + half);
+                    }
+                    LogicalExpr::Pred(Predicate::percentile_at_least(
+                        dds_geom::Rect::from_bounds(&lo, &hi),
+                        shape.theta_lo,
+                    ))
+                })
+                .collect();
+            // No top-k literals, so error salting has nothing to rewrite;
+            // the cycle structure matches the mixed pool's.
+            return (0..self.n_requests)
+                .map(|i| shapes[i % shapes.len()].clone())
+                .collect();
+        }
         let shapes: Vec<LogicalExpr> = (0..self.n_shapes)
             .map(|_| {
                 let band = queries::random_rect(&mut rng, &bbox);
@@ -195,6 +278,46 @@ mod tests {
         assert_eq!(faulty.faults, Some(FaultScheduleSpec::seeded(42)));
         assert_eq!(FaultScheduleSpec::seeded(42), FaultScheduleSpec::seeded(42));
         assert_ne!(FaultScheduleSpec::seeded(42), FaultScheduleSpec::seeded(43));
+    }
+
+    #[test]
+    fn selective_streams_are_narrow_interior_and_deterministic() {
+        let repo = RepoSpec::mixed(6, 30, 2, 11);
+        let spec = RequestStreamSpec::selective(10, 21);
+        let a = spec.exprs(&repo);
+        let b = spec.exprs(&repo);
+        assert_eq!(a.len(), 10);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let bbox = repo.bbox();
+        for e in &a {
+            let LogicalExpr::Pred(p) = e else {
+                panic!("selective shapes are single predicates");
+            };
+            let dds_core::framework::MeasureFunction::Percentile(r) = &p.measure else {
+                panic!("selective shapes are percentile predicates");
+            };
+            assert_eq!(p.theta.lo, SelectiveShape::default().theta_lo);
+            for h in 0..repo.dim {
+                let span = bbox.hi_at(h) - bbox.lo_at(h);
+                let width = r.hi_at(h) - r.lo_at(h);
+                assert!(
+                    (width - SelectiveShape::default().width_pct * span).abs() < 1e-9,
+                    "width {width} at axis {h}"
+                );
+                assert!(
+                    r.lo_at(h) > bbox.lo_at(h) && r.hi_at(h) < bbox.hi_at(h),
+                    "interior"
+                );
+            }
+        }
+        // The width override threads through and stays deterministic.
+        let wide = RequestStreamSpec::selective(4, 21).with_selective_shape(SelectiveShape {
+            width_pct: 0.3,
+            theta_lo: 0.7,
+        });
+        let w = wide.exprs(&repo);
+        assert_eq!(format!("{w:?}"), format!("{:?}", wide.exprs(&repo)));
+        assert_ne!(format!("{:?}", w[0]), format!("{:?}", a[0]));
     }
 
     #[test]

@@ -688,6 +688,128 @@ fn churn_soak_stays_byte_identical_to_unsharded_reference() {
         stats.splits >= 1 && stats.merges >= 1,
         "both transition kinds occurred"
     );
+    // Synopsis bookkeeping survives the churn: every shard's engine —
+    // whichever mix of add/split/merge/rebuild produced it — carries a
+    // routing synopsis (this soak has no NaN data), and a narrow
+    // high-threshold query still answers identically to the reference
+    // through whatever pruning those synopses now prove.
+    for s in 0..svc.n_shards() {
+        assert!(
+            svc.shard_engine(s).routing_synopsis().is_some(),
+            "shard {s} lost its routing synopsis across transitions"
+        );
+    }
+    let narrow = LogicalExpr::Pred(Predicate::percentile_at_least(
+        Rect::interval(3.0, 5.0),
+        0.9,
+    ));
+    assert_eq!(
+        svc.query(&narrow),
+        reference(&reference_engine, &narrow),
+        "post-churn selective query must match the unsharded reference"
+    );
+}
+
+/// A sharded engine over a workload-crate repository mix, round-robin by
+/// global id, with the routing tiers switched explicitly — the build the
+/// selective-stream equivalence pins below share.
+fn sharded_from_spec(
+    spec: &dds_workload::RepoSpec,
+    k: usize,
+    ptile: &PtileBuildParams,
+    route: bool,
+    synopsis: bool,
+) -> ShardedEngine {
+    let mut svc = ShardedEngine::new(&[1], ptile.clone(), PrefBuildParams::exact_centralized())
+        .with_routing(route)
+        .with_synopsis_routing(synopsis);
+    for shard in spec.shards(k) {
+        svc.add_shard_opts(
+            &Repository::from_point_sets(shard.sets),
+            &shard.global_ids,
+            &BuildOptions::serial(),
+        );
+    }
+    svc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Selective streams (narrow interior rectangles, θ lower bound well
+    /// above any sampling margin) are the traffic the synopsis tier was
+    /// built to prune — and the pruning must be invisible: full routing ≡
+    /// box-only ≡ unrouted, bit for bit, for exact **and** φ-anchored
+    /// sampled builds, shards {2, 3, 8} × threads {1, 4}.
+    #[test]
+    fn selective_streams_prune_without_changing_answers(salt in 0u64..1000) {
+        let n = 12usize;
+        let spec = dds_workload::RepoSpec::mixed(n, 60, 1, salt);
+        let exprs = dds_workload::RequestStreamSpec::selective(18, salt).exprs(&spec);
+        let params = [
+            PtileBuildParams::exact_centralized(),
+            PtileBuildParams::default().with_eps(0.4).with_phi_datasets(n),
+        ];
+        for (p, ptile) in params.iter().enumerate() {
+            for k in [2usize, 3, 8] {
+                let full = sharded_from_spec(&spec, k, ptile, true, true);
+                let box_only = sharded_from_spec(&spec, k, ptile, true, false);
+                let unrouted = sharded_from_spec(&spec, k, ptile, false, false);
+                let mut scratch = QueryScratch::new();
+                for (i, e) in exprs.iter().enumerate() {
+                    let want = unrouted.query_with(e, &mut scratch);
+                    prop_assert_eq!(
+                        full.query_with(e, &mut scratch), want.clone(),
+                        "full vs unrouted, params {}, shards {}, expr {}", p, k, i
+                    );
+                    prop_assert_eq!(
+                        box_only.query_with(e, &mut scratch), want,
+                        "box-only vs unrouted, params {}, shards {}, expr {}", p, k, i
+                    );
+                }
+                for t in [1usize, 4] {
+                    let opts = BuildOptions::with_threads(t);
+                    let want = unrouted.query_batch_opts(&exprs, &opts);
+                    prop_assert_eq!(
+                        full.query_batch_opts(&exprs, &opts), want.clone(),
+                        "full batch, params {}, shards {}, threads {}", p, k, t
+                    );
+                    prop_assert_eq!(
+                        box_only.query_batch_opts(&exprs, &opts), want,
+                        "box-only batch, params {}, shards {}, threads {}", p, k, t
+                    );
+                }
+                prop_assert_eq!(unrouted.shards_routed_past(), 0);
+                prop_assert_eq!(unrouted.shards_routed_by_synopsis(), 0);
+                prop_assert_eq!(box_only.shards_routed_by_synopsis(), 0);
+            }
+        }
+    }
+}
+
+/// The synopsis tier really engages on selective traffic (the proptest
+/// above only proves it is answer-invisible): at a realistic round-robin
+/// flavour mix every shard's bounding box overlaps the narrow interior
+/// windows, so the box tier prunes nothing while the mass bound prunes
+/// most scatter units.
+#[test]
+fn selective_streams_engage_the_synopsis_tier() {
+    let n = 12usize;
+    let spec = dds_workload::RepoSpec::mixed(n, 60, 1, 0xE18);
+    let exprs = dds_workload::RequestStreamSpec::selective(18, 0xE18).exprs(&spec);
+    let ptile = PtileBuildParams::exact_centralized();
+    let svc = sharded_from_spec(&spec, 8, &ptile, true, true);
+    let _ = svc.query_batch_opts(&exprs, &BuildOptions::serial());
+    assert!(
+        svc.shards_routed_by_synopsis() > 0,
+        "narrow interior windows must trip the mass bound"
+    );
+    assert!(
+        svc.shards_routed_by_synopsis() > svc.shards_routed_past(),
+        "the box tier cannot see interior gaps ({} box vs {} synopsis)",
+        svc.shards_routed_past(),
+        svc.shards_routed_by_synopsis()
+    );
 }
 
 /// The cross-call cache respects its capacity bound under a workload with
