@@ -8,8 +8,8 @@
 //! ```
 
 use dds_bench::experiments::{
-    ablations, batch, churn, exact, fault, federated, lowerbound, pref, ptile, routing, scaling,
-    serving, shard, Scale,
+    ablations, batch, churn, exact, fault, federated, latency, lowerbound, pref, ptile, routing,
+    scaling, serving, shard, Scale,
 };
 use dds_bench::Table;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -132,6 +132,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "--e18",
         "Synopsis routing: selectivity × shards skip rates (box vs mass bound, =unrouted)",
         routing::e18_selective_routing,
+    ),
+    (
+        "--e19",
+        "Per-stage serving latency (Metrics op: p50/p99/p999 histograms)",
+        latency::e19_stage_latency,
     ),
     (
         "--a1",

@@ -6,6 +6,7 @@ pub mod churn;
 pub mod exact;
 pub mod fault;
 pub mod federated;
+pub mod latency;
 pub mod lowerbound;
 pub mod pref;
 pub mod ptile;

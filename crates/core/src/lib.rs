@@ -32,7 +32,10 @@
 //! `query_batch` APIs), [`cache`] (the bounded, generation-tagged
 //! cross-call predicate-mask cache), [`shard`] (the scatter/gather service
 //! layer: one engine per repository shard, stable global dataset ids),
-//! [`error`] (the typed query/ingest error surface in one place).
+//! [`telemetry`] (lock-free log₂ latency histograms, stage-timing sets,
+//! and the bounded slow-query trace log — recorded strictly outside the
+//! answer path), [`error`] (the typed query/ingest error surface in one
+//! place).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,3 +67,4 @@ pub mod pref;
 pub mod ptile;
 pub mod scratch;
 pub mod shard;
+pub mod telemetry;

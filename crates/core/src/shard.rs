@@ -114,6 +114,7 @@ use crate::pool::{par_map_with, BuildOptions};
 use crate::pref::PrefBuildParams;
 use crate::ptile::PtileBuildParams;
 use crate::scratch::QueryScratch;
+use crate::telemetry::EngineTelemetry;
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -448,6 +449,11 @@ pub struct ShardedEngine {
     splits: u64,
     /// Lifecycle merges committed.
     merges: u64,
+    /// Wall-clock timers for the scatter path (routing decisions,
+    /// per-scatter-unit execution). Lock-free atomics recorded from
+    /// `&self`, like the routing counters above — but timing-dependent,
+    /// so strictly observational: nothing here may influence an answer.
+    telemetry: EngineTelemetry,
 }
 
 impl ShardedEngine {
@@ -476,6 +482,7 @@ impl ShardedEngine {
             routed_by_synopsis: AtomicU64::new(0),
             splits: 0,
             merges: 0,
+            telemetry: EngineTelemetry::new(),
         }
     }
 
@@ -1059,6 +1066,13 @@ impl ShardedEngine {
         self.routed_by_synopsis.load(Ordering::Relaxed)
     }
 
+    /// The engine's scatter-path latency histograms (routing decisions,
+    /// per-scatter-unit execution). Observational only — see
+    /// [`EngineTelemetry`].
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
+    }
+
     /// A cheap counter snapshot (no index structure is touched) — the
     /// per-request stats surface of a serving layer.
     pub fn stats_snapshot(&self) -> ShardedStats {
@@ -1121,7 +1135,11 @@ impl ShardedEngine {
         // One DNF expansion per expression, shared by the routing check
         // and every shard's evaluation.
         let dnf = expr.to_dnf();
+        let routing_started = std::time::Instant::now();
         let skip = self.routing_skip(expr, &dnf);
+        self.telemetry
+            .routing
+            .record_duration(routing_started.elapsed());
         let mut out = Vec::new();
         for (s, shard) in self.shards.iter().enumerate() {
             match skip.as_ref().map_or(Skip::No, |sk| sk[s]) {
@@ -1136,8 +1154,12 @@ impl ShardedEngine {
                 Skip::No => {}
             }
             shard.queries.fetch_add(1, Ordering::Relaxed);
-            let hits = shard.engine.query_cached_dnf(&dnf, scratch)?;
-            out.extend(hits.into_iter().map(|j| shard.global_ids[j]));
+            let unit_started = std::time::Instant::now();
+            let hits = shard.engine.query_cached_dnf(&dnf, scratch);
+            self.telemetry
+                .scatter
+                .record_duration(unit_started.elapsed());
+            out.extend(hits?.into_iter().map(|j| shard.global_ids[j]));
         }
         out.sort_unstable();
         Ok(out)
@@ -1219,7 +1241,12 @@ impl ShardedEngine {
                 if err.is_some() {
                     None
                 } else {
-                    self.routing_skip(e, dnf)
+                    let routing_started = std::time::Instant::now();
+                    let skip = self.routing_skip(e, dnf);
+                    self.telemetry
+                        .routing
+                        .record_duration(routing_started.elapsed());
+                    skip
                 }
             })
             .collect();
@@ -1246,14 +1273,16 @@ impl ShardedEngine {
             }
             let shard = &self.shards[s];
             shard.queries.fetch_add(1, Ordering::Relaxed);
-            shard
-                .engine
-                .query_cached_dnf(&dnfs[e], scratch)
-                .map(|hits| {
-                    hits.into_iter()
-                        .map(|j| shard.global_ids[j])
-                        .collect::<Vec<GlobalId>>()
-                })
+            let unit_started = std::time::Instant::now();
+            let hits = shard.engine.query_cached_dnf(&dnfs[e], scratch);
+            self.telemetry
+                .scatter
+                .record_duration(unit_started.elapsed());
+            hits.map(|hits| {
+                hits.into_iter()
+                    .map(|j| shard.global_ids[j])
+                    .collect::<Vec<GlobalId>>()
+            })
         });
         // Gather: merge each expression's per-shard partials in shard
         // order (errors are identical across shards — first one wins),

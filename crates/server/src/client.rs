@@ -31,7 +31,7 @@
 //! underlying failure.
 
 use crate::fault::{ConnPlan, FaultPlan, FaultStream};
-use crate::protocol::{Request, Response, RetrySafety, ServerError, ServerStats};
+use crate::protocol::{MetricsReport, Request, Response, RetrySafety, ServerError, ServerStats};
 use crate::wire::{
     encode_frame_into, read_frame_into, FrameReadError, WireError, DEFAULT_MAX_FRAME_LEN,
     PROTOCOL_VERSION,
@@ -713,6 +713,20 @@ impl DdsClient {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => Self::unexpected("stats", other),
+        }
+    }
+
+    /// Fetches the server's telemetry snapshot: per-stage latency
+    /// histograms (decode, queue wait, execute, response write, engine
+    /// routing, per-scatter-unit execution) plus the recent slow-query
+    /// traces. `report.render_text()` gives a Prometheus-style rendering
+    /// for scraping. Like [`stats`](Self::stats) it is answered by the
+    /// session directly, so it works even while the admission queue is
+    /// saturated — exactly when the histograms are most interesting.
+    pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
+            other => Self::unexpected("metrics", other),
         }
     }
 

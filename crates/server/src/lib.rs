@@ -11,7 +11,10 @@
 //!   codecs; malformed, truncated and oversized input surface as typed
 //!   [`wire::WireError`]s, never panics. Grammar in `PROTOCOL.md`.
 //! * [`protocol`] — explicit encode/decode for query expressions, hits,
-//!   errors, admin ops and the aggregated [`protocol::ServerStats`];
+//!   errors, admin ops, the aggregated [`protocol::ServerStats`] and the
+//!   telemetry [`protocol::MetricsReport`] (per-stage latency histogram
+//!   snapshots + slow-query traces, with a Prometheus-style
+//!   `render_text`);
 //!   decoding also validates the semantic bounds that would panic the
 //!   engine (NaN intervals, DNF explosions, empty datasets).
 //! * [`reactor`] — the level-triggered readiness loop ([`poll(2)`] via
@@ -30,7 +33,8 @@
 //!   (gate + drain: everything admitted is answered).
 //! * [`client`] — [`DdsClient`]: a blocking connection with single/batch
 //!   query calls, admin calls (`add_shard`, `rebuild_shard`, `stats`,
-//!   `shutdown_server`), configurable socket timeouts ([`ClientConfig`]),
+//!   `metrics`, `shutdown_server`), configurable socket timeouts
+//!   ([`ClientConfig`]),
 //!   and an optional self-healing [`RetryPolicy`] (reconnect, exponential
 //!   backoff with deterministic jitter, deadline, and dedup `request_id`s
 //!   so retried ingests cannot double-apply).
@@ -78,6 +82,8 @@ pub mod wire;
 
 pub use client::{ClientConfig, ClientError, DdsClient, EngineResult, RetryPolicy};
 pub use fault::{ChaosProxy, ConnPlan, Fault, FaultPlan, FaultStream};
-pub use protocol::{Request, Response, RetrySafety, ServerError, ServerErrorKind, ServerStats};
+pub use protocol::{
+    MetricsReport, Request, Response, RetrySafety, ServerError, ServerErrorKind, ServerStats,
+};
 pub use server::{DdsServer, RateLimit, ServerConfig};
 pub use wire::{WireError, PROTOCOL_VERSION};

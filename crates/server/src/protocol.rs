@@ -14,6 +14,7 @@ use crate::wire::{Reader, WireError, Writer};
 use dds_core::engine::EngineError;
 use dds_core::framework::{Dataset, Interval, LogicalExpr, MeasureFunction, Predicate};
 use dds_core::shard::GlobalId;
+use dds_core::telemetry::{bucket_bounds, HistogramSnapshot, QueryTrace, BUCKETS};
 use dds_geom::Rect;
 use std::fmt;
 
@@ -48,6 +49,8 @@ pub mod opcode {
     pub const SPLIT_SHARD: u8 = 0x09;
     /// Coalesce two shards into one (lifecycle admin op).
     pub const MERGE_SHARDS: u8 = 0x0A;
+    /// Telemetry snapshot: stage latency histograms + slow-query traces.
+    pub const METRICS: u8 = 0x0B;
 
     /// Response: single-query answer.
     pub const HITS: u8 = 0x81;
@@ -65,6 +68,8 @@ pub mod opcode {
     pub const BUSY: u8 = 0x87;
     /// Response: typed request-level failure.
     pub const ERROR: u8 = 0x88;
+    /// Response: telemetry snapshot.
+    pub const METRICS_REPLY: u8 = 0x89;
 }
 
 /// Longest an executor may be held by a [`Request::Sleep`] (ms).
@@ -144,6 +149,12 @@ pub enum Request {
         /// The other shard.
         b: u32,
     },
+    /// Telemetry snapshot: per-stage latency histograms and recent
+    /// slow-query traces (session-direct, like Stats — it must work even
+    /// while the admission queue is saturated, which is exactly when you
+    /// want to look at the latency histograms). The append-only Stats
+    /// frame is untouched: counters and histograms evolve independently.
+    Metrics,
 }
 
 /// Whether a request whose **fate is unknown** (the connection died
@@ -183,6 +194,7 @@ impl Request {
             Request::Query(_)
             | Request::QueryBatch(_)
             | Request::Stats
+            | Request::Metrics
             | Request::Ping { .. }
             | Request::SplitShard { .. }
             | Request::MergeShards { .. } => RetrySafety::Safe,
@@ -237,6 +249,8 @@ pub enum Response {
     /// Typed request-level failure (malformed payload, rejected ingest,
     /// server shutting down).
     Error(ServerError),
+    /// Telemetry snapshot: stage latency histograms + slow-query traces.
+    Metrics(MetricsReport),
 }
 
 /// What kind of request-level failure a [`Response::Error`] reports.
@@ -470,6 +484,102 @@ impl ServerStats {
             requests_deduped: f[28],
             shards_routed_by_synopsis: f[29],
         }
+    }
+}
+
+/// Number of histograms a metrics frame must carry, in this fixed order:
+/// `decode`, `queue`, `execute`, `write` (the server request lifecycle),
+/// then `routing`, `scatter` (the engine's scatter path). A newer server
+/// may append further histograms; decoders skip the extras.
+pub const METRICS_HISTOGRAMS: usize = 6;
+
+/// The Metrics answer: per-stage latency histogram snapshots plus the
+/// recent slow-query traces. Counters live in the (append-only, untouched)
+/// [`ServerStats`] frame; this frame is the *latency-distribution* view —
+/// the two evolve independently.
+///
+/// Wire layout: a count-prefixed histogram list (each histogram is
+/// self-delimiting — its own bucket count, which must be [`BUCKETS`] for
+/// the histograms this build knows, then that many `u64` counts) followed
+/// by a count-prefixed [`QueryTrace`] list. At least
+/// [`METRICS_HISTOGRAMS`] histograms are required; extras are skipped, so
+/// the list extends by appending like the stats frame.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Frame → typed request decode time.
+    pub decode: HistogramSnapshot,
+    /// Admission-queue wait (enqueue → executor dequeue).
+    pub queue: HistogramSnapshot,
+    /// Engine execution time in the executor pool.
+    pub execute: HistogramSnapshot,
+    /// Response encode + socket write time.
+    pub write: HistogramSnapshot,
+    /// Engine routing-decision time per query (`routing_skip`).
+    pub routing: HistogramSnapshot,
+    /// Engine per-scatter-unit execution time (one expression × one
+    /// shard); its total doubles as "scatter units evaluated".
+    pub scatter: HistogramSnapshot,
+    /// Recent slow-query traces, oldest first.
+    pub slow_queries: Vec<QueryTrace>,
+}
+
+impl MetricsReport {
+    /// The histograms in wire order, labelled.
+    pub fn stages(&self) -> [(&'static str, &HistogramSnapshot); METRICS_HISTOGRAMS] {
+        [
+            ("decode", &self.decode),
+            ("queue", &self.queue),
+            ("execute", &self.execute),
+            ("write", &self.write),
+            ("routing", &self.routing),
+            ("scatter", &self.scatter),
+        ]
+    }
+
+    /// Prometheus-style text rendering for scraping: one cumulative
+    /// `_bucket{stage=…,le=…}` series per stage (zero-count buckets are
+    /// elided; the `+Inf` bucket and `_count` always appear), p50/p99/p999
+    /// summary gauges, and the retained slow-query count.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("# TYPE dds_stage_latency_ns histogram\n");
+        for (stage, h) in self.stages() {
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative = cumulative.saturating_add(c);
+                let le = bucket_bounds(i).1;
+                let _ = writeln!(
+                    out,
+                    "dds_stage_latency_ns_bucket{{stage=\"{stage}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "dds_stage_latency_ns_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {cumulative}"
+            );
+            let _ = writeln!(
+                out,
+                "dds_stage_latency_ns_count{{stage=\"{stage}\"}} {cumulative}"
+            );
+        }
+        out.push_str("# TYPE dds_stage_latency_ns_quantile gauge\n");
+        for (stage, h) in self.stages() {
+            for (label, q) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
+                if let Some(v) = h.quantile(q) {
+                    let _ = writeln!(
+                        out,
+                        "dds_stage_latency_ns_quantile{{stage=\"{stage}\",q=\"{label}\"}} {v}"
+                    );
+                }
+            }
+        }
+        out.push_str("# TYPE dds_slow_queries_recent gauge\n");
+        let _ = writeln!(out, "dds_slow_queries_recent {}", self.slow_queries.len());
+        out
     }
 }
 
@@ -815,6 +925,118 @@ fn get_engine_result(r: &mut Reader) -> Result<Result<Vec<GlobalId>, EngineError
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+fn put_histogram(w: &mut Writer, h: &HistogramSnapshot) {
+    w.put_count(BUCKETS);
+    for &c in &h.counts {
+        w.put_u64(c);
+    }
+}
+
+fn get_histogram(r: &mut Reader) -> Result<HistogramSnapshot, WireError> {
+    let n = r.count(8)?;
+    if n != BUCKETS {
+        return Err(WireError::BadValue {
+            context: "histogram bucket count does not match this build",
+        });
+    }
+    let mut counts = [0u64; BUCKETS];
+    for c in counts.iter_mut() {
+        *c = r.u64()?;
+    }
+    Ok(HistogramSnapshot::from_counts(counts))
+}
+
+fn put_trace(w: &mut Writer, t: &QueryTrace) {
+    w.put_u64(t.seq);
+    w.put_u8(t.opcode);
+    w.put_u64(t.decode_ns);
+    w.put_u64(t.queue_ns);
+    w.put_u64(t.execute_ns);
+    w.put_u64(t.write_ns);
+    w.put_u64(t.total_ns);
+    w.put_u32(t.shards_scattered);
+    w.put_u32(t.shards_skipped_box);
+    w.put_u32(t.shards_skipped_synopsis);
+    w.put_u64(t.bytes_in);
+    w.put_u64(t.bytes_out);
+}
+
+/// Fixed encoded size of one [`QueryTrace`]: seq + opcode + 5 stage/total
+/// nanos + 3 shard counts + 2 byte counts.
+const TRACE_WIRE_LEN: usize = 8 + 1 + 5 * 8 + 3 * 4 + 2 * 8;
+
+fn get_trace(r: &mut Reader) -> Result<QueryTrace, WireError> {
+    Ok(QueryTrace {
+        seq: r.u64()?,
+        opcode: r.u8()?,
+        decode_ns: r.u64()?,
+        queue_ns: r.u64()?,
+        execute_ns: r.u64()?,
+        write_ns: r.u64()?,
+        total_ns: r.u64()?,
+        shards_scattered: r.u32()?,
+        shards_skipped_box: r.u32()?,
+        shards_skipped_synopsis: r.u32()?,
+        bytes_in: r.u64()?,
+        bytes_out: r.u64()?,
+    })
+}
+
+fn put_metrics(w: &mut Writer, m: &MetricsReport) {
+    w.put_count(METRICS_HISTOGRAMS);
+    for (_, h) in m.stages() {
+        put_histogram(w, h);
+    }
+    w.put_count(m.slow_queries.len());
+    for t in &m.slow_queries {
+        put_trace(w, t);
+    }
+}
+
+fn get_metrics(r: &mut Reader) -> Result<MetricsReport, WireError> {
+    // Each histogram is at least a bucket count (4 bytes); the loose
+    // minimum keeps the hostile-count guard while letting a future server
+    // append histograms with a different bucket scheme.
+    let n = r.count(4)?;
+    if n < METRICS_HISTOGRAMS {
+        return Err(WireError::BadValue {
+            context: "metrics snapshot is missing histograms",
+        });
+    }
+    let decode = get_histogram(r)?;
+    let queue = get_histogram(r)?;
+    let execute = get_histogram(r)?;
+    let write = get_histogram(r)?;
+    let routing = get_histogram(r)?;
+    let scatter = get_histogram(r)?;
+    // Skip appended histograms a newer server may ship (self-delimiting:
+    // bucket count, then that many u64s).
+    for _ in METRICS_HISTOGRAMS..n {
+        let buckets = r.count(8)?;
+        for _ in 0..buckets {
+            r.u64()?;
+        }
+    }
+    let n_traces = r.count(TRACE_WIRE_LEN)?;
+    let mut slow_queries = Vec::with_capacity(n_traces);
+    for _ in 0..n_traces {
+        slow_queries.push(get_trace(r)?);
+    }
+    Ok(MetricsReport {
+        decode,
+        queue,
+        execute,
+        write,
+        routing,
+        scatter,
+        slow_queries,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Requests / responses
 // ---------------------------------------------------------------------------
 
@@ -887,6 +1109,7 @@ impl Request {
                 w.put_u32(*b);
                 opcode::MERGE_SHARDS
             }
+            Request::Metrics => opcode::METRICS,
         }
     }
 
@@ -946,6 +1169,7 @@ impl Request {
                 a: r.u32()?,
                 b: r.u32()?,
             },
+            opcode::METRICS => Request::Metrics,
             tag => {
                 return Err(WireError::BadTag {
                     context: "request opcode",
@@ -1012,6 +1236,10 @@ impl Response {
                 w.put_str(&e.message);
                 opcode::ERROR
             }
+            Response::Metrics(m) => {
+                put_metrics(w, m);
+                opcode::METRICS_REPLY
+            }
         }
     }
 
@@ -1066,6 +1294,7 @@ impl Response {
                     message: r.str_()?,
                 })
             }
+            opcode::METRICS_REPLY => Response::Metrics(get_metrics(&mut r)?),
             tag => {
                 return Err(WireError::BadTag {
                     context: "response opcode",
@@ -1139,6 +1368,7 @@ mod tests {
             move_ids: vec![9, 3, u64::MAX],
         });
         round_trip_request(&Request::MergeShards { a: 2, b: 0 });
+        round_trip_request(&Request::Metrics);
     }
 
     #[test]
@@ -1191,6 +1421,34 @@ mod tests {
             Response::Busy,
             Response::Error(ServerError::new(ServerErrorKind::Ingest, "id 5 in use")),
             Response::Error(ServerError::new(ServerErrorKind::Throttled, "rate limited")),
+            Response::Metrics(MetricsReport::default()),
+            Response::Metrics({
+                let mut m = MetricsReport::default();
+                m.decode.counts[0] = 3;
+                m.queue.counts[10] = u64::MAX;
+                m.execute.counts[63] = 1;
+                m.write.counts[1] = 9;
+                m.routing.counts[5] = 2;
+                m.scatter.counts[30] = 7;
+                m.slow_queries = vec![
+                    QueryTrace::default(),
+                    QueryTrace {
+                        seq: u64::MAX,
+                        opcode: 0x02,
+                        decode_ns: 1,
+                        queue_ns: 2,
+                        execute_ns: 3,
+                        write_ns: 4,
+                        total_ns: 10,
+                        shards_scattered: 5,
+                        shards_skipped_box: 6,
+                        shards_skipped_synopsis: 7,
+                        bytes_in: 100,
+                        bytes_out: u64::MAX,
+                    },
+                ];
+                m
+            }),
         ];
         for resp in responses {
             let (op, bytes) = resp.encode();
@@ -1314,6 +1572,7 @@ mod tests {
             (Request::Query(expr()), RetrySafety::Safe, None),
             (Request::QueryBatch(vec![expr()]), RetrySafety::Safe, None),
             (Request::Stats, RetrySafety::Safe, None),
+            (Request::Metrics, RetrySafety::Safe, None),
             (Request::Ping { token: 1 }, RetrySafety::Safe, None),
             (
                 Request::SplitShard {

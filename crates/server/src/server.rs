@@ -43,7 +43,8 @@
 
 use crate::buffer::BufferPool;
 use crate::protocol::{
-    Request, Response, ServerError, ServerErrorKind, ServerStats, MAX_SLEEP_MS, PANIC_DRILL_MS,
+    MetricsReport, Request, Response, ServerError, ServerErrorKind, ServerStats, MAX_SLEEP_MS,
+    PANIC_DRILL_MS,
 };
 use crate::reactor::{Interest, Reactor, Ready, Waker};
 use crate::wire::{
@@ -52,6 +53,7 @@ use crate::wire::{
 use dds_core::framework::Repository;
 use dds_core::pool::BuildOptions;
 use dds_core::shard::ShardedEngine;
+use dds_core::telemetry::{QueryTrace, SlowQueryLog, StageTimings};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::{AsRawFd, RawFd};
@@ -114,6 +116,16 @@ pub struct ServerConfig {
     /// stay cheap and long-running jobs don't kill their session. Reaped
     /// sessions increment the `sessions_reaped` counter.
     pub stall_timeout: Duration,
+    /// A request whose end-to-end time (decode + queue wait + execute +
+    /// response write) meets this threshold leaves a structured
+    /// [`QueryTrace`] in the slow-query log (served by
+    /// [`Request::Metrics`]). `Duration::ZERO` traces every request —
+    /// useful for tests and latency harnesses.
+    pub slow_query_threshold: Duration,
+    /// Most slow-query traces retained (a bounded ring; oldest fall out).
+    /// `0` disables tracing entirely. The ring is preallocated, so
+    /// tracing never allocates at steady state.
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +139,8 @@ impl Default for ServerConfig {
             allow_sleep: false,
             rate_limit: None,
             stall_timeout: Duration::from_secs(30),
+            slow_query_threshold: Duration::from_millis(100),
+            slow_log_capacity: 64,
         }
     }
 }
@@ -234,19 +248,34 @@ struct JobReply {
     done: bool,
 }
 
+/// Executor-side timing of one job, delivered alongside its response so
+/// the owning I/O thread can finish the request's [`QueryTrace`].
+/// Best-effort under concurrency: the shard counts are deltas of global
+/// engine counters read around this job's execution, so concurrent jobs
+/// can bleed into each other's counts — fine for a trace, meaningless for
+/// accounting (the exact totals live in the stats frame).
+#[derive(Clone, Copy, Debug, Default)]
+struct JobTiming {
+    queue_ns: u64,
+    execute_ns: u64,
+    shards_scattered: u32,
+    shards_skipped_box: u32,
+    shards_skipped_synopsis: u32,
+}
+
 impl JobReply {
-    fn deliver(&self, resp: Response) {
+    fn deliver(&self, resp: Response, timing: JobTiming) {
         self.io
             .completions
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .push((self.session, resp));
+            .push((self.session, resp, timing));
         self.io.waker.wake();
     }
 
-    fn send(mut self, resp: Response) {
+    fn send(mut self, resp: Response, timing: JobTiming) {
         self.done = true;
-        self.deliver(resp);
+        self.deliver(resp, timing);
     }
 
     /// Disarms the drop-side `Unavailable` for a job that was *not*
@@ -259,7 +288,7 @@ impl JobReply {
 impl Drop for JobReply {
     fn drop(&mut self) {
         if !self.done {
-            self.deliver(unavailable());
+            self.deliver(unavailable(), JobTiming::default());
         }
     }
 }
@@ -269,6 +298,9 @@ impl Drop for JobReply {
 struct Job {
     req: Request,
     reply: JobReply,
+    /// When the job entered the admission queue; the executor's dequeue
+    /// minus this is the queue-wait stage.
+    admitted_at: Instant,
 }
 
 /// One I/O thread's mailboxes, shared with the listener (fresh
@@ -276,7 +308,7 @@ struct Job {
 /// the thread's `poll` whenever either queue gains an entry.
 struct IoShared {
     intake: Mutex<Vec<(u64, TcpStream)>>,
-    completions: Mutex<Vec<(u64, Response)>>,
+    completions: Mutex<Vec<(u64, Response, JobTiming)>>,
     waker: Waker,
 }
 
@@ -304,6 +336,13 @@ struct Shared {
     buffer_pool: BufferPool,
     /// Ingest retry tokens → fate (see [`DedupWindow`]).
     dedup: Mutex<DedupWindow>,
+    /// Request-lifecycle stage histograms (lock-free atomics; recording
+    /// on the hot path is an `Instant::now` pair and one relaxed add).
+    stages: StageTimings,
+    /// Bounded ring of slow-request traces (see
+    /// [`ServerConfig::slow_query_threshold`]). Only touched *after* a
+    /// response has fully left the socket — never on the answer path.
+    slow_log: SlowQueryLog,
 }
 
 impl Shared {
@@ -379,6 +418,23 @@ impl Shared {
             shard_merges: engine.merges,
         }
     }
+
+    /// Assembles the [`Request::Metrics`] answer: snapshots of the
+    /// server-side stage histograms, the engine's scatter-path
+    /// histograms, and the retained slow-query traces.
+    fn metrics_report(&self) -> MetricsReport {
+        let engine = self.engine_read();
+        let engine_t = engine.telemetry();
+        MetricsReport {
+            decode: self.stages.decode.snapshot(),
+            queue: self.stages.queue.snapshot(),
+            execute: self.stages.execute.snapshot(),
+            write: self.stages.write.snapshot(),
+            routing: engine_t.routing.snapshot(),
+            scatter: engine_t.scatter.snapshot(),
+            slow_queries: self.slow_log.recent(),
+        }
+    }
 }
 
 /// A running server: a [`ShardedEngine`] behind a TCP boundary.
@@ -419,6 +475,10 @@ impl DdsServer {
             }));
         }
         let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
+        let slow_log = SlowQueryLog::new(
+            u64::try_from(cfg.slow_query_threshold.as_nanos()).unwrap_or(u64::MAX),
+            cfg.slow_log_capacity,
+        );
         let shared = Arc::new(Shared {
             engine: RwLock::new(engine),
             counters: Counters::default(),
@@ -431,6 +491,8 @@ impl DdsServer {
             ios,
             buffer_pool: BufferPool::new(),
             dedup: Mutex::new(DedupWindow::default()),
+            stages: StageTimings::new(),
+            slow_log,
         });
         let queue_rx = Arc::new(Mutex::new(queue_rx));
         let executor_threads = (0..shared.cfg.executors)
@@ -479,6 +541,12 @@ impl DdsServer {
     /// A stats snapshot, identical to what a client's stats call returns.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
+    }
+
+    /// A telemetry snapshot, identical to what a client's
+    /// [`metrics`](crate::DdsClient::metrics) call returns.
+    pub fn metrics(&self) -> MetricsReport {
+        self.shared.metrics_report()
     }
 
     /// Blocks until a shutdown has been signalled (remotely via
@@ -641,6 +709,19 @@ enum SessionState {
     Write { written: usize, close_after: bool },
 }
 
+/// Stage timings of the request currently in flight on a session,
+/// accumulated as the request moves through the state machine and
+/// finished into a [`QueryTrace`] once its response fully leaves the
+/// socket. All-scalar and `Copy`: carrying it costs nothing on the
+/// zero-alloc hot path.
+#[derive(Clone, Copy, Debug, Default)]
+struct PendingTrace {
+    opcode: u8,
+    bytes_in: u64,
+    decode_ns: u64,
+    timing: JobTiming,
+}
+
 /// One client connection owned by an I/O thread.
 struct Session {
     id: u64,
@@ -657,6 +738,12 @@ struct Session {
     /// `ServerConfig::stall_timeout`; idle-between-frames and
     /// awaiting-an-executor don't count as stalled.
     last_progress: Instant,
+    /// Telemetry of the request currently being served (one in flight
+    /// per session, so one slot suffices).
+    pending: PendingTrace,
+    /// When the current response's encode+write stage began
+    /// (`respond_enqueue` stamps it).
+    write_started: Instant,
 }
 
 /// What [`drive_session`] decided about the session's future.
@@ -670,7 +757,7 @@ fn io_loop(shared: &Arc<Shared>, io: &Arc<IoShared>, mut reactor: Reactor) {
     // Scratch, all reused across iterations (the steady-state loop
     // allocates nothing).
     let mut intake: Vec<(u64, TcpStream)> = Vec::new();
-    let mut completions: Vec<(u64, Response)> = Vec::new();
+    let mut completions: Vec<(u64, Response, JobTiming)> = Vec::new();
     let mut sources: Vec<(RawFd, Interest)> = Vec::new();
     let mut owners: Vec<usize> = Vec::new();
     let mut ready: Vec<Ready> = Vec::new();
@@ -691,6 +778,8 @@ fn io_loop(shared: &Arc<Shared>, io: &Arc<IoShared>, mut reactor: Reactor) {
                 write_buf: shared.buffer_pool.acquire(1),
                 bucket: shared.cfg.rate_limit.as_ref().map(TokenBucket::new),
                 last_progress: Instant::now(),
+                pending: PendingTrace::default(),
+                write_started: Instant::now(),
             });
         }
         // Deliver executor completions: encode into the session's write
@@ -703,10 +792,11 @@ fn io_loop(shared: &Arc<Shared>, io: &Arc<IoShared>, mut reactor: Reactor) {
                 .unwrap_or_else(PoisonError::into_inner);
             std::mem::swap(&mut *q, &mut completions);
         }
-        for (sid, resp) in completions.drain(..) {
+        for (sid, resp, timing) in completions.drain(..) {
             // A session that died while awaiting is simply gone; its
             // response has nowhere to go, which is the correct outcome.
             if let Some(s) = sessions.iter_mut().find(|s| s.id == sid) {
+                s.pending.timing = timing;
                 respond_enqueue(shared, s, &resp, false);
             }
         }
@@ -869,6 +959,7 @@ fn drive_session(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) -> D
                             .counters
                             .bytes_out
                             .fetch_add(s.write_buf.len() as u64, Ordering::Relaxed);
+                        finish_response(shared, s);
                         if close_after {
                             return Drive::Close;
                         }
@@ -898,6 +989,14 @@ fn process_frame(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) {
         .bytes_in
         .fetch_add(4 + s.read_buf.len() as u64, Ordering::Relaxed);
     shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    // Telemetry slot for this request (one in flight per session): the
+    // stage nanos accumulate here until the response fully leaves the
+    // socket, where `finish_response` turns them into a trace.
+    s.pending = PendingTrace {
+        opcode: s.read_buf[1],
+        bytes_in: 4 + s.read_buf.len() as u64,
+        ..PendingTrace::default()
+    };
     let version = s.read_buf[0];
     if version != PROTOCOL_VERSION {
         shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
@@ -905,7 +1004,11 @@ fn process_frame(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) {
         respond_enqueue(shared, s, &protocol_error(&e), true);
         return;
     }
-    let req = match Request::decode(s.read_buf[1], &s.read_buf[2..]) {
+    let decode_started = Instant::now();
+    let decoded = Request::decode(s.read_buf[1], &s.read_buf[2..]);
+    s.pending.decode_ns = elapsed_ns(decode_started);
+    shared.stages.decode.record(s.pending.decode_ns);
+    let req = match decoded {
         Ok(r) => r,
         // Payload-level violation: the frame boundary was intact, so the
         // session can keep serving after the typed error.
@@ -920,6 +1023,12 @@ fn process_frame(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) {
         // must work even while the queue is saturated or the session is
         // throttled.
         Request::Stats => respond_enqueue(shared, s, &Response::Stats(shared.stats()), false),
+        Request::Metrics => respond_enqueue(
+            shared,
+            s,
+            &Response::Metrics(shared.metrics_report()),
+            false,
+        ),
         Request::Ping { token } => respond_enqueue(shared, s, &Response::Pong { token }, false),
         Request::Shutdown => {
             respond_enqueue(shared, s, &Response::Done, true);
@@ -949,7 +1058,11 @@ fn process_frame(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) {
                 session: s.id,
                 done: false,
             };
-            match shared.queue.try_send(Job { req: work, reply }) {
+            match shared.queue.try_send(Job {
+                req: work,
+                reply,
+                admitted_at: Instant::now(),
+            }) {
                 Ok(()) => {
                     shared
                         .counters
@@ -984,6 +1097,9 @@ fn process_frame(shared: &Arc<Shared>, io: &Arc<IoShared>, s: &mut Session) {
 /// silently closing (which the client would see as a bare
 /// `UnexpectedEof`, indistinguishable from a crashed server).
 fn respond_enqueue(shared: &Shared, s: &mut Session, resp: &Response, close_after: bool) {
+    // The write stage covers encode + flush: it starts here, before the
+    // response is serialized, and ends when the last byte leaves.
+    s.write_started = Instant::now();
     let bound = shared.cfg.max_frame_len;
     if encode_frame_into(&mut s.write_buf, PROTOCOL_VERSION, bound, |w| {
         resp.encode_to(w)
@@ -1020,8 +1136,44 @@ fn flush_blocking(shared: &Shared, s: &mut Session) {
                 .counters
                 .bytes_out
                 .fetch_add(s.write_buf.len() as u64, Ordering::Relaxed);
+            finish_response(shared, s);
         }
     }
+}
+
+/// Nanoseconds elapsed since `from`, saturating at `u64::MAX`.
+fn elapsed_ns(from: Instant) -> u64 {
+    u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Closes out one request's telemetry after its response completely left
+/// the socket: records the write stage and offers the assembled
+/// [`QueryTrace`] to the slow-query log. Pure atomics (and, past the
+/// threshold, one short mutex on the trace ring) strictly after the
+/// answer bytes are gone — this can never affect an answer.
+fn finish_response(shared: &Shared, s: &mut Session) {
+    let write_ns = elapsed_ns(s.write_started);
+    shared.stages.write.record(write_ns);
+    let p = s.pending;
+    let total_ns = p
+        .decode_ns
+        .saturating_add(p.timing.queue_ns)
+        .saturating_add(p.timing.execute_ns)
+        .saturating_add(write_ns);
+    shared.slow_log.offer(QueryTrace {
+        seq: 0, // assigned by the log
+        opcode: p.opcode,
+        decode_ns: p.decode_ns,
+        queue_ns: p.timing.queue_ns,
+        execute_ns: p.timing.execute_ns,
+        write_ns,
+        total_ns,
+        shards_scattered: p.timing.shards_scattered,
+        shards_skipped_box: p.timing.shards_skipped_box,
+        shards_skipped_synopsis: p.timing.shards_skipped_synopsis,
+        bytes_in: p.bytes_in,
+        bytes_out: s.write_buf.len() as u64,
+    });
 }
 
 /// Closes a session: its buffers go home to the pool (capacity and all —
@@ -1110,7 +1262,16 @@ fn executor_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
 /// and the executor keeps draining. The engine locks recover from the
 /// resulting poison (see [`Shared::engine_read`]): ingest is
 /// validate→build→commit, so engine state stays consistent.
-fn run_job(shared: &Arc<Shared>, Job { req, reply }: Job) {
+fn run_job(
+    shared: &Arc<Shared>,
+    Job {
+        req,
+        reply,
+        admitted_at,
+    }: Job,
+) {
+    let queue_ns = elapsed_ns(admitted_at);
+    shared.stages.queue.record(queue_ns);
     shared
         .counters
         .jobs_dequeued
@@ -1140,7 +1301,13 @@ fn run_job(shared: &Arc<Shared>, Job { req, reply }: Job) {
                     .counters
                     .jobs_completed
                     .fetch_add(1, Ordering::Relaxed);
-                reply.send(resp);
+                reply.send(
+                    resp,
+                    JobTiming {
+                        queue_ns,
+                        ..JobTiming::default()
+                    },
+                );
                 return;
             }
             Some(DedupEntry::InFlight) => {
@@ -1153,16 +1320,34 @@ fn run_job(shared: &Arc<Shared>, Job { req, reply }: Job) {
                     .counters
                     .jobs_completed
                     .fetch_add(1, Ordering::Relaxed);
-                reply.send(Response::Error(ServerError::new(
-                    ServerErrorKind::Unavailable,
-                    "request id is still in flight; retry",
-                )));
+                reply.send(
+                    Response::Error(ServerError::new(
+                        ServerErrorKind::Unavailable,
+                        "request id is still in flight; retry",
+                    )),
+                    JobTiming {
+                        queue_ns,
+                        ..JobTiming::default()
+                    },
+                );
                 return;
             }
             None => window.insert(id, DedupEntry::InFlight),
         }
     }
+    let (scatter0, box0, synopsis0) = scatter_counters(shared);
+    let execute_started = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, req)));
+    let execute_ns = elapsed_ns(execute_started);
+    shared.stages.execute.record(execute_ns);
+    let (scatter1, box1, synopsis1) = scatter_counters(shared);
+    let timing = JobTiming {
+        queue_ns,
+        execute_ns,
+        shards_scattered: counter_delta(scatter0, scatter1),
+        shards_skipped_box: counter_delta(box0, box1),
+        shards_skipped_synopsis: counter_delta(synopsis0, synopsis1),
+    };
     let resp = match outcome {
         Ok(resp) => {
             if let Some(id) = dedup_id {
@@ -1206,7 +1391,22 @@ fn run_job(shared: &Arc<Shared>, Job { req, reply }: Job) {
         .counters
         .jobs_completed
         .fetch_add(1, Ordering::Relaxed);
-    reply.send(resp);
+    reply.send(resp, timing);
+}
+
+/// Snapshot of the engine's scatter-path counters (units evaluated,
+/// skipped by box, skipped by synopsis) for best-effort per-job deltas.
+fn scatter_counters(shared: &Shared) -> (u64, u64, u64) {
+    let engine = shared.engine_read();
+    (
+        engine.telemetry().scatter.count(),
+        engine.shards_routed_past(),
+        engine.shards_routed_by_synopsis(),
+    )
+}
+
+fn counter_delta(before: u64, after: u64) -> u32 {
+    u32::try_from(after.saturating_sub(before)).unwrap_or(u32::MAX)
 }
 
 /// Runs one admitted job against the engine.
@@ -1328,9 +1528,12 @@ fn execute(shared: &Shared, req: Request) -> Response {
             Response::Done
         }
         // Control ops never reach the queue.
-        Request::Stats | Request::Ping { .. } | Request::Shutdown => Response::Error(
-            ServerError::new(ServerErrorKind::Protocol, "control op on the work queue"),
-        ),
+        Request::Stats | Request::Metrics | Request::Ping { .. } | Request::Shutdown => {
+            Response::Error(ServerError::new(
+                ServerErrorKind::Protocol,
+                "control op on the work queue",
+            ))
+        }
     }
 }
 

@@ -589,3 +589,62 @@ fn rate_limit_tokens_refill_over_time() {
     assert_eq!(client.query(&wide_query()).expect("after refill"), expected);
     server.shutdown();
 }
+
+#[test]
+fn metrics_report_per_stage_latencies_without_touching_answers() {
+    let spec = RepoSpec::mixed(12, 40, 1, 0x713);
+    let (local, served) = engine_pair(&spec, 2);
+    let exprs = RequestStreamSpec::new(20, 7).with_shapes(4).exprs(&spec);
+    let expected: Vec<_> = exprs.iter().map(|e| local.query(e)).collect();
+
+    // A zero threshold turns every request into a slow-query trace, so
+    // the ring is demonstrably populated; answers must be unchanged.
+    let cfg = ServerConfig {
+        slow_query_threshold: Duration::ZERO,
+        slow_log_capacity: 8,
+        ..ServerConfig::default()
+    };
+    let server = DdsServer::serve(served, "127.0.0.1:0", cfg).expect("bind loopback");
+    let mut client = DdsClient::connect(server.local_addr()).expect("connect");
+    for (e, want) in exprs.iter().zip(&expected) {
+        assert_eq!(&client.query(e).expect("query"), want);
+    }
+
+    let report = client.metrics().expect("metrics");
+    for (stage, snap) in report.stages() {
+        assert!(snap.total() > 0, "stage {stage} recorded nothing");
+        let p50 = snap.quantile(0.5).expect("p50");
+        let p99 = snap.quantile(0.99).expect("p99");
+        let p999 = snap.quantile(0.999).expect("p999");
+        assert!(
+            p50 <= p99 && p99 <= p999,
+            "{stage}: p50 {p50} p99 {p99} p999 {p999}"
+        );
+    }
+
+    // The ring holds the most recent traces in sequence order, and every
+    // trace carries real sizes and consistent stage sums.
+    let traces = &report.slow_queries;
+    assert!(!traces.is_empty() && traces.len() <= 8, "{}", traces.len());
+    for w in traces.windows(2) {
+        assert!(w[0].seq < w[1].seq, "seqs must ascend");
+    }
+    for t in traces {
+        assert!(t.bytes_in > 0 && t.bytes_out > 0);
+        assert!(t.total_ns >= t.decode_ns && t.total_ns >= t.write_ns);
+    }
+    assert!(
+        traces
+            .iter()
+            .any(|t| t.shards_scattered + t.shards_skipped_box + t.shards_skipped_synopsis > 0),
+        "query traces must see shard routing"
+    );
+
+    // The Prometheus-style rendering names every stage and the ring.
+    let text = report.render_text();
+    for (stage, _) in report.stages() {
+        assert!(text.contains(&format!("stage=\"{stage}\"")), "{stage}");
+    }
+    assert!(text.contains("dds_slow_queries_recent"));
+    server.shutdown();
+}

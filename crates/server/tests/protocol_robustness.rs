@@ -10,8 +10,11 @@ use dds_core::pool::BuildOptions;
 use dds_core::pref::PrefBuildParams;
 use dds_core::ptile::PtileBuildParams;
 use dds_core::shard::ShardedEngine;
+use dds_core::telemetry::{bucket_bounds, bucket_index, HistogramSnapshot, QueryTrace, BUCKETS};
 use dds_geom::Rect;
-use dds_server::protocol::{opcode, Request, Response, ServerErrorKind, ServerStats};
+use dds_server::protocol::{
+    opcode, MetricsReport, Request, Response, ServerErrorKind, ServerStats,
+};
 use dds_server::wire::{
     read_frame, write_frame, FrameReadError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
@@ -83,7 +86,7 @@ fn random_expr(rng: &mut StdRng, depth: usize) -> LogicalExpr {
 }
 
 fn random_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0u8..10) {
+    match rng.gen_range(0u8..11) {
         0 => Request::Query(random_expr(rng, 3)),
         1 => {
             let n = rng.gen_range(0..4);
@@ -129,6 +132,7 @@ fn random_request(rng: &mut StdRng) -> Request {
             shard: rng.gen_range(0..100),
             move_ids: (0..rng.gen_range(1..5usize)).map(|_| rng.gen()).collect(),
         },
+        9 => Request::Metrics,
         _ => Request::MergeShards {
             a: rng.gen_range(0..100),
             b: rng.gen_range(0..100),
@@ -150,8 +154,53 @@ fn random_engine_result(rng: &mut StdRng) -> Result<Vec<u64>, EngineError> {
     }
 }
 
+fn random_snapshot(rng: &mut StdRng) -> HistogramSnapshot {
+    let mut counts = [0u64; BUCKETS];
+    for c in counts.iter_mut() {
+        if rng.gen_bool(0.25) {
+            *c = if rng.gen_bool(0.1) {
+                u64::MAX
+            } else {
+                rng.gen_range(0..1_000_000)
+            };
+        }
+    }
+    HistogramSnapshot::from_counts(counts)
+}
+
+fn random_trace(rng: &mut StdRng) -> QueryTrace {
+    QueryTrace {
+        seq: rng.gen(),
+        opcode: rng.gen(),
+        decode_ns: rng.gen(),
+        queue_ns: rng.gen(),
+        execute_ns: rng.gen(),
+        write_ns: rng.gen(),
+        total_ns: rng.gen(),
+        shards_scattered: rng.gen(),
+        shards_skipped_box: rng.gen(),
+        shards_skipped_synopsis: rng.gen(),
+        bytes_in: rng.gen(),
+        bytes_out: rng.gen(),
+    }
+}
+
+fn random_metrics(rng: &mut StdRng) -> MetricsReport {
+    MetricsReport {
+        decode: random_snapshot(rng),
+        queue: random_snapshot(rng),
+        execute: random_snapshot(rng),
+        write: random_snapshot(rng),
+        routing: random_snapshot(rng),
+        scatter: random_snapshot(rng),
+        slow_queries: (0..rng.gen_range(0..4))
+            .map(|_| random_trace(rng))
+            .collect(),
+    }
+}
+
 fn random_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0u8..8) {
+    match rng.gen_range(0u8..9) {
         0 => Response::Hits(random_engine_result(rng)),
         1 => {
             let n = rng.gen_range(0..4);
@@ -170,6 +219,7 @@ fn random_response(rng: &mut StdRng) -> Response {
         }),
         5 => Response::Pong { token: rng.gen() },
         6 => Response::Busy,
+        7 => Response::Metrics(random_metrics(rng)),
         _ => Response::Error(dds_server::ServerError::new(
             match rng.gen_range(0u8..6) {
                 0 => ServerErrorKind::Protocol,
@@ -231,6 +281,57 @@ proptest! {
         prop_assume!(!bytes.is_empty());
         let cut = rng.gen_range(0..bytes.len());
         let _ = Request::decode(op, &bytes[..cut]);
+    }
+
+    /// Histogram merge is associative and commutative, so snapshots from
+    /// many histograms (or many servers) combine in any order.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4157);
+        let (a, b, c) = (
+            random_snapshot(&mut rng),
+            random_snapshot(&mut rng),
+            random_snapshot(&mut rng),
+        );
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+        // a ⊕ b == b ⊕ a
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// `quantile(q)` brackets the true quantile of the recorded samples:
+    /// the reported value is >= the true value and < 2x it (the bucket
+    /// bound documented on `HistogramSnapshot::quantile`), checked
+    /// against an exact sorted-sample computation.
+    #[test]
+    fn quantile_brackets_the_exact_sample_quantile(
+        mut samples in prop::collection::vec(0u64..1u64 << 40, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut counts = [0u64; BUCKETS];
+        for &s in &samples {
+            counts[bucket_index(s)] += 1;
+        }
+        let snap = HistogramSnapshot::from_counts(counts);
+        let got = snap.quantile(q).expect("non-empty");
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let exact = samples[rank - 1];
+        let (lo, hi) = bucket_bounds(bucket_index(exact));
+        prop_assert!(got >= exact, "quantile {got} under-reports exact {exact}");
+        prop_assert_eq!(got, hi, "quantile must be the containing bucket's upper bound");
+        prop_assert!(lo <= exact && exact <= hi);
     }
 }
 
@@ -632,6 +733,93 @@ fn hostile_expressions_are_rejected_typed() {
 
     assert_alive(addr);
     server.shutdown();
+}
+
+#[test]
+fn hostile_metrics_frames_are_typed_and_leave_the_server_standing() {
+    let server = tiny_server();
+    let addr = server.local_addr();
+
+    // A Metrics request carries no payload; trailing bytes are a framing
+    // violation and must be rejected typed on the live session.
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut s,
+        PROTOCOL_VERSION,
+        opcode::METRICS,
+        b"junk",
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("error frame");
+    assert!(matches!(
+        Response::decode(frame.opcode, &frame.payload).unwrap(),
+        Response::Error(e) if e.kind == ServerErrorKind::Protocol
+    ));
+    // The same session keeps serving: a well-formed Metrics request is
+    // answered with a decodable report.
+    write_frame(
+        &mut s,
+        PROTOCOL_VERSION,
+        opcode::METRICS,
+        &[],
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("metrics frame");
+    assert!(matches!(
+        Response::decode(frame.opcode, &frame.payload).unwrap(),
+        Response::Metrics(_)
+    ));
+
+    // The *reply* opcode arriving as a request is an unknown opcode:
+    // typed error, session intact.
+    write_frame(
+        &mut s,
+        PROTOCOL_VERSION,
+        opcode::METRICS_REPLY,
+        &[],
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).expect("error frame");
+    assert!(matches!(
+        Response::decode(frame.opcode, &frame.payload).unwrap(),
+        Response::Error(e) if e.kind == ServerErrorKind::Protocol
+    ));
+    assert_alive(addr);
+    server.shutdown();
+
+    // Hostile METRICS_REPLY payloads on the client-side decoder: every
+    // one is a typed error, never a panic, never an allocation sized by
+    // the hostile count.
+    //
+    // Too few histograms.
+    let mut w = dds_server::wire::Writer::new();
+    w.put_u32(3);
+    assert!(Response::decode(opcode::METRICS_REPLY, &w.into_bytes()).is_err());
+    // A histogram whose bucket count disagrees with this build.
+    let mut w = dds_server::wire::Writer::new();
+    w.put_u32(6);
+    w.put_u32(32);
+    for _ in 0..32 {
+        w.put_u64(0);
+    }
+    assert!(Response::decode(opcode::METRICS_REPLY, &w.into_bytes()).is_err());
+    // A hostile trace count (declares 2^30 traces after valid histograms).
+    let mut w = dds_server::wire::Writer::new();
+    w.put_u32(6);
+    for _ in 0..6 {
+        w.put_u32(BUCKETS as u32);
+        for _ in 0..BUCKETS {
+            w.put_u64(0);
+        }
+    }
+    w.put_u32(1 << 30);
+    assert!(Response::decode(opcode::METRICS_REPLY, &w.into_bytes()).is_err());
+    // Truncation mid-histogram.
+    let (op, bytes) = Response::Metrics(MetricsReport::default()).encode();
+    assert!(Response::decode(op, &bytes[..bytes.len() / 2]).is_err());
 }
 
 #[test]

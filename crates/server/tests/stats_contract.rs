@@ -4,7 +4,13 @@
 //! list fails here — silently reordering would corrupt every deployed
 //! client's decoding.
 
-use dds_server::{Response, ServerStats};
+use dds_core::framework::{Dataset, Repository};
+use dds_core::pool::BuildOptions;
+use dds_core::pref::PrefBuildParams;
+use dds_core::ptile::PtileBuildParams;
+use dds_core::shard::ShardedEngine;
+use dds_server::{DdsClient, DdsServer, Response, ServerConfig, ServerStats};
+use std::time::{Duration, Instant};
 
 /// The canonical order, copied from PROTOCOL.md's stats table. New
 /// counters append; nothing moves.
@@ -127,4 +133,52 @@ fn stats_round_trip_is_lossless_at_the_current_width() {
         Response::Stats(got) => assert_eq!(got, position_stamped()),
         other => panic!("expected stats, got {other:?}"),
     }
+}
+
+#[test]
+fn sessions_active_is_a_gauge_that_returns_to_zero() {
+    // Every other field in the frame is a monotonic counter;
+    // `sessions_active` alone is a gauge (documented in PROTOCOL.md).
+    // Pin the gauge behavior: it rises with live connections and falls
+    // back to exactly zero once every client is gone, while the
+    // `sessions_opened` counter keeps its high-water history.
+    let mut engine = ShardedEngine::new(
+        &[1],
+        PtileBuildParams::exact_centralized(),
+        PrefBuildParams::exact_centralized(),
+    );
+    engine.add_shard_opts(
+        &Repository::new(vec![Dataset::from_rows("d", vec![vec![1.0]])]),
+        &[0],
+        &BuildOptions::serial(),
+    );
+    let server = DdsServer::serve(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+
+    let mut clients: Vec<DdsClient> = (0..3)
+        .map(|_| DdsClient::connect(server.local_addr()).expect("connect"))
+        .collect();
+    for c in &mut clients {
+        c.ping().expect("ping");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.sessions_active, 3);
+    assert_eq!(stats.sessions_opened, 3);
+
+    drop(clients);
+    // Disconnects are observed by the I/O threads asynchronously.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if stats.sessions_active == 0 {
+            assert_eq!(stats.sessions_opened, 3, "the counter keeps history");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sessions_active stuck at {} after all clients disconnected",
+            stats.sessions_active
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
 }

@@ -117,10 +117,11 @@ pub mod prelude {
     pub use dds_core::shard::{
         GlobalId, RebalanceAction, RebalanceConfig, ShardLoad, ShardedEngine, ShardedStats,
     };
+    pub use dds_core::telemetry::{HistogramSnapshot, LatencyHistogram, QueryTrace, SlowQueryLog};
     pub use dds_geom::{Point, Rect};
     pub use dds_server::{
-        ChaosProxy, ClientConfig, ClientError, DdsClient, DdsServer, FaultPlan, RateLimit,
-        RetryPolicy, ServerConfig, ServerStats,
+        ChaosProxy, ClientConfig, ClientError, DdsClient, DdsServer, FaultPlan, MetricsReport,
+        RateLimit, RetryPolicy, ServerConfig, ServerStats,
     };
     pub use dds_synopsis::{PercentileSynopsis, PrefSynopsis};
     pub use dds_workload::{FaultScheduleSpec, RepoShard, RepoSpec, RequestStreamSpec};
